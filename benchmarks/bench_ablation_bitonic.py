@@ -1,0 +1,82 @@
+"""ABL-BITONIC — the ASCEND/DESCEND class beyond TT, and the pipelined
+schedule's value.
+
+§3's design thesis: "designing an ASCEND/DESCEND algorithm for a
+hypercube, and transforming it into a CCC algorithm seems to be a
+reasonable way of designing an efficient CCC algorithm."  The TT program
+is one member of the class; Batcher's bitonic sorter is the canonical
+other.  This ablation runs bitonic sort on the ideal hypercube and on
+the CCC under both schedules, isolating what the pipelined sweep buys —
+the design choice DESIGN.md calls out for the CCC emulator.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hypercube import CCC, Hypercube, bitonic_sort_program, bitonic_stage_count, make_state
+
+
+def sort_on(machine_kind, r, seed, schedule="pipelined"):
+    ccc = CCC(r)
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(0, 1, ccc.n)
+    st = make_state(ccc.dims, X=vals)
+    prog = bitonic_sort_program(ccc.dims)
+    if machine_kind == "hypercube":
+        stats = Hypercube(ccc.dims).run(st, prog)
+        steps = stats.route_steps
+    else:
+        stats = ccc.run(st, prog, schedule=schedule)
+        steps = stats.route_steps
+    assert (st["X"] == np.sort(vals)).all()
+    return steps, stats
+
+
+def test_ablation_table():
+    rows = []
+    for r in (1, 2, 3):
+        ccc = CCC(r)
+        ideal = bitonic_stage_count(ccc.dims)
+        pipe, _ = sort_on("ccc", r, seed=r, schedule="pipelined")
+        naive, _ = sort_on("ccc", r, seed=r, schedule="naive")
+        rows.append(
+            [
+                r,
+                ccc.n,
+                ideal,
+                pipe,
+                f"{pipe / ideal:.2f}",
+                naive,
+                f"{naive / ideal:.2f}",
+            ]
+        )
+    print_table(
+        "ABL-BITONIC: bitonic sort, CCC schedules vs ideal hypercube",
+        ["r", "n", "cube steps", "pipelined", "ratio", "naive", "ratio"],
+        rows,
+    )
+    # Pipelining must win, and its ratio must stay in a constant band.
+    ratios = [float(row[4]) for row in rows]
+    assert all(float(row[4]) <= float(row[6]) for row in rows)
+    assert max(ratios) <= 6.0
+
+
+def test_descend_sweeps_engaged():
+    """The sort's inner loops are DESCEND runs; the pipelined schedule
+    must batch them into sweeps rather than falling back to naive."""
+    ccc = CCC(2)
+    vals = np.random.default_rng(0).uniform(0, 1, ccc.n)
+    st = make_state(ccc.dims, X=vals)
+    stats = ccc.run(st, bitonic_sort_program(ccc.dims), schedule="pipelined")
+    assert stats.sweeps >= 2
+
+
+def test_sort_benchmark_hypercube(benchmark):
+    steps, _ = benchmark(sort_on, "hypercube", 2, 5)
+    assert steps == bitonic_stage_count(6)
+
+
+def test_sort_benchmark_ccc(benchmark):
+    steps, _ = benchmark(sort_on, "ccc", 2, 5)
+    assert steps > 0

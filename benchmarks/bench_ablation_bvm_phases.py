@@ -1,0 +1,80 @@
+"""ABL-PHASES — where the bit-level TT program spends its cycles.
+
+Phase-level ablation of the §7 realization, the design-choice data
+behind the complexity claims: the ``e``-loop's lateral routing must
+dominate (that is the communication cost the paper's ``log p`` speedup
+denominator pays for), control-bit generation must be a small one-off,
+and the minimization must scale with ``p = log N'`` rather than ``k``.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import random_instance
+from repro.ttpar.bvm_tt import build_bvm_tt
+
+
+def breakdown(k, seed=1, width=16):
+    problem = random_instance(k, n_tests=2, n_treatments=2, seed=seed)
+    plan = build_bvm_tt(problem, width=width)
+    return plan.prog.phase_breakdown(), len(plan.prog)
+
+
+def test_phase_table():
+    phases_by_k = {}
+    all_labels = []
+    for k in (2, 3, 4):
+        phases, total = breakdown(k)
+        phases_by_k[k] = (phases, total)
+        for label in phases:
+            if label not in all_labels:
+                all_labels.append(label)
+    rows = []
+    for label in all_labels:
+        row = [label]
+        for k in (2, 3, 4):
+            phases, total = phases_by_k[k]
+            cycles = phases.get(label, 0)
+            row.append(f"{cycles} ({100 * cycles / total:.0f}%)")
+        rows.append(row)
+    rows.append(["TOTAL"] + [str(phases_by_k[k][1]) for k in (2, 3, 4)])
+    print_table(
+        "ABL-PHASES: BVM TT cycles per phase",
+        ["phase", "k=2", "k=3", "k=4"],
+        rows,
+    )
+
+
+def test_eloop_dominates():
+    """Communication (the e-loop's lateral sweeps) is the dominant cost —
+    the structural reason for the speedup's log factor."""
+    phases, total = breakdown(3)
+    assert phases["e-loop"] > 0.4 * total
+    assert phases["e-loop"] > phases["min-ascend"]
+
+
+def test_setup_is_one_off():
+    """Processor-ID + control bits are O(log^2 n + N log N) — a sliver."""
+    phases, total = breakdown(3)
+    setup = phases["processor-id"] + phases["control-bits"]
+    assert setup < 0.1 * total
+
+
+def test_min_scales_with_p_not_k():
+    """Growing k (with N fixed) must grow the e-loop share faster than
+    the minimization share."""
+    p2, _ = breakdown(2)
+    p4, _ = breakdown(4)
+    eloop_growth = p4["e-loop"] / p2["e-loop"]
+    min_growth = p4["min-ascend"] / p2["min-ascend"]
+    assert eloop_growth > min_growth
+
+
+def test_breakdown_sums_to_total():
+    phases, total = breakdown(3)
+    assert sum(phases.values()) == total
+
+
+def test_breakdown_benchmark(benchmark):
+    phases, total = benchmark(breakdown, 3)
+    assert total > 0

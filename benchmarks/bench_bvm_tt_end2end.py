@@ -1,0 +1,81 @@
+"""E2E-BVM — the bit-level TT program end to end.
+
+Runs the full §7 realization — processor-ID, control-bit generation,
+in-machine p(S)/TP arithmetic, e-loop lateral sweeps, bit-serial tagged
+minimization — on the cycle-accurate simulator, verifies exact agreement
+with the sequential DP, and reports the machine-cycle budget per phase
+of the machine-size table.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import Action, TTProblem, solve_dp
+from repro.ttpar.bvm_tt import solve_tt_bvm
+
+
+def integral_instance(k, seed, n_tests=2, n_treats=2):
+    rng = np.random.default_rng(seed)
+    full = (1 << k) - 1
+    weights = rng.integers(1, 6, k).astype(float)
+    acts = []
+    for _ in range(n_tests):
+        acts.append(Action.test(int(rng.integers(1, full)), float(rng.integers(0, 6))))
+    cov = 0
+    for _ in range(n_treats):
+        s = int(rng.integers(1, full + 1))
+        acts.append(Action.treatment(s, float(rng.integers(1, 6))))
+        cov |= s
+    if cov != full:
+        acts.append(Action.treatment(full & ~cov, 3.0))
+    return TTProblem.build(weights, acts)
+
+
+def test_e2e_table():
+    rows = []
+    for k, seed in ((2, 3), (3, 1), (4, 7)):
+        problem = integral_instance(k, seed)
+        res = solve_tt_bvm(problem, width=16)
+        dp = solve_dp(problem)
+        exact = np.allclose(res.cost, dp.cost) and (
+            res.best_action == dp.best_action
+        ).all()
+        assert exact
+        rows.append(
+            [
+                k,
+                problem.n_actions,
+                res.r,
+                (1 << res.r) * (1 << (1 << res.r)),
+                res.cycles,
+                "exact",
+            ]
+        )
+    print_table(
+        "E2E-BVM: bit-level TT vs sequential DP",
+        ["k", "N", "CCC r", "n PEs", "machine cycles", "agreement"],
+        rows,
+    )
+
+
+def test_tree_roundtrip():
+    problem = integral_instance(3, 5)
+    res = solve_tt_bvm(problem, width=16)
+    tree = res.tree()
+    tree.validate()
+    assert tree.expected_cost() == pytest.approx(res.optimal_cost)
+
+
+def test_e2e_benchmark_k3(benchmark):
+    problem = integral_instance(3, 2)
+    res = benchmark(solve_tt_bvm, problem, 16)
+    assert res.feasible
+
+
+@pytest.mark.slow
+def test_e2e_benchmark_k4_2048pes(benchmark):
+    problem = integral_instance(4, 11, n_tests=3, n_treats=3)
+    res = benchmark(solve_tt_bvm, problem, 16)
+    assert res.feasible
+    print(f"\nE2E-BVM: k=4 on CCC(3) (2048 PEs): {res.cycles} machine cycles")

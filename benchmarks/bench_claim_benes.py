@@ -1,0 +1,72 @@
+"""CLM-BENES — "it can accomplish any permutation within O(log n) time
+if the control bits are precalculated" (§2).
+
+We precalculate Beneš control bits with the looping algorithm, route
+random permutations through the ``2·log n - 1`` exchange stages, and
+verify (a) correctness, (b) the stage count, (c) that the stage order is
+DESCEND-then-ASCEND (so the whole thing runs on the CCC at the usual
+constant slowdown), and (d) the wall time of the control-bit
+precalculation itself (the part the paper says is done offline).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hypercube import CCC, benes_schedule, benes_stage_count, make_state, permutation_program
+
+
+def test_stage_count_table(rng):
+    rows = []
+    for m in (3, 5, 8, 11):
+        n = 1 << m
+        dest = rng.permutation(n)
+        sched = benes_schedule(dest)
+        swaps = sum(int(mask.sum()) for _, mask in sched) // 2
+        rows.append([m, n, len(sched), benes_stage_count(m), swaps])
+        assert len(sched) == 2 * m - 1
+    print_table(
+        "CLM-BENES: permutation routing in 2*log(n)-1 stages",
+        ["log n", "n", "stages", "2m-1", "pair swaps used"],
+        rows,
+    )
+
+
+def test_descend_ascend_order(rng):
+    sched = benes_schedule(rng.permutation(64))
+    dims = [d for d, _ in sched]
+    mid = len(dims) // 2
+    assert dims[: mid + 1] == sorted(dims[: mid + 1], reverse=True)
+    assert dims[mid:] == sorted(dims[mid:])
+
+
+def test_ccc_slowdown_for_permutation(rng):
+    ccc = CCC(2)
+    dest = rng.permutation(ccc.n)
+    vals = rng.uniform(0, 1, ccc.n)
+    st = make_state(ccc.dims, X=vals)
+    stats = ccc.run(st, permutation_program(dest), schedule="pipelined")
+    want = np.empty(ccc.n)
+    want[dest] = vals
+    assert (st["X"] == want).all()
+    print(f"\nCLM-BENES on CCC(2): {stats.ideal_dimops} ideal stages, "
+          f"{stats.route_steps} CCC steps (slowdown {stats.slowdown:.2f}x)")
+    assert stats.slowdown < 6.0
+
+
+def test_control_bit_precalc_benchmark(benchmark, rng):
+    dest = rng.permutation(1 << 10)
+    sched = benchmark(benes_schedule, dest)
+    assert len(sched) == 19
+
+
+def test_routing_benchmark(benchmark, rng):
+    from repro.hypercube import route_permutation
+
+    n = 1 << 8
+    dest = rng.permutation(n)
+    vals = np.arange(n)
+    out = benchmark(route_permutation, dest, vals)
+    want = np.empty(n, dtype=vals.dtype)
+    want[dest] = vals
+    assert (out == want).all()

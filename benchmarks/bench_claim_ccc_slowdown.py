@@ -1,0 +1,98 @@
+"""CLM-SLOWDOWN — the CCC runs ASCEND/DESCEND at a 4-6x constant slowdown.
+
+Preparata & Vuillemin's theorem, which the whole BVM realization rests
+on: "these hypercube network algorithms can be simulated on a CCC at a
+slowdown of a factor of 4 to 6, regardless of the network sizes."
+
+We execute identical ASCEND programs on the ideal hypercube and on the
+CCC emulator under both schedules and tabulate route-step ratios.  The
+checks: the pipelined slowdown sits in a small constant band across
+machine sizes, while the naive (unpipelined) slowdown grows with Q —
+the quantitative reason the ASCEND/DESCEND transformation matters.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import random_instance
+from repro.hypercube import CCC, Hypercube, make_state, min_reduce_program
+from repro.ttpar import solve_tt_ccc
+
+
+def full_ascend_slowdown(r, schedule, rng):
+    ccc = CCC(r)
+    vals = rng.uniform(0, 1, 1 << ccc.dims)
+    st = make_state(ccc.dims, M=vals)
+    ref = st.copy()
+    prog = min_reduce_program(0, ccc.dims)
+    Hypercube(ccc.dims).run(ref, prog, discipline="ascend")
+    stats = ccc.run(st, prog, schedule=schedule)
+    assert st.equal(ref)
+    return stats
+
+
+def test_slowdown_band(rng):
+    rows = []
+    pipelined = {}
+    naive = {}
+    for r in (1, 2, 3):
+        sp = full_ascend_slowdown(r, "pipelined", rng)
+        sn = full_ascend_slowdown(r, "naive", rng)
+        pipelined[r], naive[r] = sp.slowdown, sn.slowdown
+        Q = 1 << r
+        rows.append(
+            [
+                r,
+                Q,
+                Q * (1 << Q),
+                sp.ideal_dimops,
+                sp.route_steps,
+                f"{sp.slowdown:.2f}",
+                sn.route_steps,
+                f"{sn.slowdown:.2f}",
+            ]
+        )
+    print_table(
+        "CLM-SLOWDOWN: full-cube ASCEND on CCC vs ideal hypercube",
+        ["r", "Q", "n", "cube steps", "ccc pipelined", "ratio", "ccc naive", "ratio"],
+        rows,
+    )
+    # Pipelined: small constant band, NOT growing with size.
+    vals = list(pipelined.values())
+    assert max(vals) <= 6.0
+    assert max(vals) / min(vals) < 2.5
+    # Naive: grows with Q (the motivation for pipelining).
+    assert naive[3] > naive[1]
+    assert naive[3] > pipelined[3]
+
+
+def test_tt_program_slowdown(rng):
+    """The actual TT program's slowdown (its dim pattern is the real
+    workload: high-dim e-loop sweeps + low-dim minimization)."""
+    rows = []
+    for k, seed in ((3, 0), (4, 1)):
+        problem = random_instance(k, 3, 2, seed=seed)
+        res = solve_tt_ccc(problem, schedule="pipelined")
+        resn = solve_tt_ccc(problem, schedule="naive")
+        rows.append(
+            [
+                k,
+                res.ccc_stats.ideal_dimops,
+                res.ccc_stats.route_steps,
+                f"{res.ccc_stats.slowdown:.2f}",
+                f"{resn.ccc_stats.slowdown:.2f}",
+            ]
+        )
+        assert 1.0 < res.ccc_stats.slowdown <= 8.0
+        assert resn.ccc_stats.slowdown >= res.ccc_stats.slowdown
+    print_table(
+        "CLM-SLOWDOWN: TT program on CCC",
+        ["k", "ideal dimops", "ccc steps (pipelined)", "pipelined", "naive"],
+        rows,
+    )
+
+
+def test_slowdown_benchmark(benchmark, rng):
+    stats = benchmark(full_ascend_slowdown, 2, "pipelined", rng)
+    assert stats.slowdown <= 6.0

@@ -1,0 +1,78 @@
+"""CLM-LINKS — CCC wiring is 3n/2 links vs n*log(n)/2 for the hypercube.
+
+§1/§3's hardware argument: "with n PEs a hypercube network requires
+about n*log2(n)/2 links.  With a CCC connection only about 3n/2 links
+are needed" — which is why 2^20 PEs are implementable and 2^30 feasible.
+We census both topologies over the constructible sizes and check the
+exact formulas against the neighbor maps.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.bvm.topology import CCCTopology
+from repro.hypercube import ccc_links, hypercube_links
+
+
+def census_ccc_links(r):
+    """Count distinct undirected links straight from the neighbor maps."""
+    topo = CCCTopology(r)
+    edges = set()
+    for name in ("S", "P", "L"):
+        idx = topo.neighbor_index(name)
+        for a, b in enumerate(idx):
+            edges.add((min(a, int(b)), max(a, int(b))))
+    return len(edges)
+
+
+def test_link_formulas_match_census():
+    rows = []
+    for r in (1, 2, 3):
+        topo = CCCTopology(r)
+        counted = census_ccc_links(r)
+        formula = topo.link_count()
+        dims = topo.hypercube_dims()
+        hc = hypercube_links(dims)
+        rows.append(
+            [r, topo.n, counted, formula, hc, f"{hc / counted:.1f}x"]
+        )
+        assert counted == formula == ccc_links(r)
+    print_table(
+        "CLM-LINKS: CCC vs hypercube wiring (equal PE counts)",
+        ["r", "n PEs", "CCC links (census)", "3n/2 formula", "hypercube links", "saving"],
+        rows,
+    )
+
+
+def test_asymptotic_table():
+    """The machine sizes the paper talks about: 2^20 and 2^30 PEs."""
+    rows = []
+    for dims in (20, 30):
+        n = 1 << dims
+        ccc = 3 * n // 2
+        hc = hypercube_links(dims)
+        rows.append([f"2^{dims}", f"{ccc:,}", f"{hc:,}", f"{hc / ccc:.1f}x"])
+    print_table(
+        "CLM-LINKS at paper scale",
+        ["PEs", "CCC links", "hypercube links", "ratio"],
+        rows,
+    )
+    assert hypercube_links(30) / (3 * (1 << 30) // 2) == 10.0
+
+
+def test_degree_is_three():
+    """'each processing element is connected to three other PEs by a
+    one-bit wide connection path'."""
+    for r in (2, 3):
+        topo = CCCTopology(r)
+        neigh = np.stack(
+            [topo.neighbor_index(nm) for nm in ("S", "P", "L")]
+        )
+        # every PE has exactly 3 distinct neighbors (Q > 2)
+        distinct = [len({int(neigh[i, q]) for i in range(3)}) for q in range(topo.n)]
+        assert all(d == 3 for d in distinct)
+
+
+def test_census_benchmark(benchmark):
+    n_edges = benchmark(census_ccc_links, 3)
+    assert n_edges == 3 * CCCTopology(3).n // 2

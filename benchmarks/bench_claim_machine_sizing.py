@@ -1,0 +1,74 @@
+"""CLM-SIZING — how many candidates a given machine handles.
+
+§1: "For 2^30 PEs, approximately 15 elements (say, disease candidates)
+could be processed in parallel ... even if all possible tests and
+treatments were available (i.e. N = O(2^k)) ... a few more elements,
+e.g. 20, can be processed in parallel if N = O(k^2)".  The PE demand is
+``N' * 2^k``; we tabulate the maximum ``k`` per machine size and regime
+and assert the paper's two quoted figures.
+"""
+
+from benchmarks.conftest import print_table
+from repro.ttpar import machine_sizing_table, max_k_for_budget
+
+
+def test_paper_sizing_figures():
+    rows = []
+    for row in machine_sizing_table(budgets=(2**10, 2**20, 2**30, 2**40)):
+        rows.append(
+            [
+                f"2^{row['pe_budget'].bit_length() - 1}",
+                row["max_k_exponential_actions"],
+                row["max_k_quadratic_actions"],
+            ]
+        )
+    print_table(
+        "CLM-SIZING: max candidates k per machine",
+        ["PE budget", "k (N=2^k)", "k (N=k^2)"],
+        rows,
+    )
+    table = {r["pe_budget"]: r for r in machine_sizing_table()}
+    # The paper's figures: ~15 candidates at 2^30 with exponential actions,
+    # ~20 with quadratic actions.
+    assert table[2**30]["max_k_exponential_actions"] == 15
+    assert 19 <= table[2**30]["max_k_quadratic_actions"] <= 22
+    # And the "currently implementable" 2^20 machine.
+    assert table[2**20]["max_k_exponential_actions"] == 10
+
+
+def test_pe_demand_monotone():
+    ks = [max_k_for_budget(1 << b, lambda k: 2**k) for b in range(12, 42, 2)]
+    assert ks == sorted(ks)
+
+
+def test_linear_action_regime():
+    """N = O(k): nearly all budget goes to the subset dimension."""
+    k40 = max_k_for_budget(2**40, lambda k: 2 * k)
+    k20 = max_k_for_budget(2**20, lambda k: 2 * k)
+    print(f"\nCLM-SIZING, N=2k regime: k={k20} at 2^20 PEs, k={k40} at 2^40 PEs")
+    assert k40 > k20 >= 13
+
+
+def test_paper_scale_wall_time_estimate():
+    """What the sizing buys: estimated solve time on the 2^20-PE machine
+    (exact loop-cycle model x a mid-80s 10 MHz bit-serial clock)."""
+    from repro.ttpar import paper_scale_estimate
+
+    rows = []
+    for k, n in ((8, 256), (10, 1024), (10, 64), (16, 16)):
+        est = paper_scale_estimate(k, n, width=64, r=4)
+        rows.append(
+            [k, n, f"{est['loop_cycles']:,}", f"{est['seconds_at_clock'] * 1e3:.1f}"]
+        )
+    print_table(
+        "CLM-SIZING: estimated §6-loop time on the 2^20-PE BVM (W=64, 10 MHz)",
+        ["k", "N", "machine cycles", "ms"],
+        rows,
+    )
+    # The flagship configuration solves in well under a second.
+    assert paper_scale_estimate(10, 1024, r=4)["seconds_at_clock"] < 1.0
+
+
+def test_sizing_benchmark(benchmark):
+    rows = benchmark(machine_sizing_table)
+    assert len(rows) == 2

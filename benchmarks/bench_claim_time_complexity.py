@@ -1,0 +1,76 @@
+"""CLM-TIME — parallel time O(k * p * (k + log N)).
+
+The paper's §1 complexity claim.  Word-level: the §6 program performs
+exactly ``k * (k + log N')`` dimension exchanges (measured against the
+executor's counters); bit-level: every exchanged/combined word costs
+``W`` single-bit cycles, giving ``O(k * W * (k + log N))`` BVM cycles.
+We sweep ``k``, ``N`` and ``W`` and tabulate measured vs model.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import random_instance
+from repro.ttpar import model_route_steps, pad_actions, solve_tt_hypercube
+from repro.ttpar.bvm_tt import solve_tt_bvm
+
+
+def test_word_steps_match_model_exactly():
+    rows = []
+    for k in (3, 4, 5, 6, 7):
+        problem = random_instance(k, n_tests=k, n_treatments=k // 2 + 1, seed=k)
+        par = solve_tt_hypercube(problem)
+        model = model_route_steps(k, pad_actions(problem).n_actions)
+        rows.append([k, problem.n_actions, par.stats.route_steps, model])
+        assert par.stats.route_steps == model
+    print_table(
+        "CLM-TIME: word-level steps = k*(k + log N')",
+        ["k", "N", "measured", "model"],
+        rows,
+    )
+
+
+def test_bit_cycles_scale_linearly_in_width():
+    """Doubling W should roughly double the arithmetic-dominated cycles."""
+    problem = random_instance(3, 2, 2, seed=1)
+    rows = []
+    cycles = {}
+    for width in (8, 16, 32):
+        res = solve_tt_bvm(problem, width=width)
+        cycles[width] = res.cycles
+        rows.append([width, res.cycles, round(res.cycles / width, 1)])
+    print_table("CLM-TIME: BVM cycles vs word width", ["W", "cycles", "cycles/W"], rows)
+    ratio = cycles[32] / cycles[8]
+    assert 2.0 < ratio < 6.0  # linear-ish in W (fixed overheads damp it)
+
+
+def test_bit_cycles_scale_with_k():
+    """The k*(k + log N) shape in the machine-cycle counts."""
+    rows = []
+    measured = {}
+    for k in (2, 3, 4):
+        problem = random_instance(k, 2, 2, seed=7)
+        res = solve_tt_bvm(problem, width=12)
+        p = pad_actions(problem).n_actions.bit_length() - 1
+        model = k * (k + p)
+        measured[k] = res.cycles
+        rows.append([k, res.cycles, model, round(res.cycles / model)])
+    print_table(
+        "CLM-TIME: BVM cycles vs k*(k+log N) model",
+        ["k", "cycles", "k*(k+p)", "cycles per model unit"],
+        rows,
+    )
+    assert measured[4] > measured[3] > measured[2]
+
+
+def test_solve_benchmark_hypercube(benchmark):
+    problem = random_instance(7, 8, 4, seed=3)
+    res = benchmark(solve_tt_hypercube, problem)
+    assert res.feasible
+
+
+def test_solve_benchmark_bvm(benchmark):
+    problem = random_instance(3, 2, 2, seed=3)
+    res = benchmark(solve_tt_bvm, problem, 12)
+    assert res.feasible

@@ -1,0 +1,55 @@
+"""FIG1 — regenerate a Fig-1-style TT procedure tree.
+
+The paper's Fig. 1 shows a typical TT procedure: a binary decision tree
+mixing test nodes (single arcs, positive branch left) and treatment
+nodes (double arc = treated set).  We solve a small instance optimally
+and print the procedure; the benchmark measures the end-to-end
+solve+extract time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import Action, TTProblem, solve_dp
+
+
+def fig1_instance() -> TTProblem:
+    """A compact instance whose optimum mixes tests and treatments."""
+    return TTProblem.build(
+        weights=[4.0, 2.0, 1.0, 1.0],
+        actions=[
+            Action.test({0, 1}, 1.0, name="T1"),
+            Action.test({0, 2}, 1.5, name="T2"),
+            Action.treatment({0}, 3.0, name="R1"),
+            Action.treatment({1, 2}, 4.0, name="R2"),
+            Action.treatment({2, 3}, 4.0, name="R3"),
+        ],
+        name="fig1",
+    )
+
+
+def solve_and_extract(problem):
+    result = solve_dp(problem)
+    tree = result.tree()
+    return result, tree
+
+
+def test_fig1_tree(benchmark):
+    problem = fig1_instance()
+    result, tree = benchmark(solve_and_extract, problem)
+
+    tree.validate()
+    stats = tree.stats()
+    assert stats["expected_cost"] == pytest.approx(result.optimal_cost)
+
+    print("\n=== FIG1: optimal TT procedure ===")
+    print(tree.render())
+    print_table(
+        "FIG1 summary",
+        ["C(U)", "nodes", "depth", "distinct actions"],
+        [[f"{result.optimal_cost:.3f}", stats["nodes"], stats["depth"], stats["distinct_actions"]]],
+    )
+    # The optimum must use at least one test and one treatment (Fig 1's
+    # point: both node kinds appear on an equal basis).
+    kinds = {problem.actions[i].kind.value for i in tree.actions_used()}
+    assert kinds == {"test", "treatment"}

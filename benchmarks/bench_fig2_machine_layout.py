@@ -1,0 +1,48 @@
+"""FIG2 — the BVM bit-array picture: registers as rows, PEs as columns.
+
+Regenerates the paper's Fig. 2 view from a live simulator and measures
+raw instruction throughput of the machine core (the number that bounds
+every other BVM experiment's wall-clock).
+"""
+
+import numpy as np
+
+from repro.bvm import BVM, FN, A, Instruction, Operand, R
+from repro.bvm.render import render_machine
+
+
+def _mk_instr():
+    return Instruction(dest=R(0), f=FN.XOR, fsrc=R(1), dsrc=Operand(R(2), "L"), g=FN.MAJ3)
+
+
+def run_block(machine, instr, count=64):
+    for _ in range(count):
+        machine.execute(instr)
+    return machine.cycles
+
+
+def test_fig2_layout_and_throughput(benchmark):
+    m = BVM(r=2)  # 64 PEs, matching the figure's small machine
+    rng = np.random.default_rng(0)
+    m.poke(R(1), rng.integers(0, 2, m.n).astype(bool))
+    m.poke(R(2), rng.integers(0, 2, m.n).astype(bool))
+
+    cycles = benchmark(run_block, m, _mk_instr())
+    assert cycles > 0
+
+    view = render_machine(
+        m, [("Reg. A", A), ("Reg. R[0]", R(0)), ("Reg. R[1]", R(1)), ("Reg. R[2]", R(2))],
+        max_pes=32,
+    )
+    print("\n=== FIG2: BVM bit array (registers x PEs) ===")
+    print(view)
+    assert "Reg. R[0]" in view
+
+
+def test_fig2_machine_sizes():
+    """The register-file geometry the paper quotes: L = 256 rows."""
+    m = BVM(r=2)
+    assert m.L == 256
+    assert m.regs.shape == (256, 64)
+    print(f"\nFIG2: machine CCC(2): n={m.n} PEs x L={m.L} registers "
+          f"= {m.regs.size} bits of state")

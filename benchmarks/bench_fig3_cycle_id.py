@@ -1,0 +1,52 @@
+"""FIG3 — the cycle-ID pattern on the 64-PE CCC.
+
+The paper's Fig. 3 prints, for n = 64 (Q = 4, 16 cycles), the bit each
+PE holds after cycle-ID(): the digit at cycle ``i``, position ``j`` is
+bit ``j`` of ``i``.  We regenerate the grid on the simulator, verify it
+bit-for-bit against the closed form, and benchmark the generation.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bvm import ProgramBuilder, render_cycle_grid
+from repro.bvm.primitives import cycle_id, cycle_id_input_bits
+
+
+def generate(r):
+    prog = ProgramBuilder(r)
+    dst = prog.pool.alloc1()
+    cycle_id(prog, dst)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    prog.run(m)
+    return m, dst, len(prog)
+
+
+def test_fig3_pattern(benchmark):
+    m, dst, n_instr = benchmark(generate, 2)  # n = 64, the figure's size
+
+    topo = m.topology
+    got = m.read(dst)
+    want = ((topo.cycle_of >> topo.pos_of) & 1).astype(bool)
+    assert (got == want).all()
+
+    print("\n=== FIG3: cycle-ID on the 64-PE CCC ===")
+    print(render_cycle_grid(m, dst, max_cycles=16))
+    print(f"instructions: {n_instr} (O(log n): Q={topo.Q})")
+
+
+@pytest.mark.parametrize("r", [1, 2, 3])
+def test_fig3_instruction_scaling(r):
+    """Cycle-ID is O(Q) = O(log n) instructions at every size."""
+    _, _, n_instr = generate(r)
+    Q = 1 << r
+    assert n_instr <= 4 * Q + 4
+
+
+def test_fig3_scaling_table():
+    rows = []
+    for r in (1, 2, 3):
+        m, _, n_instr = generate(r)
+        rows.append([r, m.topology.Q, m.n, n_instr])
+    print_table("FIG3 scaling", ["r", "Q", "n PEs", "instructions"], rows)

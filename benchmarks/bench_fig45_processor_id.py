@@ -1,0 +1,61 @@
+"""FIG4/5 — the processor-ID pattern: every PE holds its own address.
+
+Fig. 4 shows the 8-PE pattern (each address read down its column);
+Fig. 5 shows the stages of the generation.  We regenerate the pattern,
+check it against the closed form at several machine sizes, and record
+the O(log^2 n) instruction scaling.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bvm import ProgramBuilder, render_pid_columns
+from repro.bvm.primitives import cycle_id_input_bits, processor_id
+
+
+def generate(r):
+    prog = ProgramBuilder(r)
+    w = r + (1 << r)
+    pid = prog.pool.alloc(w)
+    processor_id(prog, pid)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    prog.run(m)
+    return m, pid, len(prog)
+
+
+def _addresses(m, pid):
+    addr = np.zeros(m.n, dtype=np.int64)
+    for b, reg in enumerate(pid):
+        addr |= m.read(reg).astype(np.int64) << b
+    return addr
+
+
+def test_fig4_pattern_8pes(benchmark):
+    m, pid, n_instr = benchmark(generate, 1)  # n = 8, the figure's size
+    assert (_addresses(m, pid) == np.arange(8)).all()
+    print("\n=== FIG4: processor-ID, 8 PEs ===")
+    print(render_pid_columns(m, pid, max_pes=8))
+    print(f"instructions: {n_instr}")
+
+
+@pytest.mark.parametrize("r", [1, 2, 3])
+def test_fig5_all_sizes(r):
+    m, pid, _ = generate(r)
+    assert (_addresses(m, pid) == np.arange(m.n)).all()
+
+
+def test_fig5_scaling_table():
+    rows = []
+    for r in (1, 2, 3):
+        m, _, n_instr = generate(r)
+        Q = m.topology.Q
+        rows.append([r, Q, m.n, n_instr, Q * Q])
+    print_table(
+        "FIG5 scaling (O(log^2 n))",
+        ["r", "Q", "n PEs", "instructions", "Q^2"],
+        rows,
+    )
+    # Instructions grow ~quadratically in Q, not in n.
+    assert rows[-1][3] < 4 * rows[-1][4] + 16 * rows[-1][1]

@@ -1,0 +1,51 @@
+"""FIG7 — the §6 ASCEND minimization with p = 3.
+
+The paper's Fig. 7 walks the min-flood for N = 2^3 columns: after the
+three ASCEND steps every PE of a column group holds the group minimum.
+We trace the intermediate states (the figure's rows), verify the §6
+induction at each step, and benchmark the flood at several sizes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hypercube import Hypercube, make_state, min_reduce_program
+
+
+def run_min(dims, values):
+    st = make_state(dims, M=values)
+    stats = Hypercube(dims).run(st, min_reduce_program(0, dims), discipline="ascend")
+    return st, stats
+
+
+def test_fig7_trace():
+    """Step-by-step contents for p=3, printed like the figure."""
+    vals = np.array([31.0, 5.0, 17.0, 9.0, 22.0, 4.0, 40.0, 11.0])
+    dims = 3
+    st = make_state(dims, M=vals)
+    hc = Hypercube(dims)
+    rows = [["t=init"] + [f"{v:g}" for v in vals]]
+    for t in range(dims):
+        hc.run(st, min_reduce_program(t, t + 1))
+        rows.append([f"t={t}"] + [f"{v:g}" for v in st["M"]])
+        # §6 induction: groups of 2^(t+1) aligned PEs share their min.
+        g = 1 << (t + 1)
+        grouped = st["M"].reshape(-1, g)
+        assert (grouped == grouped.min(axis=1, keepdims=True)).all()
+    print_table("FIG7: ASCEND min, p=3", ["step"] + [f"PE{j}" for j in range(8)], rows)
+    assert (st["M"] == vals.min()).all()
+
+
+@pytest.mark.parametrize("p", [3, 6, 10])
+def test_fig7_flood_sizes(p, rng):
+    vals = rng.uniform(0, 100, 1 << p)
+    st, stats = run_min(p, vals)
+    assert np.allclose(st["M"], vals.min())
+    assert stats.route_steps == p  # log N steps, the §6 claim
+
+
+def test_fig7_benchmark(benchmark, rng):
+    vals = rng.uniform(0, 100, 1 << 10)
+    st, stats = benchmark(run_min, 10, vals)
+    assert np.allclose(st["M"], vals.min())

@@ -1,0 +1,61 @@
+"""FIG8/9 — the ``R[S,i] = M[S - T_i, i]`` broadcast.
+
+Fig. 8 tabulates ``S - T`` for ``U = {0,1,2}``, ``T = {0,1}``; Fig. 9
+shows which ``M`` value each ``R[S]`` holds after every iteration of the
+``e``-loop.  We regenerate both tables from the traced dataflow and
+verify the §6 invariant (``R[(S-T) ∪ (S ∩ T ∩ I_{e})]`` holds
+``M[S-T]``) at every step.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.ttpar import trace_r_propagation
+from repro.util.bitops import subset_str
+
+
+def test_fig8_s_minus_t_table():
+    k, t = 3, 0b011  # U = {0,1,2}, T = {0,1}
+    rows = []
+    for s in range(1 << k):
+        rows.append([subset_str(s), subset_str(s & ~t)])
+    print_table("FIG8: S - T for U={0,1,2}, T={0,1}", ["S", "S-T"], rows)
+
+    trace = trace_r_propagation(k, t)
+    final = trace.source[-1]
+    for s in range(1 << k):
+        assert final[s] == s & ~t
+
+
+def test_fig9_per_iteration_table():
+    k, t = 3, 0b011
+    trace = trace_r_propagation(k, t)
+    rows = []
+    for s in range(1 << k):
+        row = [subset_str(s)]
+        for e in range(k):
+            row.append(subset_str(trace.source[e][s]))
+        rows.append(row)
+    print_table(
+        "FIG9: source of R[S] after iteration e",
+        ["S"] + [f"e={e}" for e in range(k)],
+        rows,
+    )
+    # §6 invariant: after iteration e, R[S] sources M[S minus the
+    # T-elements <= e].
+    for e in range(k):
+        removed = t & ((1 << (e + 1)) - 1)
+        for s in range(1 << k):
+            assert trace.source[e][s] == s & ~removed
+
+
+@pytest.mark.parametrize("k,t", [(4, 0b0110), (5, 0b10101), (6, 0b111000)])
+def test_fig9_other_masks(k, t):
+    final = trace_r_propagation(k, t).source[-1]
+    for s in range(1 << k):
+        assert final[s] == s & ~t
+
+
+def test_fig9_benchmark(benchmark):
+    trace = benchmark(trace_r_propagation, 10, 0b1010101010)
+    assert trace.source[-1][(1 << 10) - 1] == 0b0101010101

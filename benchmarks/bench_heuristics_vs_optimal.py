@@ -1,0 +1,79 @@
+"""CLM-NPHARD — the DP optimum against heuristics and exhaustive search.
+
+The TT problem is NP-hard (it generalizes binary testing, NP-hard per
+Garey/Loveland), so greedy strategies are the practical sequential
+alternative.  This bench quantifies the optimality gap of each heuristic
+across the paper's application workloads — the value the exponential
+(and hence parallel-worthy) DP delivers — and anchors the DP itself
+against brute-force enumeration and the Huffman identity.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import (
+    HEURISTICS,
+    WORKLOADS,
+    best_tree_exhaustive,
+    complete_test_instance,
+    huffman_cost,
+    solve_binary_testing,
+    solve_dp,
+)
+
+
+def gap_study(k=7, seeds=(0, 1, 2)):
+    rows = []
+    for name, make in sorted(WORKLOADS.items()):
+        gaps = {h: [] for h in HEURISTICS}
+        for seed in seeds:
+            problem = make(k, seed=seed)
+            opt = solve_dp(problem).optimal_cost
+            for hname, h in HEURISTICS.items():
+                gaps[hname].append(h(problem).expected_cost() / opt)
+        row = [name] + [f"{np.mean(gaps[h]):.3f}" for h in sorted(HEURISTICS)]
+        rows.append(row)
+    return rows
+
+
+def test_heuristic_gap_table():
+    rows = gap_study()
+    print_table(
+        "CLM-NPHARD: heuristic cost / optimal cost (k=7, mean of 3 seeds)",
+        ["workload"] + sorted(HEURISTICS),
+        rows,
+    )
+    # Every ratio >= 1 (the DP is a true lower bound) ...
+    for row in rows:
+        for cell in row[1:]:
+            assert float(cell) >= 1.0 - 1e-9
+    # ... and blind treatment is the worst strategy somewhere.
+    treat_col = 1 + sorted(HEURISTICS).index("treatment_only")
+    assert any(float(row[treat_col]) > 1.05 for row in rows)
+
+
+def test_dp_vs_bruteforce_anchor():
+    """On tiny instances the DP equals full tree enumeration."""
+    rows = []
+    for name, make in sorted(WORKLOADS.items()):
+        problem = make(3, seed=0)
+        opt = solve_dp(problem).optimal_cost
+        brute = best_tree_exhaustive(problem, limit=2_000_000)
+        rows.append([name, f"{opt:.4f}", f"{brute.expected_cost_by_paths():.4f}"])
+        assert opt == pytest.approx(brute.expected_cost_by_paths())
+    print_table("CLM-NPHARD: DP vs exhaustive enumeration (k=3)", ["workload", "DP", "brute"], rows)
+
+
+def test_huffman_anchor():
+    """Binary-testing reduction: DP == Huffman with all unit-cost tests."""
+    weights = [8.0, 5.0, 3.0, 2.0, 1.0]
+    ident, _ = solve_binary_testing(complete_test_instance(weights))
+    hc = huffman_cost(weights)
+    print(f"\nCLM-NPHARD Huffman anchor: identification={ident:.3f}, huffman={hc:.3f}")
+    assert ident == pytest.approx(hc)
+
+
+def test_gap_study_benchmark(benchmark):
+    rows = benchmark(gap_study, 6, (0,))
+    assert len(rows) == len(WORKLOADS)

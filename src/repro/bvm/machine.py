@@ -1,0 +1,187 @@
+"""The Boolean Vector Machine simulator (paper §2, Fig. 2).
+
+Logically the BVM is a bit array: each of the ``L`` register rows spans
+all ``n`` PEs, each PE is one column (Fig. 2).  The simulator stores the
+register file as an ``(L, n)`` boolean matrix plus the dedicated ``A``,
+``B`` and ``E`` rows, and executes one instruction as a handful of
+vectorized NumPy operations:
+
+1. gather ``F`` (own register row) and ``D`` (own row, or a neighbor's via
+   a precomputed gather index; ``I`` shifts the whole row one PE to the
+   right, consuming an input bit and emitting an output bit),
+2. index the two 8-bit truth tables with ``F*4 + D*2 + B``,
+3. write both results back under the activation/enable mask.
+
+Masking semantics follow the paper exactly: ``(IF|NF) <set>`` activates
+by within-cycle position; the enable register ``E`` gates every write
+except writes to ``E`` itself ("the value of PE's will not be affected
+(except that of register E) if it is deactivated or disabled" — which is
+also what makes re-enabling possible).
+
+Every executed instruction costs one machine cycle; ``cycles`` is the
+counter the complexity benchmarks read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .isa import Instruction, Operand, Reg
+from .topology import CCCTopology
+
+__all__ = ["BVM"]
+
+
+class BVM:
+    """A CCC(r) Boolean Vector Machine with ``L`` general registers."""
+
+    def __init__(self, r: int, L: int = 256):
+        self.topology = CCCTopology(r)
+        self.L = L
+        n = self.topology.n
+        self.regs = np.zeros((L, n), dtype=bool)
+        self.a = np.zeros(n, dtype=bool)
+        self.b = np.zeros(n, dtype=bool)
+        self.e = np.ones(n, dtype=bool)  # fully enabled at power-on
+        self.cycles = 0
+        self.input_queue: deque[bool] = deque()
+        self.output_log: list[bool] = []
+
+    # ------------------------------------------------------------------
+    # Introspection / host access
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def Q(self) -> int:
+        return self.topology.Q
+
+    def read(self, reg: Reg) -> np.ndarray:
+        """Host read of a full register row (copy)."""
+        return self._row(reg).copy()
+
+    def poke(self, reg: Reg, values) -> None:
+        """Host write of a full register row (costs no machine cycles;
+        models the host loading data, which the paper assumes for the
+        problem inputs ``T_i``)."""
+        row = np.asarray(values, dtype=bool)
+        if row.shape != (self.n,):
+            raise ValueError(f"row must have shape ({self.n},)")
+        self._set_row(reg, row)
+
+    def feed_input(self, bits) -> None:
+        """Queue bits for the ``I`` input port (consumed FIFO)."""
+        for b in bits:
+            self.input_queue.append(bool(b))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, instr: Instruction) -> None:
+        """Run one instruction (one machine cycle)."""
+        f_vec = self._row(instr.fsrc)
+        d_vec = self._fetch_operand(instr.dsrc)
+        b_vec = self.b
+
+        idx = (
+            f_vec.astype(np.uint8) << 2
+            | d_vec.astype(np.uint8) << 1
+            | b_vec.astype(np.uint8)
+        )
+        out_f = self._truth_lookup(instr.f, idx)
+        out_b = self._truth_lookup(instr.g, idx)
+
+        active = self._activation_mask(instr.activation)
+        gated = active & self.e  # old E gates this cycle's ordinary writes
+        if instr.dest.kind == "E":
+            # E ignores both deactivation and disable (always enabled).
+            self.e = out_f.copy()
+        else:
+            dst = self._row(instr.dest)
+            self._set_row(instr.dest, np.where(gated, out_f, dst))
+        self.b = np.where(gated, out_b, self.b)
+        self.cycles += 1
+
+    def run(self, instructions) -> int:
+        """Execute a sequence; returns the cycles it consumed."""
+        start = self.cycles
+        for instr in instructions:
+            self.execute(instr)
+        return self.cycles - start
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _truth_lookup(table: int, idx: np.ndarray) -> np.ndarray:
+        bits = np.array([(table >> i) & 1 for i in range(8)], dtype=bool)
+        return bits[idx]
+
+    def _row(self, reg: Reg) -> np.ndarray:
+        if reg.kind == "A":
+            return self.a
+        if reg.kind == "B":
+            return self.b
+        if reg.kind == "E":
+            return self.e
+        if reg.index >= self.L:
+            raise IndexError(f"register R[{reg.index}] beyond L={self.L}")
+        return self.regs[reg.index]
+
+    def _set_row(self, reg: Reg, row: np.ndarray) -> None:
+        if reg.kind == "A":
+            self.a = row
+        elif reg.kind == "B":
+            self.b = row
+        elif reg.kind == "E":
+            self.e = row
+        else:
+            if reg.index >= self.L:
+                raise IndexError(f"register R[{reg.index}] beyond L={self.L}")
+            self.regs[reg.index] = row
+
+    def _fetch_operand(self, op: Operand) -> np.ndarray:
+        row = self._row(op.reg)
+        if op.neighbor is None:
+            return row
+        if op.neighbor == "I":
+            # Global shift: PE q reads PE q-1; PE 0 reads the input port;
+            # the last PE's value leaves through the output port.
+            self.output_log.append(bool(row[-1]))
+            in_bit = self.input_queue.popleft() if self.input_queue else False
+            shifted = np.empty_like(row)
+            shifted[1:] = row[:-1]
+            shifted[0] = in_bit
+            return shifted
+        idx = self.topology.neighbor_index(op.neighbor)
+        return row[idx]
+
+    def _activation_mask(self, activation) -> np.ndarray:
+        if activation is None:
+            return np.ones(self.n, dtype=bool)
+        invert, positions = activation
+        pos = self.topology.pos_of
+        mask = np.isin(pos, list(positions))
+        return ~mask if invert else mask
+
+    # ------------------------------------------------------------------
+    # Debug rendering (Fig. 2 style)
+    # ------------------------------------------------------------------
+
+    def render(self, rows, max_pes: int = 64) -> str:
+        """ASCII dump of selected rows, PEs as columns — the bit-array
+        picture of the paper's Fig. 2.  ``rows`` is a list of (label, Reg)."""
+        n_show = min(self.n, max_pes)
+        header = "PE        " + " ".join(f"{q%10}" for q in range(n_show))
+        lines = [header]
+        for label, reg in rows:
+            bits = self._row(reg)[:n_show]
+            lines.append(f"{label:<10}" + " ".join("1" if x else "." for x in bits))
+        return "\n".join(lines)

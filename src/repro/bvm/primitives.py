@@ -1,0 +1,182 @@
+"""The paper's §4 BVM algorithms: cycle-ID, processor-ID, broadcasting
+and propagation.
+
+These are "the most basic modules which are used in almost all BVM
+algorithms".  Each is a macro emitting instructions into a
+:class:`~repro.bvm.program.ProgramBuilder`; correctness is pinned by
+closed-form golden patterns in the test suite (e.g. cycle-ID bit of PE
+``(c, j)`` must equal bit ``j`` of ``c`` — the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from .isa import FN, A, Operand, Reg, activation_if, activation_nf
+from .program import ProgramBuilder
+
+__all__ = [
+    "cycle_id",
+    "processor_id",
+    "broadcast_bit",
+    "propagation1",
+    "propagation2",
+]
+
+
+def cycle_id(prog: ProgramBuilder, dst: Reg) -> None:
+    """§4.1 cycle-ID: PE ``(c, j)`` ends with bit ``j`` of ``c`` in ``dst``.
+
+    The paper's algorithm (its Fig. 3 pattern): zeros injected through the
+    input port race the lateral links down the machine; a forward pass
+    (``I`` shifts) establishes the pattern up to a rotation, a backward
+    pass (``P`` shifts) aligns it.  ``O(Q) = O(log n)`` instructions.
+    Consumes ``Q`` zero bits from the input port.
+    """
+    Q = prog.Q
+    # Phase 1: A = 1; A = A.I; (Q-1) x { A &= A.L; A = A.I }
+    prog.set_ones(A)
+    prog.emit(A, FN.D, A, Operand(A, "I"), note="A=A.I")
+    for _ in range(1, Q):
+        prog.emit(A, FN.AND, A, Operand(A, "L"), note="A&=A.L")
+        prog.emit(A, FN.D, A, Operand(A, "I"), note="A=A.I")
+    # Phase 2: A = A.P; (Q-1) x { A &= A.L; A = A.P }
+    prog.emit(A, FN.D, A, Operand(A, "P"), note="A=A.P")
+    for _ in range(1, Q):
+        prog.emit(A, FN.AND, A, Operand(A, "L"), note="A&=A.L")
+        prog.emit(A, FN.D, A, Operand(A, "P"), note="A=A.P")
+    prog.copy(dst, A)
+
+
+def cycle_id_input_bits(prog_or_Q) -> list[int]:
+    """The input-port bits :func:`cycle_id` consumes (all zeros)."""
+    Q = prog_or_Q.Q if hasattr(prog_or_Q, "Q") else int(prog_or_Q)
+    return [0] * Q
+
+
+def processor_id(prog: ProgramBuilder, pid: list[Reg], cid: Reg | None = None) -> None:
+    """§4.2 processor-ID: row ``pid[b]`` gets bit ``b`` of each PE's
+    address (``r + Q`` rows; low ``r`` rows are the in-cycle position,
+    high ``Q`` rows the cycle number — the paper's Fig. 4 pattern).
+
+    The position bits are written directly with ``IF <set>`` activation
+    (the hardware can address by position).  The cycle bits start from
+    the cycle-ID — PE ``(c, j)`` knows bit ``j`` of ``c`` — and one full
+    cycle rotation delivers every bit to every position; the ``IF`` masks
+    steer each visiting bit into the right destination row.
+    ``O(Q^2) = O(log^2 n)`` instructions.
+    """
+    r, Q = prog.r, prog.Q
+    if len(pid) != r + Q:
+        raise ValueError(f"processor-ID needs {r + Q} rows, got {len(pid)}")
+
+    # Low r bits: the within-cycle position, by activation sets.
+    for b in range(r):
+        ones = [j for j in range(Q) if (j >> b) & 1]
+        prog.set_const(pid[b], 0, activation_nf(ones))
+        prog.set_const(pid[b], 1, activation_if(ones))
+
+    # High Q bits: rotate the cycle-ID; at step t, position j holds bit
+    # (j - t) mod Q of the cycle number.
+    if cid is None:
+        cid = prog.pool.alloc1()
+        cycle_id(prog, cid)
+        own_cid = True
+    else:
+        own_cid = False
+    tmp = prog.pool.alloc1()
+    prog.copy(tmp, cid)
+    for t in range(Q):
+        for b in range(Q):
+            positions = [j for j in range(Q) if (j - t) % Q == b]
+            prog.copy(pid[r + b], tmp, activation_if(positions))
+        prog.copy_neighbor(tmp, tmp, "P")  # rotate forward one step
+    prog.pool.free(tmp)
+    if own_cid:
+        prog.pool.free(cid)
+
+
+def _pid_bit_take(prog, take: Reg, pid_bit: Reg, partner_sender: Reg) -> None:
+    """``take = pid_bit & partner_sender`` (the 1-END && SENDER test)."""
+    prog.logic(take, FN.AND, pid_bit, partner_sender)
+
+
+def broadcast_bit(
+    prog: ProgramBuilder,
+    value: Reg,
+    sender: Reg,
+    pid: list[Reg],
+    route_dim_fn,
+) -> None:
+    """§4.3 Broadcasting(): flood ``value`` from the sender PE to all PEs.
+
+    ``route_dim_fn(prog, srcs, dsts, dim)`` must deliver hypercube-partner
+    copies (provided by :mod:`repro.bvm.hyperops`).  Per dimension ``i``:
+    a PE at the 1-end whose partner is a sender copies the partner's value
+    and sender flag — exactly the paper's loop.
+    """
+    dims = prog.r + prog.Q
+    pv, ps, take = prog.pool.alloc(3)
+    for i in range(dims):
+        route_dim_fn(prog, [value, sender], [pv, ps], i)
+        _pid_bit_take(prog, take, pid[i], ps)
+        # value = take ? partner_value : value  (B carries `take`)
+        prog.set_b(FN.F, take, take)  # B = take
+        prog.emit(value, FN.SEL_B_DF, value, pv, note="value<=partner if take")
+        prog.emit(sender, FN.OR, sender, take, note="sender|=take")
+    prog.pool.free(pv, ps, take)
+
+
+def propagation1(
+    prog: ProgramBuilder,
+    value: Reg,
+    sender: Reg,
+    pid: list[Reg],
+    route_dim_fn,
+    combine_f: int = FN.OR,
+) -> None:
+    """§4.4 Propagation (first kind): N-PE group to (N+1)-PE group.
+
+    Receivers combine the partner's value when the partner is a sender
+    and they sit at the 1-end; sender flags are left untouched for the
+    whole pass (the group structure stays fixed).
+    ``combine_f`` is the COMBINE truth table on (own, partner, B).
+    """
+    dims = prog.r + prog.Q
+    pv, ps, take = prog.pool.alloc(3)
+    for i in range(dims):
+        route_dim_fn(prog, [value, sender], [pv, ps], i)
+        _pid_bit_take(prog, take, pid[i], ps)
+        prog.set_b(FN.F, take, take)  # B = take
+        # value = take ? combine(value, partner) : value
+        combined = prog.pool.alloc1()
+        prog.logic(combined, combine_f, value, pv)
+        prog.emit(value, FN.SEL_B_DF, value, combined, note="combine if take")
+        prog.pool.free(combined)
+    prog.pool.free(pv, ps, take)
+
+
+def propagation2(
+    prog: ProgramBuilder,
+    value: Reg,
+    sender: Reg,
+    pid: list[Reg],
+    route_dim_fn,
+    combine_f: int = FN.OR,
+) -> None:
+    """§4.4 Propagation (second kind): flood from the N-PE group upward.
+
+    Identical to the first kind except receivers become senders
+    immediately, letting data hop through intermediate groups in one
+    pass (the paper's 1-group to 4-group example).
+    """
+    dims = prog.r + prog.Q
+    pv, ps, take = prog.pool.alloc(3)
+    for i in range(dims):
+        route_dim_fn(prog, [value, sender], [pv, ps], i)
+        _pid_bit_take(prog, take, pid[i], ps)
+        prog.set_b(FN.F, take, take)
+        combined = prog.pool.alloc1()
+        prog.logic(combined, combine_f, value, pv)
+        prog.emit(value, FN.SEL_B_DF, value, combined, note="combine if take")
+        prog.emit(sender, FN.OR, sender, take, note="sender|=take")
+        prog.pool.free(combined)
+    prog.pool.free(pv, ps, take)

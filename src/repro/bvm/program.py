@@ -1,0 +1,196 @@
+"""Macro-assembler for BVM programs.
+
+BVM algorithms are built as Python functions that *emit* instructions
+into a :class:`ProgramBuilder`.  The builder provides
+
+* a tiny fluent emit API over the raw :class:`~repro.bvm.isa.Instruction`,
+* a scratch-register allocator over the ``R`` file (the paper's programs
+  juggle register indices by hand; the allocator keeps our macros
+  composable and overflow-checked against ``L``),
+* convenience macros for the ubiquitous moves (copy row, clear row, set
+  row, read a neighbor, write a host constant bit pattern).
+
+The builder only *records* instructions; :meth:`ProgramBuilder.run`
+executes them on a machine.  This split lets the test suite assert on
+instruction counts (the complexity claims) independent of execution.
+
+Allocation discipline: macros allocate and free scratch registers, so a
+freed index may be *reused* by a later allocation.  Data rows the host
+pokes before :meth:`ProgramBuilder.run` must therefore be allocated
+**before** emitting any macro — otherwise an earlier macro's scratch
+traffic will overwrite the poked values during execution.
+"""
+
+from __future__ import annotations
+
+from .isa import FN, Instruction, Operand, Reg
+from .machine import BVM
+
+__all__ = ["ProgramBuilder", "RegisterPool"]
+
+
+class RegisterPool:
+    """Allocator over the general register file ``R[lo..hi)``."""
+
+    def __init__(self, lo: int, hi: int):
+        if not (0 <= lo <= hi):
+            raise ValueError("bad register range")
+        self._free = list(range(hi - 1, lo - 1, -1))  # allocate low-first
+        self.high_water = lo
+        self.lo, self.hi = lo, hi
+
+    def alloc(self, count: int = 1) -> list[Reg]:
+        if count > len(self._free):
+            raise RuntimeError(
+                f"register file exhausted: wanted {count}, "
+                f"{len(self._free)} of R[{self.lo}:{self.hi}] free"
+            )
+        out = [Reg("R", self._free.pop()) for _ in range(count)]
+        self.high_water = max(self.high_water, max(r.index for r in out) + 1)
+        return out
+
+    def alloc1(self) -> Reg:
+        return self.alloc(1)[0]
+
+    def free(self, *regs: Reg) -> None:
+        for r in regs:
+            if r.kind != "R":
+                raise ValueError("only R registers are pooled")
+            if r.index in self._free:
+                raise ValueError(f"double free of {r}")
+            self._free.append(r.index)
+
+    @property
+    def in_use(self) -> int:
+        return (self.hi - self.lo) - len(self._free)
+
+
+class ProgramBuilder:
+    """Accumulates instructions for a CCC(r) machine of ``L`` registers."""
+
+    def __init__(self, r: int, L: int = 256, reserved: int = 0):
+        self.r = r
+        self.Q = 1 << r
+        self.L = L
+        self.instructions: list[Instruction] = []
+        self.pool = RegisterPool(reserved, L)
+        self._marks: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Raw emit
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        dest: Reg,
+        f: int,
+        fsrc: Reg,
+        dsrc: Reg | Operand,
+        g: int = FN.B,
+        activation=None,
+        note: str = "",
+    ) -> None:
+        if isinstance(dsrc, Reg):
+            dsrc = Operand(dsrc)
+        self.instructions.append(
+            Instruction(
+                dest=dest, f=f, fsrc=fsrc, dsrc=dsrc, g=g,
+                activation=activation, note=note,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------------
+    # Common macros
+    # ------------------------------------------------------------------
+
+    def copy(self, dst: Reg, src: Reg, activation=None) -> None:
+        """``dst = src`` (one instruction)."""
+        self.emit(dst, FN.F, src, src, activation=activation, note=f"{dst}={src}")
+
+    def copy_neighbor(self, dst: Reg, src: Reg, neighbor: str, activation=None) -> None:
+        """``dst = src.<neighbor>`` (one instruction)."""
+        self.emit(
+            dst, FN.D, src, Operand(src, neighbor),
+            activation=activation, note=f"{dst}={src}.{neighbor}",
+        )
+
+    def clear(self, dst: Reg, activation=None) -> None:
+        self.emit(dst, FN.ZERO, dst, dst, activation=activation, note=f"{dst}=0")
+
+    def set_ones(self, dst: Reg, activation=None) -> None:
+        self.emit(dst, FN.ONE, dst, dst, activation=activation, note=f"{dst}=1")
+
+    def set_const(self, dst: Reg, bit: int, activation=None) -> None:
+        """Write the host-immediate ``bit`` to every (active) PE."""
+        self.emit(
+            dst, FN.ONE if bit else FN.ZERO, dst, dst,
+            activation=activation, note=f"{dst}={bit}",
+        )
+
+    def logic(self, dst: Reg, f: int, x: Reg, y: Reg | Operand, activation=None) -> None:
+        """``dst = f(x, y, B)`` — general two/three-input gate."""
+        self.emit(dst, f, x, y, activation=activation)
+
+    def set_b(self, g: int, x: Reg, y: Reg | Operand, activation=None) -> None:
+        """Update only ``B``: ``B = g(x, y, B)`` (dest write is a no-op
+        self-copy of ``x``)."""
+        self.emit(x, FN.F, x, y, g=g, activation=activation)
+
+    def enable_from(self, src: Reg) -> None:
+        """``E = src`` — load the enable register from a mask row."""
+        self.emit(Reg("E"), FN.F, src, src, note=f"E={src}")
+
+    def enable_all(self) -> None:
+        e = Reg("E")
+        self.emit(e, FN.ONE, e, e, note="E=1")
+
+    # ------------------------------------------------------------------
+    # Phase accounting
+    # ------------------------------------------------------------------
+
+    def mark(self, label: str) -> None:
+        """Start a named phase at the current instruction position.
+
+        Phases partition the program; :meth:`phase_breakdown` reports the
+        instruction (= machine-cycle) count of each — the ablation data
+        behind the complexity benches.
+        """
+        self._marks.append((label, len(self.instructions)))
+
+    def phase_breakdown(self) -> dict[str, int]:
+        """Instruction count per phase (labels repeat -> counts sum)."""
+        out: dict[str, int] = {}
+        if not self._marks:
+            return {"(unmarked)": len(self.instructions)} if self.instructions else {}
+        bounds = self._marks + [("<end>", len(self.instructions))]
+        if bounds[0][1] > 0:
+            out["(prelude)"] = bounds[0][1]
+        for (label, start), (_, end) in zip(bounds, bounds[1:]):
+            out[label] = out.get(label, 0) + (end - start)
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, machine: BVM) -> int:
+        """Execute the recorded program; returns cycles consumed."""
+        if machine.topology.r != self.r:
+            raise ValueError("machine geometry does not match program")
+        if self.pool.high_water > machine.L:
+            raise ValueError("program uses more registers than the machine has")
+        return machine.run(self.instructions)
+
+    def build_machine(self, L: int | None = None) -> BVM:
+        """A fresh machine sized for this program."""
+        return BVM(self.r, L=L if L is not None else self.L)
+
+    def listing(self, limit: int | None = 40) -> str:
+        """Human-readable instruction listing (truncated)."""
+        rows = [str(i) for i in self.instructions[: limit or None]]
+        if limit is not None and len(self.instructions) > limit:
+            rows.append(f"... ({len(self.instructions) - limit} more)")
+        return "\n".join(rows)

@@ -1,0 +1,53 @@
+"""Figure-style renderings of BVM state (paper Figs. 2-4).
+
+These helpers produce the exact ASCII pictures the paper uses to present
+its patterns: the bit-array machine view (Fig. 2), the cycle-by-position
+grid of the cycle-ID (Fig. 3), and the per-PE address columns of the
+processor-ID (Fig. 4).  The figure benchmarks regenerate and print them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import Reg
+from .machine import BVM
+
+__all__ = ["render_machine", "render_cycle_grid", "render_pid_columns"]
+
+
+def render_machine(machine: BVM, rows: list[tuple[str, Reg]], max_pes: int = 64) -> str:
+    """Fig. 2: registers as rows, PEs as columns."""
+    return machine.render(rows, max_pes=max_pes)
+
+
+def render_cycle_grid(machine: BVM, reg: Reg, max_cycles: int = 16) -> str:
+    """Fig. 3: one row per cycle, one column per in-cycle position —
+    "the digit at cycle i and PE j represents the bit held by PE j in
+    cycle i"."""
+    topo = machine.topology
+    bits = machine.read(reg).reshape(topo.n_cycles, topo.Q)
+    shown = min(topo.n_cycles, max_cycles)
+    header = "cycle\\pos " + " ".join(str(j) for j in range(topo.Q))
+    lines = [header]
+    for c in range(shown):
+        row = " ".join("1" if b else "0" for b in bits[c])
+        lines.append(f"{c:>9} {row}")
+    if shown < topo.n_cycles:
+        lines.append(f"... ({topo.n_cycles - shown} more cycles)")
+    return "\n".join(lines)
+
+
+def render_pid_columns(machine: BVM, pid: list[Reg], max_pes: int = 16) -> str:
+    """Fig. 4: each PE's address read downward bit by bit (LSB on top)."""
+    n_show = min(machine.n, max_pes)
+    rows = [machine.read(r)[:n_show] for r in pid]
+    lines = ["PE   " + " ".join(f"{q:>2}" for q in range(n_show))]
+    for b, bits in enumerate(rows):
+        line = f"b{b:<3} " + " ".join(f"{int(x):>2}" for x in bits)
+        lines.append(line)
+    vals = np.zeros(n_show, dtype=int)
+    for b, bits in enumerate(rows):
+        vals |= bits.astype(int) << b
+    lines.append("addr " + " ".join(f"{v:>2}" for v in vals))
+    return "\n".join(lines)

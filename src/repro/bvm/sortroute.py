@@ -1,0 +1,103 @@
+"""Sorting and permutation routing at the bit level.
+
+The two classic ASCEND/DESCEND workloads, realized as BVM programs over
+``W``-bit vertical numbers:
+
+* :func:`bitonic_sort` — Batcher's bitonic sorter: per compare-exchange,
+  route the word to the hypercube partner, compare bit-serially, and
+  conditionally swap; the keep-min/keep-max direction comes from the
+  processor-ID bits (``dir = bit (s+1)`` of the address, ``here_hi =
+  bit d``), i.e. entirely from machine-resident control state.
+* :func:`benes_permute` — §2's "any permutation within O(log n) time if
+  the control bits are precalculated", taken literally: the host runs
+  the looping algorithm (:func:`repro.hypercube.benes.benes_schedule`),
+  pokes one control row per stage, and the machine executes
+  ``2·log n - 1`` masked exchanges.
+
+Both are ``O(W)`` instructions per exchange — the bit-serial constant
+the paper's ``p`` factor accounts for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hypercube.benes import benes_schedule, benes_stage_count
+from . import bitserial as bs
+from .hyperops import dims_of, route_dim
+from .isa import FN
+from .machine import BVM
+from .program import ProgramBuilder
+
+__all__ = ["bitonic_sort", "benes_permute", "BenesPlan"]
+
+_XNOR = FN.XNOR
+
+
+def bitonic_sort(prog: ProgramBuilder, word: list, pid: list) -> None:
+    """Emit a full bitonic sort of each PE's ``word`` (ascending by PE
+    address).  ``pid`` must hold the processor-ID rows."""
+    m = dims_of(prog)
+    W = len(word)
+    partner = prog.pool.alloc(W)
+    keep_min, lt, eq, take = prog.pool.alloc(4)
+    for s in range(m):
+        for d in range(s, -1, -1):
+            route_dim(prog, word, partner, d)
+            # keep_min = (bit d of addr) == (bit s+1 of addr); bit m == 0.
+            if s + 1 >= m:
+                prog.logic(keep_min, FN.NOT_F, pid[d], pid[d])
+            else:
+                prog.logic(keep_min, _XNOR, pid[d], pid[s + 1])
+            bs.less_than(prog, partner, word, lt)    # partner < own
+            bs.equal_words(prog, partner, word, eq)  # partner == own
+            # take partner when (keep_min and lt) or (keep_max and not lt
+            # and not eq); keep_max = ~keep_min.
+            gt = prog.pool.alloc1()
+            prog.logic(gt, FN.OR, lt, eq)
+            prog.logic(gt, FN.NOT_F, gt, gt)         # gt = partner > own
+            prog.logic(take, FN.AND, keep_min, lt)
+            prog.logic(gt, FN.ANDN, gt, keep_min)    # gt & ~keep_min
+            prog.logic(take, FN.OR, take, gt)
+            bs.select_word(prog, word, take, partner, word)
+            prog.pool.free(gt)
+    prog.pool.free(*partner, keep_min, lt, eq, take)
+
+
+class BenesPlan:
+    """Host-precalculated Beneš control rows plus the machine program."""
+
+    def __init__(self, prog: ProgramBuilder, word: list, dest):
+        dest = np.asarray(dest, dtype=np.int64)
+        n = prog.Q * (1 << prog.Q)
+        if dest.size != n:
+            raise ValueError(f"permutation must cover all {n} PEs")
+        self.schedule = benes_schedule(dest)
+        self.control_rows = prog.pool.alloc(len(self.schedule))
+        partner = prog.pool.alloc(len(word))
+        for (dim, _mask), ctrl in zip(self.schedule, self.control_rows):
+            route_dim(prog, word, partner, dim)
+            bs.select_word(prog, word, ctrl, partner, word)
+        prog.pool.free(*partner)
+
+    def load_control_bits(self, machine: BVM) -> None:
+        """Poke the precalculated control bits into their rows."""
+        for (_dim, mask), ctrl in zip(self.schedule, self.control_rows):
+            machine.poke(ctrl, mask)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.schedule)
+
+
+def benes_permute(prog: ProgramBuilder, word: list, dest) -> BenesPlan:
+    """Emit a Beneš permutation of each PE's ``word`` to PE ``dest[pe]``.
+
+    Returns the :class:`BenesPlan`; call ``plan.load_control_bits(m)``
+    on the machine before running.  Stage count is ``2·(r+Q) - 1``
+    (:func:`~repro.hypercube.benes.benes_stage_count`), each stage one
+    word route plus one conditional word move.
+    """
+    plan = BenesPlan(prog, word, dest)
+    assert plan.n_stages == benes_stage_count(dims_of(prog))
+    return plan

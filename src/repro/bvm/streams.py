@@ -1,0 +1,100 @@
+"""Serial I/O through the BVM's input/output port.
+
+The machine's only connection to the outside world (besides host pokes,
+which model pre-loaded memory) is the ``I`` addressing mode: one bit
+enters at PE ``(0,0)`` and one leaves at PE ``(2^Q - 1, Q - 1)`` per
+shift.  These macros implement the honest, paper-faithful data paths:
+
+* :func:`stream_load` — clock an ``n``-bit pattern into a register row
+  (``n`` instructions; the host supplies the bits via the input queue,
+  last PE's bit first);
+* :func:`stream_read` — clock a register row out through the output
+  port (``n`` instructions; bits appear in the output log, last PE
+  first);
+* :func:`stream_load_word` / :func:`stream_read_word` — the same for
+  ``W``-bit vertical numbers, one row at a time.
+
+The TT driver uses host pokes for speed, but the test suite proves the
+streamed path produces identical register contents — so nothing in the
+reproduction *depends* on the host's magic memory access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import FN, Operand, Reg
+from .machine import BVM
+from .program import ProgramBuilder
+
+__all__ = [
+    "stream_load",
+    "stream_read",
+    "stream_bits_for",
+    "stream_load_word",
+    "stream_read_word",
+    "decode_streamed_row",
+]
+
+
+def stream_load(prog: ProgramBuilder, dst: Reg) -> int:
+    """Emit ``n`` I-shifts filling ``dst`` from the input queue.
+
+    Queue order: the bit destined for the *last* PE first (it has the
+    longest way to travel).  Returns the number of input bits needed
+    (use :func:`stream_bits_for` to build the queue from a row).
+    """
+    n = prog.Q * (1 << prog.Q)
+    for _ in range(n):
+        prog.emit(dst, FN.D, dst, Operand(dst, "I"), note=f"{dst}<<I")
+    return n
+
+
+def stream_bits_for(values) -> list[int]:
+    """Input-queue bits that make :func:`stream_load` deposit ``values``.
+
+    After ``n`` shifts the bit fed at time ``t`` sits at PE ``n - 1 - t``,
+    so feed the last PE's value first.
+    """
+    vals = np.asarray(values, dtype=bool)
+    return [int(b) for b in vals[::-1]]
+
+
+def stream_read(prog: ProgramBuilder, src: Reg, scratch: Reg) -> int:
+    """Emit ``n`` I-shifts pushing ``src`` out of the output port.
+
+    ``src`` is first copied to ``scratch`` (which is destroyed), so the
+    source row survives.  Bits appear in the machine's output log, last
+    PE's value first; decode with :func:`decode_streamed_row`.
+    """
+    n = prog.Q * (1 << prog.Q)
+    prog.copy(scratch, src)
+    for _ in range(n):
+        prog.emit(scratch, FN.D, scratch, Operand(scratch, "I"), note=f"out<<{src}")
+    return n
+
+
+def decode_streamed_row(machine: BVM, n_bits: int) -> np.ndarray:
+    """Rebuild the row from the last ``n_bits`` output-log entries."""
+    tail = machine.output_log[-n_bits:]
+    return np.array(tail[::-1], dtype=bool)
+
+
+def stream_load_word(prog: ProgramBuilder, word: list) -> int:
+    """Stream-load a vertical ``W``-bit number (row by row, LSB first).
+
+    Feed the input queue with ``stream_bits_for(bit_plane_w)`` for
+    ``w = 0..W-1`` in order.  Returns total input bits consumed.
+    """
+    total = 0
+    for row in word:
+        total += stream_load(prog, row)
+    return total
+
+
+def stream_read_word(prog: ProgramBuilder, word: list, scratch: Reg) -> int:
+    """Stream a vertical number out, LSB plane first."""
+    total = 0
+    for row in word:
+        total += stream_read(prog, row, scratch)
+    return total

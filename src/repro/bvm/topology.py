@@ -1,0 +1,128 @@
+"""Cube-connected-cycles geometry of the BVM (paper §2).
+
+With ``r`` a positive integer and ``Q = 2^r``, the machine has ``2^Q``
+cycles of ``Q`` PEs each — ``n = Q * 2^Q`` PEs total.  PE ``Q*i + j`` is
+written ``(i, j)``: cycle number ``i``, position ``j`` within the cycle.
+Connections (three per PE, hence ``3n/2`` links):
+
+* ``S`` — successor ``(i, (j+1) % Q)``,
+* ``P`` — predecessor ``(i, (j+Q-1) % Q)``,
+* ``L`` — lateral ``(i ^ 2^j, j)`` (the *highsheaf* for cycle bit ``j``).
+
+Derived addressing modes of the instruction set:
+
+* ``XS`` — even-successor exchange: partner ``S`` if ``j`` even else ``P``
+  (pairs positions ``(0,1), (2,3), ..``),
+* ``XP`` — even-predecessor exchange: partner ``P`` if ``j`` even else
+  ``S`` (pairs ``(1,2), (3,4), .., (Q-1,0)``),
+* ``I`` — the global input shift: every PE takes the value of its linear
+  predecessor ``addr-1``; PE ``(0,0)`` takes a bit from the input stream
+  and PE ``(2^Q - 1, Q - 1)`` emits its value to the output stream.
+
+All neighbor reads are precomputed gather-index arrays so the simulator's
+inner loop is pure vectorized NumPy.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["CCCTopology", "NEIGHBOR_NAMES"]
+
+NEIGHBOR_NAMES = ("S", "P", "L", "XS", "XP", "I")
+
+
+class CCCTopology:
+    """Precomputed neighbor maps for a CCC(r) machine."""
+
+    def __init__(self, r: int):
+        if r < 1:
+            raise ValueError("r must be >= 1")
+        self.r = r
+        self.Q = 1 << r
+        self.n_cycles = 1 << self.Q
+        self.n = self.Q * self.n_cycles
+
+    @cached_property
+    def addresses(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64)
+
+    @cached_property
+    def cycle_of(self) -> np.ndarray:
+        """Cycle number ``i`` of every PE."""
+        return self.addresses // self.Q
+
+    @cached_property
+    def pos_of(self) -> np.ndarray:
+        """Within-cycle position ``j`` of every PE."""
+        return self.addresses % self.Q
+
+    def address(self, cycle, pos):
+        """PE address of ``(cycle, pos)`` (arrays or scalars)."""
+        return cycle * self.Q + pos
+
+    # ------------------------------------------------------------------
+    # Gather indices: reading ``X.N`` gathers X at ``index_N[pe]``.
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def succ_index(self) -> np.ndarray:
+        return self.address(self.cycle_of, (self.pos_of + 1) % self.Q)
+
+    @cached_property
+    def pred_index(self) -> np.ndarray:
+        return self.address(self.cycle_of, (self.pos_of + self.Q - 1) % self.Q)
+
+    @cached_property
+    def lateral_index(self) -> np.ndarray:
+        return self.address(self.cycle_of ^ (1 << self.pos_of), self.pos_of)
+
+    @cached_property
+    def xs_index(self) -> np.ndarray:
+        even = (self.pos_of % 2) == 0
+        return np.where(even, self.succ_index, self.pred_index)
+
+    @cached_property
+    def xp_index(self) -> np.ndarray:
+        even = (self.pos_of % 2) == 0
+        return np.where(even, self.pred_index, self.succ_index)
+
+    @cached_property
+    def linear_pred_index(self) -> np.ndarray:
+        """For ``I``: PE ``q`` reads PE ``q-1`` (PE 0 handled separately)."""
+        return np.maximum(self.addresses - 1, 0)
+
+    def neighbor_index(self, name: str) -> np.ndarray:
+        table = {
+            "S": self.succ_index,
+            "P": self.pred_index,
+            "L": self.lateral_index,
+            "XS": self.xs_index,
+            "XP": self.xp_index,
+            "I": self.linear_pred_index,
+        }
+        try:
+            return table[name]
+        except KeyError:
+            raise ValueError(f"unknown neighbor {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Structural facts (for the link-census benchmark)
+    # ------------------------------------------------------------------
+
+    def degree(self) -> int:
+        """Links per PE: predecessor, successor, lateral."""
+        return 3
+
+    def link_count(self) -> int:
+        """Distinct undirected links: ``3n/2`` for ``Q >= 4`` (for ``Q = 2``
+        the pred and succ of a 2-cycle coincide)."""
+        if self.Q == 2:
+            return self.n_cycles + self.n // 2
+        return 3 * self.n // 2
+
+    def hypercube_dims(self) -> int:
+        """Dimensions of the hypercube this CCC simulates: ``r + Q``."""
+        return self.r + self.Q

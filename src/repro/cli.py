@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``solve``
+    Solve a TT instance — from a JSON file (the :meth:`TTProblem.to_json`
+    format) or a named synthetic workload — with any of the four solvers
+    (``dp``, ``hypercube``, ``ccc``, ``bvm``), optionally printing the
+    optimal procedure and machine counters.
+
+``workloads``
+    List the available synthetic workload generators.
+
+``figures``
+    Regenerate the paper's machine-pattern figures (3, 4, 6) on the BVM
+    simulator.
+
+``claims``
+    Print the speedup / slowdown / link-count / machine-sizing tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .core import WORKLOADS, TTProblem, canonicalize, solve_dp
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Test-and-treatment procedures via parallel computation "
+        "(Duval, Wagner, Han & Loveland, 1986)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a TT instance")
+    src = p_solve.add_mutually_exclusive_group(required=True)
+    src.add_argument("--file", help="JSON problem file (TTProblem.to_json format)")
+    src.add_argument("--workload", choices=sorted(WORKLOADS), help="synthetic workload")
+    p_solve.add_argument("--k", type=int, default=6, help="universe size for workloads")
+    p_solve.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_solve.add_argument(
+        "--solver",
+        choices=("dp", "hypercube", "ccc", "bvm"),
+        default="dp",
+        help="which implementation to run",
+    )
+    p_solve.add_argument("--tree", action="store_true", help="print the optimal procedure")
+    p_solve.add_argument("--canonicalize", action="store_true",
+                         help="apply optimum-preserving reductions first")
+    p_solve.add_argument("--width", type=int, default=16, help="BVM word width")
+    p_solve.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sub.add_parser("workloads", help="list synthetic workload generators")
+    sub.add_parser("figures", help="regenerate the paper's Figs. 3/4/6 patterns")
+    sub.add_parser("claims", help="print the complexity-claim tables")
+    p_report = sub.add_parser(
+        "report", help="re-measure all claims; emit a Markdown report"
+    )
+    p_report.add_argument("--out", help="write to a file instead of stdout")
+    return parser
+
+
+def _load_problem(args) -> TTProblem:
+    if args.file:
+        with open(args.file) as fh:
+            return TTProblem.from_json(fh.read())
+    return WORKLOADS[args.workload](args.k, seed=args.seed)
+
+
+def _solve(args, out) -> int:
+    problem = _load_problem(args)
+    note = {}
+    if args.canonicalize:
+        report = canonicalize(problem)
+        note = {
+            "canonicalized": True,
+            "k": f"{report.original_k} -> {report.problem.k}",
+            "actions": f"{report.original_n_actions} -> {report.problem.n_actions}",
+        }
+        problem = report.problem
+
+    counters: dict = {}
+    if args.solver == "dp":
+        result = solve_dp(problem)
+        counters["sequential_ops"] = result.op_count
+    elif args.solver == "hypercube":
+        from .ttpar import solve_tt_hypercube
+
+        result = solve_tt_hypercube(problem)
+        counters["route_steps"] = result.stats.route_steps
+        counters["compute_steps"] = result.stats.compute_steps
+    elif args.solver == "ccc":
+        from .ttpar import solve_tt_ccc
+
+        result = solve_tt_ccc(problem)
+        counters["ccc_route_steps"] = result.ccc_stats.route_steps
+        counters["slowdown_vs_hypercube"] = round(result.ccc_stats.slowdown, 3)
+    else:
+        from .ttpar import solve_tt_bvm
+
+        result = solve_tt_bvm(problem, width=args.width)
+        counters["bvm_cycles"] = result.cycles
+        counters["ccc_r"] = result.r
+
+    payload = {
+        "problem": problem.name or "(unnamed)",
+        "k": problem.k,
+        "n_actions": problem.n_actions,
+        "solver": args.solver,
+        "optimal_cost": result.optimal_cost,
+        **counters,
+        **note,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for key, val in payload.items():
+            print(f"{key:>22}: {val}", file=out)
+        if args.tree:
+            print(file=out)
+            print(result.tree().render(), file=out)
+    return 0
+
+
+def _workloads(out) -> int:
+    for name in sorted(WORKLOADS):
+        doc = (WORKLOADS[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<12} {summary}", file=out)
+    return 0
+
+
+def _figures(out) -> int:
+    from .bvm import ProgramBuilder, render_cycle_grid, render_pid_columns
+    from .bvm.hyperops import route_dim
+    from .bvm.primitives import (
+        broadcast_bit,
+        cycle_id,
+        cycle_id_input_bits,
+        processor_id,
+    )
+
+    print("Fig. 3 — cycle-ID, 64-PE CCC:", file=out)
+    prog = ProgramBuilder(r=2)
+    dst = prog.pool.alloc1()
+    cycle_id(prog, dst)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    prog.run(m)
+    print(render_cycle_grid(m, dst), file=out)
+
+    print("\nFig. 4 — processor-ID, 8 PEs:", file=out)
+    prog = ProgramBuilder(r=1)
+    pid = prog.pool.alloc(3)
+    processor_id(prog, pid)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    prog.run(m)
+    print(render_pid_columns(m, pid, max_pes=8), file=out)
+
+    print("\nFig. 6 — broadcast, 64 PEs:", file=out)
+    prog = ProgramBuilder(r=2)
+    value, sender = prog.pool.alloc(2)
+    pid = prog.pool.alloc(6)
+    processor_id(prog, pid)
+    broadcast_bit(prog, value, sender, pid, route_dim)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    seed = np.zeros(m.n, bool)
+    seed[0] = True
+    m.poke(value, seed.copy())
+    m.poke(sender, seed.copy())
+    prog.run(m)
+    print(f"value reached all {m.n} PEs: {bool(m.read(value).all())}", file=out)
+    return 0
+
+
+def _claims(out) -> int:
+    from .hypercube import ccc_links, hypercube_links
+    from .ttpar import machine_sizing_table, speedup_curve
+
+    print("speedup (N = 2^k regime):", file=out)
+    for pt in speedup_curve(range(6, 19, 3), lambda k: 2**k):
+        print(
+            f"  k={pt.k:<3} P={pt.pe_count:<12,} speedup={pt.speedup:<14,.0f} "
+            f"P/logP={pt.p_over_logp:,.0f}",
+            file=out,
+        )
+
+    print("\nlinks (CCC 3n/2 vs hypercube n*log(n)/2):", file=out)
+    for r in (2, 3):
+        dims = r + (1 << r)
+        print(
+            f"  r={r}: CCC {ccc_links(r):,} vs hypercube {hypercube_links(dims):,}",
+            file=out,
+        )
+
+    print("\nmachine sizing:", file=out)
+    for row in machine_sizing_table():
+        print(
+            f"  2^{row['pe_budget'].bit_length() - 1} PEs: "
+            f"k={row['max_k_exponential_actions']} (N=2^k), "
+            f"k={row['max_k_quadratic_actions']} (N=k^2)",
+            file=out,
+        )
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _solve(args, out)
+    if args.command == "workloads":
+        return _workloads(out)
+    if args.command == "figures":
+        return _figures(out)
+    if args.command == "claims":
+        return _claims(out)
+    if args.command == "report":
+        from .reports import generate_report
+
+        text = generate_report()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"report written to {args.out}", file=out)
+        else:
+            print(text, file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,172 @@
+"""The binary testing problem as a TT special case.
+
+The paper positions TT as a generalization of *binary testing* (Garey;
+Loveland): identify the faulty object exactly, using tests only, at minimum
+expected cost.  The reduction: give every object a singleton treatment.
+
+A subtlety the naive reduction misses: a *cheap* treatment doubles as a
+probe ("treat j; if the branch continues, j was not faulty"), so zero-cost
+singleton treatments would make every instance free.  We therefore price
+the singleton treatments high enough that treating before full isolation is
+provably suboptimal — wasting a treatment on a non-singleton live set costs
+at least ``c_treat * w_min`` extra, which we make exceed the total test
+budget ``sum_i c_i * p(U)`` any identification tree can spend.  The TT
+optimum then decomposes exactly as
+
+    OPT_TT = OPT_identification + c_treat * p(U)
+
+and we recover the identification cost by subtraction.
+
+Two independent cross-checks make this module a validation anchor:
+
+* :func:`huffman_cost` — when *every* non-trivial subset is available as a
+  unit-cost test, optimal identification trees are exactly Huffman trees
+  (a test tree is a prefix code and vice versa), so the DP optimum must
+  match the Huffman cost.
+* :func:`entropy_lower_bound` — Shannon's bound: no unit-cost test tree can
+  beat ``p(U) * H(P / p(U))`` expected tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from .problem import Action, TTProblem
+from .sequential import solve_dp
+from .tree import TTTree
+
+__all__ = [
+    "BinaryTestingProblem",
+    "to_tt_problem",
+    "safe_treatment_cost",
+    "solve_binary_testing",
+    "huffman_cost",
+    "entropy_lower_bound",
+    "complete_test_instance",
+]
+
+
+@dataclass(frozen=True)
+class BinaryTestingProblem:
+    """Identification-only instance: tests with costs, no treatments."""
+
+    k: int
+    weights: tuple[float, ...]
+    tests: tuple[tuple[int, float], ...]  # (subset mask, cost) pairs
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != self.k:
+            raise ValueError("weight count must equal k")
+        if any(not (w > 0) for w in self.weights):
+            raise ValueError("weights must be strictly positive")
+        full = (1 << self.k) - 1
+        for mask, cost in self.tests:
+            if mask & ~full:
+                raise ValueError("test references objects outside the universe")
+            if cost < 0:
+                raise ValueError("test costs must be non-negative")
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights))
+
+
+def safe_treatment_cost(btp: BinaryTestingProblem) -> float:
+    """A singleton-treatment cost that forbids probe-style treating.
+
+    Wasting a treatment on a non-singleton live set ``S`` (treating ``j``
+    with ``p(S) > P_j``) incurs extra expected cost at least
+    ``c_treat * w_min`` while saving at most the entire test budget
+    ``sum_i c_i * p(U)`` — so any ``c_treat`` strictly above the ratio
+    makes isolate-then-treat optimal.
+    """
+    w_min = min(btp.weights)
+    test_budget = sum(cost for _, cost in btp.tests) * btp.total_weight
+    return test_budget / w_min + 1.0
+
+
+def to_tt_problem(
+    btp: BinaryTestingProblem, treatment_cost: float | None = None
+) -> TTProblem:
+    """Reduce binary testing to TT with priced singleton treatments."""
+    c_treat = safe_treatment_cost(btp) if treatment_cost is None else treatment_cost
+    actions = [
+        Action.test(mask, cost, name=f"t{idx}")
+        for idx, (mask, cost) in enumerate(btp.tests)
+    ]
+    actions += [
+        Action.treatment(1 << j, c_treat, name=f"id{j}") for j in range(btp.k)
+    ]
+    return TTProblem.build(btp.weights, actions, name="binary-testing-reduction")
+
+
+def solve_binary_testing(btp: BinaryTestingProblem) -> tuple[float, TTTree]:
+    """Optimal identification cost and TT procedure, via the reduction.
+
+    The returned cost has the treatment surcharge ``c_treat * p(U)``
+    removed, i.e. it is the pure expected testing cost; the returned tree
+    still contains the terminal singleton treatments.
+    """
+    c_treat = safe_treatment_cost(btp)
+    tt = to_tt_problem(btp, treatment_cost=c_treat)
+    result = solve_dp(tt)
+    if not result.feasible:
+        raise ValueError("instance admits no identification procedure")
+    ident_cost = result.optimal_cost - c_treat * btp.total_weight
+    # Guard against float dust from the subtraction of a large surcharge.
+    if ident_cost < 0 and ident_cost > -1e-6 * max(1.0, c_treat):
+        ident_cost = 0.0
+    return ident_cost, result.tree()
+
+
+def huffman_cost(weights) -> float:
+    """Expected cost of a Huffman tree over ``weights`` (unnormalized).
+
+    Equals the sum of all internal-node weights, i.e. the optimal expected
+    number of unit-cost binary splits needed to isolate one item.
+    """
+    ws = [float(w) for w in weights]
+    if len(ws) == 1:
+        return 0.0
+    # Heap entries carry an insertion counter to break float ties stably.
+    heap = [(w, i) for i, w in enumerate(ws)]
+    heapq.heapify(heap)
+    counter = len(ws)
+    total = 0.0
+    while len(heap) > 1:
+        a, _ = heapq.heappop(heap)
+        b, _ = heapq.heappop(heap)
+        total += a + b
+        heapq.heappush(heap, (a + b, counter))
+        counter += 1
+    return total
+
+
+def entropy_lower_bound(weights) -> float:
+    """Shannon bound on expected unit-cost tests: ``p(U) * H(P/p(U))``."""
+    ws = [float(w) for w in weights]
+    total = sum(ws)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    h = 0.0
+    for w in ws:
+        q = w / total
+        if q > 0:
+            h -= q * math.log2(q)
+    return total * h
+
+
+def complete_test_instance(weights) -> BinaryTestingProblem:
+    """All ``2^k - 2`` non-trivial subsets as unit-cost tests.
+
+    On this instance the identification optimum must equal
+    :func:`huffman_cost` — the strongest independent validation of the TT
+    recurrence available.
+    """
+    ws = tuple(float(w) for w in weights)
+    k = len(ws)
+    full = (1 << k) - 1
+    tests = tuple((mask, 1.0) for mask in range(1, full))
+    return BinaryTestingProblem(k=k, weights=ws, tests=tests)

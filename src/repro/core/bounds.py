@@ -1,0 +1,120 @@
+"""Lower bounds and sensitivity analysis for TT instances.
+
+Since the exact DP is exponential, certified lower bounds let a user
+judge heuristic procedures on instances too large to solve:
+
+* :func:`treatment_floor` — every object's branch terminates in a
+  treatment covering it, and that node's charge includes at least the
+  object's own weight, so
+  ``C(U) >= sum_j P_j * min{c_i : treatment i covers j}``.
+* :func:`entropy_actions_floor` — when **all treatments are singletons**
+  every procedure is a binary splitting tree with one success-exit per
+  object, so Shannon's bound applies: the expected number of actions is
+  at least ``H(P / p(U))``, hence
+  ``C(U) >= p(U) * H(P/p(U)) * min_i c_i``.
+  (With group treatments a success can end the branch before objects
+  are distinguished, so the bound is only emitted when it is valid.)
+* :func:`lower_bound` — the best applicable combination.
+
+:func:`action_criticality` quantifies each action's value: the optimal
+cost increase if it were removed (``inf`` when the instance becomes
+inadequate) — the report a lab manager reads before retiring an assay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .problem import TTProblem
+from .sequential import solve_dp
+
+__all__ = [
+    "treatment_floor",
+    "entropy_actions_floor",
+    "lower_bound",
+    "ActionCriticality",
+    "action_criticality",
+]
+
+
+def treatment_floor(problem: TTProblem) -> float:
+    """``sum_j P_j * (cheapest treatment covering j)``."""
+    total = 0.0
+    for j in range(problem.k):
+        cheapest = math.inf
+        for act in problem.actions:
+            if act.is_treatment and (act.subset >> j) & 1:
+                cheapest = min(cheapest, act.cost)
+        total += problem.weights[j] * cheapest
+    return total
+
+
+def entropy_actions_floor(problem: TTProblem) -> float | None:
+    """``p(U) * H(P/p(U)) * min_i c_i`` — only when every treatment is a
+    singleton (see module docstring); ``None`` otherwise."""
+    if any(
+        act.is_treatment and (act.subset & (act.subset - 1))
+        for act in problem.actions
+    ):
+        return None
+    c_min = min(act.cost for act in problem.actions)
+    total_w = sum(problem.weights)
+    h = 0.0
+    for w in problem.weights:
+        q = w / total_w
+        if q > 0:
+            h -= q * math.log2(q)
+    return total_w * h * c_min
+
+
+def lower_bound(problem: TTProblem) -> float:
+    """Best certified lower bound on ``C(U)`` available for the instance."""
+    best = treatment_floor(problem)
+    ent = entropy_actions_floor(problem)
+    if ent is not None:
+        best = max(best, ent)
+    return best
+
+
+@dataclass(frozen=True)
+class ActionCriticality:
+    """How much an action is worth to the optimal procedure."""
+
+    action_index: int
+    base_cost: float
+    cost_without: float  # inf when removal makes the spec inadequate
+
+    @property
+    def regret(self) -> float:
+        """Optimal-cost increase if this action disappeared."""
+        return self.cost_without - self.base_cost
+
+    @property
+    def is_essential(self) -> bool:
+        return math.isinf(self.cost_without)
+
+
+def action_criticality(problem: TTProblem) -> list[ActionCriticality]:
+    """Solve the instance ``N + 1`` times: once whole, once per removal.
+
+    Exponential in ``k`` like the DP itself; intended for the same
+    instance sizes.  Removing an action can never help (tested), so
+    every regret is non-negative.
+    """
+    base = solve_dp(problem).optimal_cost
+    out = []
+    for i in range(problem.n_actions):
+        remaining = [a for j, a in enumerate(problem.actions) if j != i]
+        if not remaining:
+            without = math.inf
+        else:
+            reduced = problem.with_actions(remaining)
+            if not reduced.is_adequate():
+                without = math.inf
+            else:
+                without = solve_dp(reduced).optimal_cost
+        out.append(
+            ActionCriticality(action_index=i, base_cost=base, cost_without=without)
+        )
+    return out

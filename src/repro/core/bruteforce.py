@@ -1,0 +1,106 @@
+"""Exhaustive tree-space search: the independent correctness oracle.
+
+The DP solver's correctness rests on the principle that optimal trees are
+composed of optimal subtrees.  To *check* that (rather than assume it), this
+module enumerates complete TT procedures directly and evaluates each one
+with the paper's first-principles cost definition (summed path costs,
+weighted by the faulty-object prior).  On tiny instances the minimum over
+all enumerated trees must equal the DP optimum exactly.
+
+Only progress-making actions are expanded (a test must genuinely split the
+live set, a treatment must cure something), which both matches the
+definition of a successful procedure and makes the recursion finite.
+Everything here is exponential-in-exponential and intended for ``k <= 4``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .problem import TTProblem
+from .tree import TTNode, TTTree
+
+__all__ = ["enumerate_trees", "min_cost_exhaustive", "best_tree_exhaustive"]
+
+
+def _expand(problem: TTProblem, live: int) -> Iterator[TTNode]:
+    """Yield every successful sub-procedure rooted at live set ``live``."""
+    for i, act in enumerate(problem.actions):
+        inter = live & act.subset
+        rest = live & ~act.subset
+        if act.is_test:
+            if inter == 0 or rest == 0:
+                continue
+            for pos in _expand(problem, inter):
+                for neg in _expand(problem, rest):
+                    yield TTNode(i, live, pos=pos, neg=neg)
+        else:
+            if inter == 0:
+                continue
+            if rest == 0:
+                yield TTNode(i, live)
+            else:
+                for cont in _expand(problem, rest):
+                    yield TTNode(i, live, cont=cont)
+
+
+def enumerate_trees(problem: TTProblem, limit: int | None = 200_000) -> Iterator[TTTree]:
+    """Enumerate every successful TT procedure for ``problem``.
+
+    ``limit`` guards against combinatorial blowups; pass ``None`` to
+    disable the guard (tests on tiny instances do).
+    """
+    count = 0
+    for root in _expand(problem, problem.universe):
+        yield TTTree(problem, root)
+        count += 1
+        if limit is not None and count >= limit:
+            raise RuntimeError(
+                f"enumerate_trees exceeded {limit} procedures; "
+                "instance too large for brute force"
+            )
+
+
+def min_cost_exhaustive(problem: TTProblem, live: int | None = None) -> float:
+    """Minimum expected cost by unmemoized first-principles recursion.
+
+    Structurally independent of the DP table ordering: no popcount layers,
+    no shared subproblem storage — just the definition of a procedure's
+    cost, minimized over each possible next action.
+    """
+    if live is None:
+        live = problem.universe
+    if live == 0:
+        return 0.0
+    ps = problem.weight_of(live)
+    best = float("inf")
+    for act in problem.actions:
+        inter = live & act.subset
+        rest = live & ~act.subset
+        if act.is_test:
+            if inter == 0 or rest == 0:
+                continue
+            val = (
+                act.cost * ps
+                + min_cost_exhaustive(problem, inter)
+                + min_cost_exhaustive(problem, rest)
+            )
+        else:
+            if inter == 0:
+                continue
+            val = act.cost * ps + min_cost_exhaustive(problem, rest)
+        best = min(best, val)
+    return best
+
+
+def best_tree_exhaustive(problem: TTProblem, limit: int | None = 200_000) -> TTTree:
+    """The cheapest procedure found by full enumeration (path-cost metric)."""
+    best_tree: TTTree | None = None
+    best_cost = float("inf")
+    for tree in enumerate_trees(problem, limit=limit):
+        c = tree.expected_cost_by_paths()
+        if c < best_cost:
+            best_cost, best_tree = c, tree
+    if best_tree is None:
+        raise ValueError("no successful procedure exists (inadequate spec)")
+    return best_tree

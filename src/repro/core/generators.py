@@ -1,0 +1,260 @@
+"""Workload generators shaped after the paper's application domains.
+
+The paper motivates TT with medical diagnosis, systematic biology, machine
+fault location and laboratory analysis, but (as a 1986 theory paper) gives
+no datasets.  These generators synthesize instances whose *combinatorial
+structure* mirrors each domain — subset shapes, weight skew, and cost
+spread are what the algorithms actually see — so the benchmark harness can
+exercise the same code paths the paper's applications would.
+
+Every generator returns an adequate instance (treatments cover the
+universe) with tests ordered before treatments, matching the paper's
+indexing convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.bitops import mask_of
+from .problem import Action, TTProblem
+
+__all__ = [
+    "random_instance",
+    "medical_instance",
+    "fault_location_instance",
+    "taxonomy_instance",
+    "lab_analysis_instance",
+    "WORKLOADS",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _nontrivial_subset(rng: np.random.Generator, k: int, lo: int = 1, hi: int | None = None) -> int:
+    """A uniformly random subset with size in ``[lo, hi]`` (proper, non-empty)."""
+    hi = hi if hi is not None else max(lo, k - 1)
+    hi = min(hi, k)
+    size = int(rng.integers(lo, hi + 1))
+    members = rng.choice(k, size=size, replace=False)
+    return mask_of(int(j) for j in members)
+
+
+def _ensure_coverage(actions: list[Action], k: int, rng: np.random.Generator, cost_scale: float) -> None:
+    """Append singleton treatments for any object no treatment covers."""
+    covered = 0
+    for a in actions:
+        if a.is_treatment:
+            covered |= a.subset
+    full = (1 << k) - 1
+    missing = full & ~covered
+    j = 0
+    while missing:
+        if (missing >> j) & 1:
+            actions.append(
+                Action.treatment(
+                    1 << j,
+                    float(rng.uniform(0.5, 1.5)) * cost_scale,
+                    name=f"fallback{j}",
+                )
+            )
+            missing &= ~(1 << j)
+        j += 1
+
+
+def random_instance(
+    k: int,
+    n_tests: int,
+    n_treatments: int,
+    seed=0,
+    cost_range: tuple[float, float] = (1.0, 10.0),
+    weight_range: tuple[float, float] = (1.0, 5.0),
+) -> TTProblem:
+    """Unstructured random instance: uniform subsets, costs and weights."""
+    rng = _rng(seed)
+    weights = rng.uniform(*weight_range, size=k)
+    actions: list[Action] = []
+    for i in range(n_tests):
+        actions.append(
+            Action.test(
+                _nontrivial_subset(rng, k),
+                float(rng.uniform(*cost_range)),
+                name=f"test{i}",
+            )
+        )
+    for i in range(n_treatments):
+        actions.append(
+            Action.treatment(
+                _nontrivial_subset(rng, k, lo=1, hi=max(1, k // 2)),
+                float(rng.uniform(*cost_range)),
+                name=f"treat{i}",
+            )
+        )
+    _ensure_coverage(actions, k, rng, cost_scale=float(np.mean(cost_range)))
+    return TTProblem.build(weights, actions, name=f"random(k={k},seed={seed})")
+
+
+def medical_instance(k: int = 8, seed=0) -> TTProblem:
+    """Medical diagnosis & treatment.
+
+    Structure: disease prevalences follow a Zipf-like skew (common colds vs
+    rare conditions); *tests* are lab panels responding to clusters of
+    related diseases (moderately sized subsets, cheap); *treatments* are
+    drugs effective against small disease families (narrow subsets,
+    expensive), plus a costly broad-spectrum option.
+    """
+    rng = _rng(seed)
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    rng.shuffle(weights)
+
+    actions: list[Action] = []
+    n_panels = max(3, k)
+    for i in range(n_panels):
+        panel = _nontrivial_subset(rng, k, lo=max(1, k // 4), hi=max(2, k // 2 + 1))
+        actions.append(Action.test(panel, float(rng.uniform(0.5, 3.0)), name=f"panel{i}"))
+
+    n_drugs = max(2, k // 2)
+    for i in range(n_drugs):
+        family = _nontrivial_subset(rng, k, lo=1, hi=max(1, k // 3))
+        actions.append(
+            Action.treatment(family, float(rng.uniform(4.0, 12.0)), name=f"drug{i}")
+        )
+    # Broad-spectrum treatment: covers a wide slice at a premium price.
+    broad = _nontrivial_subset(rng, k, lo=max(1, (2 * k) // 3), hi=k)
+    actions.append(Action.treatment(broad, float(rng.uniform(15.0, 25.0)), name="broad"))
+    _ensure_coverage(actions, k, rng, cost_scale=10.0)
+    return TTProblem.build(weights, actions, name=f"medical(k={k},seed={seed})")
+
+
+def fault_location_instance(k: int = 8, seed=0) -> TTProblem:
+    """Computer-system fault location and correction.
+
+    Structure: module failure rates vary over two orders of magnitude;
+    *tests* are bisection probes (contiguous halves/quarters of the module
+    chain — the classic divide-and-conquer probe pattern) plus a few random
+    point probes; *treatments* are "replace module" (singletons, cost ~
+    part price) and "swap board" (contiguous groups, costly).
+    """
+    rng = _rng(seed)
+    weights = 10.0 ** rng.uniform(-1.0, 1.0, size=k)
+
+    actions: list[Action] = []
+    # Bisection probes over contiguous address ranges at every granularity.
+    span = k
+    t = 0
+    width = max(1, k // 2)
+    while width >= 1:
+        for start in range(0, span, width):
+            members = range(start, min(start + width, span))
+            mask = mask_of(members)
+            if mask and mask != (1 << k) - 1:
+                actions.append(
+                    Action.test(mask, float(rng.uniform(0.5, 2.0)), name=f"probe{t}")
+                )
+                t += 1
+        if width == 1:
+            break
+        width //= 2
+    # Replace-module treatments for every module.
+    for j in range(k):
+        actions.append(
+            Action.treatment(1 << j, float(rng.uniform(3.0, 20.0)), name=f"replace{j}")
+        )
+    # Board-level swaps covering contiguous halves.
+    half = mask_of(range(0, (k + 1) // 2))
+    other = ((1 << k) - 1) & ~half
+    for idx, board in enumerate((half, other)):
+        if board:
+            actions.append(
+                Action.treatment(board, float(rng.uniform(25.0, 40.0)), name=f"board{idx}")
+            )
+    return TTProblem.build(weights, actions, name=f"fault(k={k},seed={seed})")
+
+
+def taxonomy_instance(k: int = 8, seed=0) -> TTProblem:
+    """Systematic biology: identification keys over a binary taxonomy.
+
+    Structure: species weights from abundance sampling; *tests* are
+    dichotomous key couplets — the subsets induced by the internal nodes of
+    a random binary taxonomy over the species (cheap morphological checks
+    near the root, pricier ones deeper); *treatments* are per-species
+    determinations (singleton, uniform cost).
+    """
+    rng = _rng(seed)
+    weights = rng.gamma(shape=0.7, scale=2.0, size=k) + 0.05
+
+    # Build a random binary taxonomy; each internal node's leaf set is a test.
+    groups: list[list[int]] = [[j] for j in range(k)]
+    internal_sets: list[tuple[int, int]] = []  # (mask, depth proxy)
+    depth = 0
+    while len(groups) > 1:
+        rng.shuffle(groups)
+        merged = []
+        for a, b in zip(groups[::2], groups[1::2]):
+            merged.append(a + b)
+            internal_sets.append((mask_of(a + b), depth))
+        if len(groups) % 2:
+            merged.append(groups[-1])
+        groups = merged
+        depth += 1
+
+    actions: list[Action] = []
+    full = (1 << k) - 1
+    t = 0
+    for mask, d in internal_sets:
+        if mask == full:
+            continue
+        cost = 0.5 + 0.5 * (depth - d)  # deeper couplets are finer/cheaper
+        actions.append(Action.test(mask, float(cost), name=f"couplet{t}"))
+        t += 1
+    for j in range(k):
+        actions.append(Action.treatment(1 << j, 2.0, name=f"determine{j}"))
+    return TTProblem.build(weights, actions, name=f"taxonomy(k={k},seed={seed})")
+
+
+def lab_analysis_instance(k: int = 8, seed=0) -> TTProblem:
+    """Laboratory analysis: assays with shared reagents.
+
+    Structure: candidate substances with skewed priors; *tests* are assays
+    reacting to chemical families (overlapping mid-size subsets; cost
+    reflects reagent price); *treatments* are neutralization protocols for
+    families plus per-substance disposal.
+    """
+    rng = _rng(seed)
+    weights = rng.lognormal(mean=0.0, sigma=0.8, size=k)
+
+    actions: list[Action] = []
+    n_assays = max(4, (3 * k) // 2)
+    for i in range(n_assays):
+        fam = _nontrivial_subset(rng, k, lo=2, hi=max(2, k // 2 + 1))
+        actions.append(Action.test(fam, float(rng.uniform(1.0, 6.0)), name=f"assay{i}"))
+    n_protocols = max(2, k // 3)
+    for i in range(n_protocols):
+        fam = _nontrivial_subset(rng, k, lo=1, hi=max(1, k // 3 + 1))
+        actions.append(
+            Action.treatment(fam, float(rng.uniform(5.0, 15.0)), name=f"protocol{i}")
+        )
+    for j in range(k):
+        actions.append(
+            Action.treatment(1 << j, float(rng.uniform(2.0, 8.0)), name=f"dispose{j}")
+        )
+    return TTProblem.build(weights, actions, name=f"lab(k={k},seed={seed})")
+
+
+def _random_uniform_signature(k: int = 8, seed=0) -> TTProblem:
+    """`random_instance` with a (k, seed) signature for the workload table."""
+    return random_instance(k, n_tests=max(2, k), n_treatments=max(2, k // 2), seed=seed)
+
+
+#: Uniform ``(k, seed) -> TTProblem`` constructors, one per application
+#: domain the paper names (plus unstructured random).
+WORKLOADS = {
+    "random": _random_uniform_signature,
+    "medical": medical_instance,
+    "fault": fault_location_instance,
+    "taxonomy": taxonomy_instance,
+    "lab": lab_analysis_instance,
+}

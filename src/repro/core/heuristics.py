@@ -1,0 +1,158 @@
+"""Greedy baseline strategies for the TT problem.
+
+The TT problem is NP-hard, so practical sequential alternatives to the
+exponential DP are one-step greedy tree builders.  These serve two roles in
+the reproduction: (a) baselines whose cost gap against the DP optimum the
+benchmark harness measures, and (b) fixtures for the property tests
+("DP optimum <= every heuristic tree's cost").
+
+Every heuristic builds a *successful* procedure on adequate instances: it
+only ever applies progress-making actions (tests that split, treatments
+that cure something), so every branch's live set strictly shrinks.
+
+Scoring rules implemented:
+
+``cost_per_resolution``
+    Charge ``c_i * p(S)`` and divide by the weight the action "resolves":
+    a treatment retires ``p(S ∩ T_i)``; a test resolves (separates) the
+    smaller side ``min(p(S∩T_i), p(S-T_i))``.  Pick the lowest ratio.
+
+``information_gain``
+    Entropy-style: a test earns the binary split entropy (scaled by
+    ``p(S)``); a treatment earns the retired mass.  Pick the highest
+    earnings per unit cost.
+
+``treatment_only``
+    Ignore tests entirely; repeatedly apply the treatment with the best
+    cured-weight/cost ratio.  This is the straight-line strategy whose
+    inefficiency motivates tests in the paper's applications.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from .problem import TTProblem
+from .tree import TTNode, TTTree
+
+__all__ = [
+    "greedy_tree",
+    "cost_per_resolution",
+    "information_gain",
+    "treatment_only",
+    "HEURISTICS",
+]
+
+# A scorer maps (problem, live_set, action_index, p_live, p_inter, p_rest)
+# to a score; lower is better; None means "do not consider".
+Scorer = Callable[[TTProblem, int, int, float, float, float], float | None]
+
+_EPS = 1e-12
+
+
+def _score_cost_per_resolution(
+    problem: TTProblem, live: int, i: int, p_live: float, p_inter: float, p_rest: float
+) -> float | None:
+    act = problem.actions[i]
+    charged = act.cost * p_live
+    if act.is_test:
+        resolved = min(p_inter, p_rest)
+    else:
+        resolved = p_inter
+    if resolved <= 0:
+        return None
+    return charged / resolved
+
+
+def _score_information_gain(
+    problem: TTProblem, live: int, i: int, p_live: float, p_inter: float, p_rest: float
+) -> float | None:
+    act = problem.actions[i]
+    if act.is_test:
+        q = p_inter / p_live
+        if q <= 0 or q >= 1:
+            return None
+        gain = p_live * (-(q * math.log2(q) + (1 - q) * math.log2(1 - q)))
+    else:
+        gain = p_inter
+        if gain <= 0:
+            return None
+    # Higher gain per cost is better; negate so "lower is better" uniformly.
+    return -(gain / max(act.cost, _EPS))
+
+
+def _score_treatment_only(
+    problem: TTProblem, live: int, i: int, p_live: float, p_inter: float, p_rest: float
+) -> float | None:
+    act = problem.actions[i]
+    if act.is_test or p_inter <= 0:
+        return None
+    return max(act.cost, _EPS) / p_inter
+
+
+def _pick(problem: TTProblem, live: int, scorer: Scorer) -> int:
+    p_live = problem.weight_of(live)
+    best_i, best_score = -1, math.inf
+    for i, act in enumerate(problem.actions):
+        inter = live & act.subset
+        rest = live & ~act.subset
+        if act.is_test and (inter == 0 or rest == 0):
+            continue
+        if act.is_treatment and inter == 0:
+            continue
+        score = scorer(
+            problem, live, i, p_live, problem.weight_of(inter), problem.weight_of(rest)
+        )
+        if score is None:
+            continue
+        if score < best_score:
+            best_score, best_i = score, i
+    if best_i < 0:
+        raise ValueError(
+            "heuristic found no applicable action; specification is inadequate "
+            "or the scorer rejected every progress-making action"
+        )
+    return best_i
+
+
+def greedy_tree(problem: TTProblem, scorer: Scorer) -> TTTree:
+    """Build a TT procedure by repeatedly applying the scorer's best action."""
+    problem.require_adequate()
+
+    def build(live: int) -> TTNode | None:
+        if live == 0:
+            return None
+        i = _pick(problem, live, scorer)
+        act = problem.actions[i]
+        node = TTNode(action_index=i, live_set=live)
+        if act.is_test:
+            node.pos = build(live & act.subset)
+            node.neg = build(live & ~act.subset)
+        else:
+            node.cont = build(live & ~act.subset)
+        return node
+
+    return TTTree(problem, build(problem.universe))
+
+
+def cost_per_resolution(problem: TTProblem) -> TTTree:
+    """Greedy by cost per unit of resolved weight (see module docstring)."""
+    return greedy_tree(problem, _score_cost_per_resolution)
+
+
+def information_gain(problem: TTProblem) -> TTTree:
+    """Greedy by entropy gain (tests) / retired mass (treatments) per cost."""
+    return greedy_tree(problem, _score_information_gain)
+
+
+def treatment_only(problem: TTProblem) -> TTTree:
+    """Straight-line treatments, best cured-weight/cost first; no tests."""
+    return greedy_tree(problem, _score_treatment_only)
+
+
+HEURISTICS: dict[str, Callable[[TTProblem], TTTree]] = {
+    "cost_per_resolution": cost_per_resolution,
+    "information_gain": information_gain,
+    "treatment_only": treatment_only,
+}

@@ -1,0 +1,303 @@
+"""The test-and-treatment (TT) problem model.
+
+A TT problem (Loveland's generalization of binary testing) consists of
+
+* a universe ``U = {0, .., k-1}`` of objects, exactly one of which is
+  faulty, with a-priori weights ``P_j > 0`` (not necessarily normalized —
+  the paper explicitly works with unnormalized weights so that subproblems
+  are themselves well-formed);
+* ``N`` *actions* ``T_1 .. T_N``, each a subset of ``U`` with execution
+  cost ``c_i >= 0``.  The first ``m`` actions are **tests**, the rest are
+  **treatments**.
+
+Applying a test ``T`` to a live set ``S`` splits it into ``S & T``
+(positive response) and ``S - T`` (negative).  Applying a treatment ``T``
+cures the faulty object if it lies in ``T`` (terminating that branch) and
+otherwise continues on ``S - T``.  A TT *procedure* is a binary decision
+tree built from these actions; it is *successful* if every object's branch
+terminates in a treatment covering it.  A problem specification is
+*adequate* if a successful procedure exists.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..util.bitops import bits_of, mask_of, subset_str
+
+__all__ = ["ActionKind", "Action", "TTProblem"]
+
+
+class ActionKind(str, Enum):
+    """Whether an action is a test (splits) or a treatment (cures)."""
+
+    TEST = "test"
+    TREATMENT = "treatment"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A single test or treatment.
+
+    Attributes
+    ----------
+    kind:
+        :class:`ActionKind.TEST` or :class:`ActionKind.TREATMENT`.
+    subset:
+        Bitmask over the universe: the set the test responds positively to,
+        or the set of objects the treatment cures.
+    cost:
+        Non-negative execution cost ``c_i``.
+    name:
+        Optional human-readable label (used when printing procedures).
+    """
+
+    kind: ActionKind
+    subset: int
+    cost: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.subset < 0:
+            raise ValueError("action subset bitmask must be non-negative")
+        if not (self.cost >= 0):
+            raise ValueError("action cost must be non-negative")
+
+    @property
+    def is_test(self) -> bool:
+        return self.kind is ActionKind.TEST
+
+    @property
+    def is_treatment(self) -> bool:
+        return self.kind is ActionKind.TREATMENT
+
+    def label(self, index: int | None = None) -> str:
+        """Display label: explicit name, else ``test#i``/``treat#i``."""
+        if self.name:
+            return self.name
+        stem = "test" if self.is_test else "treat"
+        return f"{stem}#{index}" if index is not None else stem
+
+    @staticmethod
+    def test(subset, cost: float, name: str = "") -> "Action":
+        """Convenience constructor; ``subset`` may be a mask or an iterable."""
+        return Action(ActionKind.TEST, _as_mask(subset), cost, name)
+
+    @staticmethod
+    def treatment(subset, cost: float, name: str = "") -> "Action":
+        """Convenience constructor; ``subset`` may be a mask or an iterable."""
+        return Action(ActionKind.TREATMENT, _as_mask(subset), cost, name)
+
+
+def _as_mask(subset) -> int:
+    if isinstance(subset, (int, np.integer)):
+        return int(subset)
+    return mask_of(subset)
+
+
+@dataclass(frozen=True)
+class TTProblem:
+    """A complete test-and-treatment problem specification.
+
+    Attributes
+    ----------
+    k:
+        Number of objects in the universe ``U = {0..k-1}``.
+    weights:
+        Tuple of ``k`` positive a-priori weights ``P_j``.
+    actions:
+        Tuple of :class:`Action`; order defines the action index ``i``.
+    """
+
+    k: int
+    weights: tuple[float, ...]
+    actions: tuple[Action, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("universe must contain at least one object")
+        if len(self.weights) != self.k:
+            raise ValueError(f"expected {self.k} weights, got {len(self.weights)}")
+        if any(not (w > 0) for w in self.weights):
+            raise ValueError("all object weights must be strictly positive")
+        if not self.actions:
+            raise ValueError("a TT problem needs at least one action")
+        full = self.universe
+        for idx, a in enumerate(self.actions):
+            if a.subset & ~full:
+                raise ValueError(
+                    f"action {idx} ({a.label(idx)}) references objects outside U"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def universe(self) -> int:
+        """Bitmask of the full universe ``U``."""
+        return (1 << self.k) - 1
+
+    @property
+    def n_actions(self) -> int:
+        """``N``: total number of actions."""
+        return len(self.actions)
+
+    @property
+    def n_tests(self) -> int:
+        """``m``: number of test actions."""
+        return sum(1 for a in self.actions if a.is_test)
+
+    @property
+    def n_treatments(self) -> int:
+        return self.n_actions - self.n_tests
+
+    @property
+    def weight_array(self) -> np.ndarray:
+        return np.asarray(self.weights, dtype=np.float64)
+
+    @property
+    def cost_array(self) -> np.ndarray:
+        return np.asarray([a.cost for a in self.actions], dtype=np.float64)
+
+    @property
+    def subset_array(self) -> np.ndarray:
+        return np.asarray([a.subset for a in self.actions], dtype=np.int64)
+
+    @property
+    def test_mask_array(self) -> np.ndarray:
+        """Boolean vector: ``True`` where action ``i`` is a test."""
+        return np.asarray([a.is_test for a in self.actions], dtype=bool)
+
+    def weight_of(self, mask: int) -> float:
+        """``p(S)``: total weight of the objects in set ``mask``."""
+        return float(sum(self.weights[j] for j in bits_of(mask)))
+
+    # ------------------------------------------------------------------
+    # Adequacy
+    # ------------------------------------------------------------------
+
+    def treatable_mask(self) -> int:
+        """Objects covered by at least one treatment (cheap necessary check)."""
+        out = 0
+        for a in self.actions:
+            if a.is_treatment:
+                out |= a.subset
+        return out
+
+    def is_adequate(self) -> bool:
+        """True iff a successful TT procedure exists for the full universe.
+
+        Coverage by treatments is exactly adequacy: if every object lies in
+        some treatment, the straight-line procedure that applies every
+        treatment in sequence treats each object eventually; conversely an
+        untreatable object can never terminate its branch.
+        """
+        return self.treatable_mask() == self.universe
+
+    def require_adequate(self) -> None:
+        if not self.is_adequate():
+            missing = self.universe & ~self.treatable_mask()
+            raise ValueError(
+                "inadequate TT specification: no treatment covers objects "
+                + subset_str(missing)
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers / serialization
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(weights, actions, name: str = "") -> "TTProblem":
+        """Build from any weight iterable and action iterable."""
+        weights = tuple(float(w) for w in weights)
+        return TTProblem(
+            k=len(weights), weights=weights, actions=tuple(actions), name=name
+        )
+
+    def with_actions(self, actions) -> "TTProblem":
+        """Copy of this problem with a different action list."""
+        return TTProblem(
+            k=self.k, weights=self.weights, actions=tuple(actions), name=self.name
+        )
+
+    def paper_order(self) -> "TTProblem":
+        """Reorder actions so tests precede treatments (paper's convention)."""
+        tests = [a for a in self.actions if a.is_test]
+        treats = [a for a in self.actions if a.is_treatment]
+        return self.with_actions(tests + treats)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (round-trips via :meth:`from_json`)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "k": self.k,
+                "weights": list(self.weights),
+                "actions": [
+                    {
+                        "kind": a.kind.value,
+                        "subset": a.subset,
+                        "cost": a.cost,
+                        "name": a.name,
+                    }
+                    for a in self.actions
+                ],
+            }
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "TTProblem":
+        data = json.loads(text)
+        actions = tuple(
+            Action(ActionKind(d["kind"]), int(d["subset"]), float(d["cost"]), d.get("name", ""))
+            for d in data["actions"]
+        )
+        return TTProblem(
+            k=int(data["k"]),
+            weights=tuple(float(w) for w in data["weights"]),
+            actions=actions,
+            name=data.get("name", ""),
+        )
+
+    # ------------------------------------------------------------------
+    # Pretty printing
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the specification."""
+        lines = [
+            f"TT problem{' ' + repr(self.name) if self.name else ''}: "
+            f"k={self.k} objects, {self.n_tests} tests, {self.n_treatments} treatments"
+        ]
+        lines.append(
+            "weights: " + ", ".join(f"P_{j}={w:g}" for j, w in enumerate(self.weights))
+        )
+        for i, a in enumerate(self.actions):
+            lines.append(
+                f"  [{i}] {a.kind.value:9s} {a.label(i):12s} "
+                f"set={subset_str(a.subset)} cost={a.cost:g}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+    def stats(self) -> dict:
+        """Size statistics used by the complexity analysis and benches."""
+        return {
+            "k": self.k,
+            "n_actions": self.n_actions,
+            "n_tests": self.n_tests,
+            "n_treatments": self.n_treatments,
+            "n_subsets": 1 << self.k,
+            "pe_demand": self.n_actions << self.k,  # O(N * 2^k) PEs
+            "total_weight": float(self.weight_array.sum()),
+            "total_cost": float(self.cost_array.sum()),
+            "adequate": self.is_adequate(),
+        }

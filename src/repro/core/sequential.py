@@ -1,0 +1,206 @@
+"""Sequential DP solver for the TT problem (the paper's comparator).
+
+The paper's speedup claims are made against "the known sequential algorithm
+which could be obtained by modifying the backward induction algorithm given
+by Garey": process the ``2^k`` subsets in order of increasing size and, for
+each subset ``S`` and action ``i``, evaluate
+
+* test ``i``:       ``M[S,i] = c_i * p(S) + C(S ∩ T_i) + C(S - T_i)``
+* treatment ``i``:  ``M[S,i] = c_i * p(S) + C(S - T_i)``
+
+taking ``C(S) = min_i M[S,i]``.  Non-splitting tests and non-progressing
+treatments are excluded via ``INF`` sentinels exactly as in the paper.
+
+Two implementations are provided:
+
+* :func:`solve_dp` — the production solver, vectorized with NumPy over whole
+  popcount layers (gathers into the ``C`` table); this is the throughput
+  baseline used by the speedup benchmarks.
+* :func:`solve_dp_reference` — a deliberately plain, loop-based rendition of
+  the same recurrence used as an internal cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.bitops import popcount_array, subsets_of_size
+from .problem import TTProblem
+from .tree import TTNode, TTTree
+
+__all__ = [
+    "DPResult",
+    "solve_dp",
+    "solve_dp_reference",
+    "subset_weights",
+    "optimal_cost",
+    "layer_sizes",
+]
+
+INF = np.inf
+
+
+def subset_weights(problem: TTProblem) -> np.ndarray:
+    """Vector ``p`` with ``p[S]`` = total weight of subset ``S`` (all ``2^k``)."""
+    k = problem.k
+    n_sub = 1 << k
+    p = np.zeros(n_sub, dtype=np.float64)
+    masks = np.arange(n_sub, dtype=np.int64)
+    for j, w in enumerate(problem.weights):
+        p += w * ((masks >> j) & 1)
+    return p
+
+
+@dataclass
+class DPResult:
+    """Output of a DP solve: full cost table plus argmin policy.
+
+    Attributes
+    ----------
+    problem:
+        The instance solved.
+    cost:
+        ``C(S)`` for every subset mask ``S`` (``np.inf`` where no successful
+        sub-procedure exists).
+    best_action:
+        Index of a minimizing action per subset (``-1`` for the empty set
+        and for infeasible subsets).
+    op_count:
+        Number of ``M[S,i]`` evaluations performed — the sequential work
+        measure ``(2^k - 1) * N`` used by the speedup analysis.
+    """
+
+    problem: TTProblem
+    cost: np.ndarray
+    best_action: np.ndarray
+    op_count: int
+
+    @property
+    def optimal_cost(self) -> float:
+        """``C(U)``: minimum expected cost of a successful TT procedure."""
+        return float(self.cost[self.problem.universe])
+
+    @property
+    def feasible(self) -> bool:
+        return np.isfinite(self.optimal_cost)
+
+    def tree(self) -> TTTree:
+        """Extract an optimal procedure by following the argmin policy."""
+        if not self.feasible:
+            raise ValueError("no successful procedure exists (inadequate spec)")
+        return TTTree(self.problem, self._build(self.problem.universe))
+
+    def _build(self, live: int) -> TTNode | None:
+        if live == 0:
+            return None
+        i = int(self.best_action[live])
+        if i < 0:
+            raise ValueError(f"no feasible action recorded for subset {live:#x}")
+        act = self.problem.actions[i]
+        node = TTNode(action_index=i, live_set=live)
+        inter = live & act.subset
+        rest = live & ~act.subset
+        if act.is_test:
+            node.pos = self._build(inter)
+            node.neg = self._build(rest)
+        else:
+            node.cont = self._build(rest)
+        return node
+
+
+def solve_dp(problem: TTProblem) -> DPResult:
+    """Vectorized backward-induction solve of the TT recurrence.
+
+    Processes subsets one popcount layer at a time; inside a layer every
+    ``(S, i)`` pair is evaluated with array gathers, so the Python-level
+    loop count is only ``k * N``.
+    """
+    k, n_act = problem.k, problem.n_actions
+    n_sub = 1 << k
+    p = subset_weights(problem)
+    subsets = problem.subset_array
+    costs = problem.cost_array
+    is_test = problem.test_mask_array
+
+    cost = np.full(n_sub, INF, dtype=np.float64)
+    cost[0] = 0.0
+    best = np.full(n_sub, -1, dtype=np.int64)
+
+    masks = np.arange(n_sub, dtype=np.int64)
+    layer_of = popcount_array(masks, k)
+
+    for j in range(1, k + 1):
+        layer = masks[layer_of == j]
+        if layer.size == 0:
+            continue
+        layer_best = np.full(layer.size, INF, dtype=np.float64)
+        layer_arg = np.full(layer.size, -1, dtype=np.int64)
+        base = p[layer]
+        for i in range(n_act):
+            t = int(subsets[i])
+            inter = layer & t
+            rest = layer & ~t
+            value = costs[i] * base + cost[rest]
+            if is_test[i]:
+                value = value + cost[inter]
+                invalid = (inter == 0) | (rest == 0)
+            else:
+                invalid = inter == 0
+            value = np.where(invalid, INF, value)
+            better = value < layer_best
+            layer_best = np.where(better, value, layer_best)
+            layer_arg = np.where(better, i, layer_arg)
+        cost[layer] = layer_best
+        best[layer] = layer_arg
+
+    op_count = (n_sub - 1) * n_act
+    return DPResult(problem=problem, cost=cost, best_action=best, op_count=op_count)
+
+
+def solve_dp_reference(problem: TTProblem) -> DPResult:
+    """Plain-Python rendition of the recurrence (test oracle for
+    :func:`solve_dp`; identical semantics, no vectorization)."""
+    k, n_act = problem.k, problem.n_actions
+    n_sub = 1 << k
+    cost = np.full(n_sub, INF, dtype=np.float64)
+    cost[0] = 0.0
+    best = np.full(n_sub, -1, dtype=np.int64)
+    ops = 0
+
+    for j in range(1, k + 1):
+        for s in subsets_of_size(k, j):
+            ps = problem.weight_of(s)
+            best_val, best_i = INF, -1
+            for i, act in enumerate(problem.actions):
+                ops += 1
+                inter = s & act.subset
+                rest = s & ~act.subset
+                if act.is_test:
+                    if inter == 0 or rest == 0:
+                        continue
+                    val = act.cost * ps + cost[inter] + cost[rest]
+                else:
+                    if inter == 0:
+                        continue
+                    val = act.cost * ps + cost[rest]
+                if val < best_val:
+                    best_val, best_i = val, i
+            cost[s] = best_val
+            best[s] = best_i
+
+    return DPResult(problem=problem, cost=cost, best_action=best, op_count=ops)
+
+
+def optimal_cost(problem: TTProblem) -> float:
+    """Convenience: just the minimum expected cost ``C(U)``."""
+    return solve_dp(problem).optimal_cost
+
+
+def layer_sizes(k: int) -> list[int]:
+    """Number of subsets per popcount layer (binomials) — used by analysis."""
+    out = [1]
+    for j in range(1, k + 1):
+        out.append(out[-1] * (k - j + 1) // j)
+    return out

@@ -1,0 +1,154 @@
+"""Interactive execution of a TT procedure.
+
+A solved procedure is used *one action at a time* against the real
+world: run the prescribed test, observe the outcome, move on.  A
+:class:`DiagnosisSession` walks a :class:`~repro.core.tree.TTTree` that
+way — the API a clinical/maintenance front-end would drive:
+
+    session = DiagnosisSession(tree)
+    while not session.done:
+        act = session.current_action          # what to do next
+        outcome = run_in_the_real_world(act)  # "positive"/"negative"/...
+        session.record(outcome)
+    print(session.treated_set, session.total_cost)
+
+Outcomes are validated against the action kind; the session tracks the
+live candidate set, accumulated cost and the transcript, and enforces
+the procedure's invariants (e.g. a cured session accepts no more
+outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.bitops import subset_str
+from .problem import Action
+from .tree import TTNode, TTTree
+
+__all__ = ["DiagnosisSession", "SessionStep"]
+
+_TEST_OUTCOMES = ("positive", "negative")
+_TREATMENT_OUTCOMES = ("cured", "failed")
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """One recorded action + outcome."""
+
+    action_index: int
+    live_set: int
+    cost: float
+    outcome: str
+
+
+class DiagnosisSession:
+    """Stateful walk through a validated TT procedure."""
+
+    def __init__(self, tree: TTTree):
+        tree.validate()
+        self.tree = tree
+        self.problem = tree.problem
+        self._node: TTNode | None = tree.root
+        self.transcript: list[SessionStep] = []
+        self._treated: int = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once a treatment cured the fault."""
+        return self._treated != 0
+
+    @property
+    def live_set(self) -> int:
+        """Current candidate set (0 once cured)."""
+        if self.done or self._node is None:
+            return 0
+        return self._node.live_set
+
+    @property
+    def current_action(self) -> Action:
+        if self.done:
+            raise RuntimeError("session finished: the fault was treated")
+        assert self._node is not None
+        return self.problem.actions[self._node.action_index]
+
+    @property
+    def current_action_index(self) -> int:
+        if self.done:
+            raise RuntimeError("session finished: the fault was treated")
+        assert self._node is not None
+        return self._node.action_index
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.cost for s in self.transcript)
+
+    @property
+    def treated_set(self) -> int:
+        """The set the curing treatment covered (0 while running)."""
+        return self._treated
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+
+    def valid_outcomes(self) -> tuple[str, ...]:
+        return _TEST_OUTCOMES if self.current_action.is_test else _TREATMENT_OUTCOMES
+
+    def record(self, outcome: str) -> None:
+        """Record the observed outcome of the current action and advance."""
+        node = self._node
+        if self.done or node is None:
+            raise RuntimeError("session finished: the fault was treated")
+        act = self.problem.actions[node.action_index]
+        allowed = self.valid_outcomes()
+        if outcome not in allowed:
+            raise ValueError(
+                f"{act.label(node.action_index)} is a {act.kind.value}; "
+                f"outcome must be one of {allowed}, got {outcome!r}"
+            )
+        self.transcript.append(
+            SessionStep(node.action_index, node.live_set, act.cost, outcome)
+        )
+        if act.is_test:
+            self._node = node.pos if outcome == "positive" else node.neg
+        elif outcome == "cured":
+            self._treated = node.live_set & act.subset
+            self._node = None
+        else:
+            self._node = node.cont
+        if self._node is None and not self.done:
+            # A failed terminal treatment is impossible in a validated
+            # procedure (terminal treatments cover the whole live set).
+            raise RuntimeError(
+                "procedure exhausted without a cure — outcomes inconsistent "
+                "with the single-fault assumption"
+            )
+
+    def run_against(self, faulty: int) -> list[SessionStep]:
+        """Drive the session with ground truth (for testing/simulation)."""
+        while not self.done:
+            act = self.current_action
+            in_set = bool((act.subset >> faulty) & 1)
+            if act.is_test:
+                self.record("positive" if in_set else "negative")
+            else:
+                self.record("cured" if in_set else "failed")
+        return self.transcript
+
+    def describe(self) -> str:
+        if self.done:
+            return (
+                f"cured (treated {subset_str(self._treated)}), "
+                f"total cost {self.total_cost:g}"
+            )
+        act = self.current_action
+        return (
+            f"candidates {subset_str(self.live_set)}; next: "
+            f"{act.label(self.current_action_index)} ({act.kind.value}, "
+            f"cost {act.cost:g})"
+        )

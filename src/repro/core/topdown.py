@@ -1,0 +1,136 @@
+"""Top-down solvers: reachable-subset memoization and a minimax variant.
+
+The bottom-up DP of :mod:`repro.core.sequential` touches all ``2^k``
+subsets — necessary for the parallel algorithm's PE-per-subset layout,
+but wasteful sequentially: only subsets *reachable* from ``U`` by
+splitting with the given actions can ever occur in a procedure, and with
+structured action sets (bisection probes, taxonomy couplets) that is a
+tiny fraction of the lattice.  :func:`solve_dp_topdown` memoizes over
+exactly the reachable family and reports its size — the ablation data
+for the "how much does structure help sequentially" question.
+
+:func:`solve_minimax` optimizes the *worst-case* path cost instead of
+the expected cost (a natural companion criterion for the paper's
+applications: guaranteeing a repair-cost ceiling rather than an
+average).  Recurrence:
+
+* test ``i``:       ``c_i + max(C(S ∩ T_i), C(S - T_i))``
+* treatment ``i``:  ``c_i + C(S - T_i)``  (worst case: the treatment
+  fails — unless it covers all of ``S``, in which case it ends the
+  branch with cost ``c_i``; that is the ``C(∅) = 0`` base case)
+
+with the same applicability rules as the expected-cost DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .problem import TTProblem
+from .tree import TTNode, TTTree
+
+__all__ = ["TopDownResult", "solve_dp_topdown", "solve_minimax"]
+
+INF = float("inf")
+
+
+@dataclass
+class TopDownResult:
+    """Cost, policy over the reachable family, and exploration stats."""
+
+    problem: TTProblem
+    optimal_cost: float
+    cost: dict[int, float]          # reachable subset -> value
+    best_action: dict[int, int]     # reachable subset -> argmin action
+    criterion: str                  # "expected" | "minimax"
+
+    @property
+    def reachable_subsets(self) -> int:
+        return len(self.cost)
+
+    @property
+    def lattice_fraction(self) -> float:
+        """Share of the full ``2^k`` lattice actually visited."""
+        return self.reachable_subsets / (1 << self.problem.k)
+
+    @property
+    def feasible(self) -> bool:
+        return self.optimal_cost < INF
+
+    def tree(self) -> TTTree:
+        if not self.feasible:
+            raise ValueError("no successful procedure exists")
+        return TTTree(self.problem, self._build(self.problem.universe))
+
+    def _build(self, live: int) -> TTNode | None:
+        if live == 0:
+            return None
+        i = self.best_action[live]
+        act = self.problem.actions[i]
+        node = TTNode(action_index=i, live_set=live)
+        if act.is_test:
+            node.pos = self._build(live & act.subset)
+            node.neg = self._build(live & ~act.subset)
+        else:
+            node.cont = self._build(live & ~act.subset)
+        return node
+
+
+def _solve_topdown(problem: TTProblem, minimax: bool) -> TopDownResult:
+    cost: dict[int, float] = {0: 0.0}
+    best: dict[int, int] = {}
+    actions = problem.actions
+
+    def value(s: int) -> float:
+        got = cost.get(s)
+        if got is not None:
+            return got
+        ps = 0.0 if minimax else problem.weight_of(s)
+        best_val, best_i = INF, -1
+        for i, act in enumerate(actions):
+            inter = s & act.subset
+            rest = s & ~act.subset
+            if act.is_test:
+                if inter == 0 or rest == 0:
+                    continue
+                if minimax:
+                    val = act.cost + max(value(inter), value(rest))
+                else:
+                    val = act.cost * ps + value(inter) + value(rest)
+            else:
+                if inter == 0:
+                    continue
+                if minimax:
+                    val = act.cost + value(rest)
+                else:
+                    val = act.cost * ps + value(rest)
+            if val < best_val:
+                best_val, best_i = val, i
+        cost[s] = best_val
+        if best_i >= 0:
+            best[s] = best_i
+        return best_val
+
+    total = value(problem.universe)
+    return TopDownResult(
+        problem=problem,
+        optimal_cost=total,
+        cost=cost,
+        best_action=best,
+        criterion="minimax" if minimax else "expected",
+    )
+
+
+def solve_dp_topdown(problem: TTProblem) -> TopDownResult:
+    """Expected-cost optimum via top-down memoization.
+
+    Same optimum as :func:`repro.core.sequential.solve_dp` (tested), but
+    visits only the subsets reachable from ``U`` — the memo size is the
+    interesting output.
+    """
+    return _solve_topdown(problem, minimax=False)
+
+
+def solve_minimax(problem: TTProblem) -> TopDownResult:
+    """Worst-case-cost optimum (see module docstring for the recurrence)."""
+    return _solve_topdown(problem, minimax=True)

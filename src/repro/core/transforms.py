@@ -1,0 +1,167 @@
+"""Optimum-preserving problem preprocessing.
+
+The DP's cost is ``Θ(2^k · N)``, so shrinking ``k`` or ``N`` before
+solving pays exponentially.  Each transform here provably preserves the
+optimal expected cost (arguments in the docstrings; the property tests
+check the invariance on randomized instances):
+
+* :func:`remove_duplicate_actions` — keep only the cheapest action per
+  (kind, subset) pair.
+* :func:`remove_dominated_treatments` — drop a treatment when a superset
+  treatment is no more expensive: substituting the superset into any
+  procedure cures at least as much for at most the same charge, and
+  ``C`` is monotone under set inclusion.  (No analogous rule holds for
+  tests — a differently-shaped split can be arbitrarily better.)
+* :func:`merge_equivalent_objects` — objects with identical membership
+  across *every* action are never separated by any procedure, so they
+  can be merged into one pseudo-object carrying the summed weight.
+* :func:`canonicalize` — all of the above to a fixed point, with a
+  report of what was removed/merged and a map back to original objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .problem import Action, TTProblem
+
+__all__ = [
+    "remove_duplicate_actions",
+    "remove_dominated_treatments",
+    "merge_equivalent_objects",
+    "canonicalize",
+    "CanonicalizationReport",
+]
+
+
+def remove_duplicate_actions(problem: TTProblem) -> TTProblem:
+    """Keep the cheapest action of each (kind, subset); order preserved
+    otherwise.  Identical actions are interchangeable in any procedure,
+    so only the cheapest can appear in an optimum."""
+    best: dict[tuple, int] = {}
+    for idx, act in enumerate(problem.actions):
+        key = (act.kind, act.subset)
+        if key not in best or act.cost < problem.actions[best[key]].cost:
+            best[key] = idx
+    keep = sorted(best.values())
+    if len(keep) == len(problem.actions):
+        return problem
+    return problem.with_actions([problem.actions[i] for i in keep])
+
+
+def remove_dominated_treatments(problem: TTProblem) -> TTProblem:
+    """Drop treatment ``(T, c)`` when some treatment ``(T', c')`` has
+    ``T ⊆ T'`` and ``c' <= c`` (strictly better on at least one of the
+    two coordinates, or a distinct earlier action when exactly equal).
+
+    Validity: replace every use of ``(T, c)`` in a procedure by
+    ``(T', c')``: the charge ``c'·p(S) <= c·p(S)`` and the continuation
+    set shrinks (``S - T' ⊆ S - T``), whose optimal cost is no larger by
+    monotonicity of ``C`` under inclusion.
+    """
+    acts = problem.actions
+    keep = []
+    for i, a in enumerate(acts):
+        if a.is_test:
+            keep.append(i)
+            continue
+        dominated = False
+        for j, b in enumerate(acts):
+            if i == j or b.is_test:
+                continue
+            covers = (a.subset & ~b.subset) == 0  # a.subset ⊆ b.subset
+            if covers and b.cost <= a.cost:
+                strictly = (b.subset != a.subset) or (b.cost < a.cost) or j < i
+                if strictly:
+                    dominated = True
+                    break
+        if not dominated:
+            keep.append(i)
+    if len(keep) == len(acts):
+        return problem
+    return problem.with_actions([acts[i] for i in keep])
+
+
+def merge_equivalent_objects(problem: TTProblem) -> tuple[TTProblem, list[list[int]]]:
+    """Merge objects indistinguishable by every action.
+
+    Returns the reduced problem and ``groups``: ``groups[new_j]`` lists
+    the original objects folded into new object ``new_j`` (singletons for
+    untouched objects).  The reduced optimum equals the original optimum
+    because no procedure can ever separate members of a group: every
+    test/treatment contains all of a group or none of it.
+    """
+    k = problem.k
+    signature: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for j in range(k):
+        sig = tuple((a.subset >> j) & 1 for a in problem.actions)
+        if sig not in signature:
+            signature[sig] = []
+            order.append(sig)
+        signature[sig].append(j)
+    groups = [signature[sig] for sig in order]
+    if len(groups) == k:
+        return problem, [[j] for j in range(k)]
+
+    new_k = len(groups)
+    new_weights = [sum(problem.weights[j] for j in grp) for grp in groups]
+    # Rebuild each action's subset over the merged universe.
+    new_actions = []
+    for a in problem.actions:
+        mask = 0
+        for new_j, grp in enumerate(groups):
+            if (a.subset >> grp[0]) & 1:
+                mask |= 1 << new_j
+        new_actions.append(Action(a.kind, mask, a.cost, a.name))
+    reduced = TTProblem.build(new_weights, new_actions, name=problem.name)
+    return reduced, groups
+
+
+@dataclass
+class CanonicalizationReport:
+    """What :func:`canonicalize` changed."""
+
+    original_k: int
+    original_n_actions: int
+    problem: TTProblem
+    groups: list[list[int]] = field(default_factory=list)
+
+    @property
+    def k_saved(self) -> int:
+        return self.original_k - self.problem.k
+
+    @property
+    def actions_saved(self) -> int:
+        return self.original_n_actions - self.problem.n_actions
+
+    @property
+    def pe_demand_ratio(self) -> float:
+        """How much smaller the parallel machine demand became."""
+        before = self.original_n_actions << self.original_k
+        after = self.problem.n_actions << self.problem.k
+        return after / before
+
+
+def canonicalize(problem: TTProblem) -> CanonicalizationReport:
+    """Apply all optimum-preserving reductions to a fixed point."""
+    original_k, original_n = problem.k, problem.n_actions
+    groups = [[j] for j in range(problem.k)]
+    while True:
+        before = (problem.k, problem.n_actions)
+        problem = remove_duplicate_actions(problem)
+        problem = remove_dominated_treatments(problem)
+        problem, step_groups = merge_equivalent_objects(problem)
+        # Compose object-group maps across iterations.
+        groups = [
+            [orig for member in grp for orig in groups[member]]
+            for grp in step_groups
+        ]
+        if (problem.k, problem.n_actions) == before:
+            break
+    return CanonicalizationReport(
+        original_k=original_k,
+        original_n_actions=original_n,
+        problem=problem,
+        groups=groups,
+    )

@@ -1,0 +1,272 @@
+"""TT procedures as explicit binary decision trees (paper Fig. 1).
+
+A procedure is a tree of :class:`TTNode`.  A *test* node has two children:
+``pos`` for the objects the test responds to (``S & T_i``) and ``neg`` for
+the rest (``S - T_i``).  A *treatment* node has a single continuation child
+``cont`` for ``S - T_i`` (the double-line arc of the paper — success simply
+terminates the branch); when the whole live set is covered the node is a
+leaf.  Every node records the live set it was reached with, which makes
+structural validation and rendering straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..util.bitops import bits_of, subset_str
+from .problem import TTProblem
+
+__all__ = ["TTNode", "TTTree", "SimulationStep"]
+
+
+@dataclass
+class TTNode:
+    """One applied action in a TT procedure.
+
+    Attributes
+    ----------
+    action_index:
+        Index into ``problem.actions`` of the test/treatment applied here.
+    live_set:
+        Bitmask of objects still under consideration when this node runs.
+    pos / neg:
+        Children of a test node (positive / negative response).
+    cont:
+        Continuation child of a treatment node (``None`` when the treatment
+        covers the whole live set and the branch terminates).
+    """
+
+    action_index: int
+    live_set: int
+    pos: Optional["TTNode"] = None
+    neg: Optional["TTNode"] = None
+    cont: Optional["TTNode"] = None
+
+    def children(self) -> list["TTNode"]:
+        return [c for c in (self.pos, self.neg, self.cont) if c is not None]
+
+
+@dataclass(frozen=True)
+class SimulationStep:
+    """One action executed while diagnosing a particular faulty object."""
+
+    action_index: int
+    live_set: int
+    cost: float
+    outcome: str  # "positive" | "negative" | "cured" | "failed"
+
+
+class TTTree:
+    """A complete TT procedure bound to its problem.
+
+    Provides expected-cost evaluation (two independent ways), per-object
+    simulation, structural validation, statistics, and Fig-1-style ASCII
+    rendering.
+    """
+
+    def __init__(self, problem: TTProblem, root: Optional[TTNode]):
+        self.problem = problem
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Structural validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless this is a well-formed, successful
+        TT procedure for the problem's full universe.
+
+        Checks, per node: the action exists; test nodes genuinely split the
+        live set; treatment nodes make progress; children's live sets are
+        exactly the induced subsets; and every branch terminates with an
+        empty live set (all objects treated).
+        """
+        if self.root is None:
+            raise ValueError("procedure has no root but the universe is non-empty")
+        self._validate_node(self.root, self.problem.universe)
+
+    def _validate_node(self, node: TTNode, live: int) -> None:
+        prob = self.problem
+        if live == 0:
+            raise ValueError("node reached with an empty live set")
+        if node.live_set != live:
+            raise ValueError(
+                f"node records live set {subset_str(node.live_set)} "
+                f"but is reached with {subset_str(live)}"
+            )
+        if not (0 <= node.action_index < prob.n_actions):
+            raise ValueError(f"action index {node.action_index} out of range")
+        act = prob.actions[node.action_index]
+        inter = live & act.subset
+        rest = live & ~act.subset
+        if act.is_test:
+            if node.cont is not None:
+                raise ValueError("test node carries a treatment continuation")
+            if inter == 0 or rest == 0:
+                raise ValueError(
+                    f"test {act.label(node.action_index)} does not split "
+                    + subset_str(live)
+                )
+            if node.pos is None or node.neg is None:
+                raise ValueError("test node missing a child")
+            self._validate_node(node.pos, inter)
+            self._validate_node(node.neg, rest)
+        else:
+            if node.pos is not None or node.neg is not None:
+                raise ValueError("treatment node carries test children")
+            if inter == 0:
+                raise ValueError(
+                    f"treatment {act.label(node.action_index)} cures nothing in "
+                    + subset_str(live)
+                )
+            if rest == 0:
+                if node.cont is not None:
+                    raise ValueError("terminal treatment has a continuation child")
+            else:
+                if node.cont is None:
+                    raise ValueError(
+                        f"branch abandons untreated objects {subset_str(rest)}"
+                    )
+                self._validate_node(node.cont, rest)
+
+    def is_successful(self) -> bool:
+        """True iff :meth:`validate` passes (every object gets treated)."""
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+
+    def expected_cost(self) -> float:
+        """Expected cost via the recursive charge ``c_i * p(S)`` per node.
+
+        This is the quantity the DP recurrence computes: each node charges
+        its cost to the total weight of its live set.
+        """
+        return self._node_cost(self.root)
+
+    def _node_cost(self, node: Optional[TTNode]) -> float:
+        if node is None:
+            return 0.0
+        prob = self.problem
+        act = prob.actions[node.action_index]
+        total = act.cost * prob.weight_of(node.live_set)
+        for child in node.children():
+            total += self._node_cost(child)
+        return total
+
+    def expected_cost_by_paths(self) -> float:
+        """Expected cost via the paper's definition: for each object,
+        the summed cost of all actions encountered on its branch, weighted
+        by ``P_j``.  Must agree with :meth:`expected_cost` (tested)."""
+        total = 0.0
+        for j in bits_of(self.problem.universe):
+            steps = self.simulate(j)
+            total += self.problem.weights[j] * sum(s.cost for s in steps)
+        return total
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, faulty: int) -> list[SimulationStep]:
+        """Run the procedure assuming object ``faulty`` is the faulty one.
+
+        Returns the executed steps; the last step has outcome ``"cured"``
+        for a successful procedure.
+        """
+        if not (0 <= faulty < self.problem.k):
+            raise ValueError(f"object {faulty} outside the universe")
+        steps: list[SimulationStep] = []
+        node = self.root
+        while node is not None:
+            act = self.problem.actions[node.action_index]
+            in_set = bool((act.subset >> faulty) & 1)
+            if act.is_test:
+                outcome = "positive" if in_set else "negative"
+                nxt = node.pos if in_set else node.neg
+            elif in_set:
+                outcome = "cured"
+                nxt = None
+            else:
+                outcome = "failed"
+                nxt = node.cont
+            steps.append(
+                SimulationStep(node.action_index, node.live_set, act.cost, outcome)
+            )
+            node = nxt
+        return steps
+
+    # ------------------------------------------------------------------
+    # Statistics and rendering
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self._count(self.root)
+
+    def _count(self, node: Optional[TTNode]) -> int:
+        if node is None:
+            return 0
+        return 1 + sum(self._count(c) for c in node.children())
+
+    def depth(self) -> int:
+        """Longest root-to-leaf action count."""
+        return self._depth(self.root)
+
+    def _depth(self, node: Optional[TTNode]) -> int:
+        if node is None:
+            return 0
+        return 1 + max((self._depth(c) for c in node.children()), default=0)
+
+    def actions_used(self) -> set[int]:
+        out: set[int] = set()
+        stack = [self.root] if self.root else []
+        while stack:
+            node = stack.pop()
+            out.add(node.action_index)
+            stack.extend(node.children())
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "nodes": self.node_count(),
+            "depth": self.depth(),
+            "distinct_actions": len(self.actions_used()),
+            "expected_cost": self.expected_cost(),
+        }
+
+    def render(self) -> str:
+        """ASCII rendering in the spirit of the paper's Fig. 1.
+
+        Test children are tagged ``+``/``-``; treatment continuations are
+        tagged ``fail`` (success terminates the branch, the double arc of
+        the figure is implicit in ``=>treated``).
+        """
+        lines: list[str] = []
+        self._render(self.root, "", "", lines)
+        return "\n".join(lines) if lines else "(empty procedure)"
+
+    def _render(self, node: Optional[TTNode], prefix: str, tag: str, lines: list[str]) -> None:
+        if node is None:
+            return
+        act = self.problem.actions[node.action_index]
+        treated = node.live_set & act.subset if act.is_treatment else 0
+        head = f"{prefix}{tag}{act.label(node.action_index)} "
+        head += f"[{act.kind.value}] on {subset_str(node.live_set)} cost={act.cost:g}"
+        if act.is_treatment:
+            head += f" =>treated {subset_str(treated)}"
+        lines.append(head)
+        child_prefix = prefix + "    "
+        if act.is_test:
+            self._render(node.pos, child_prefix, "+ ", lines)
+            self._render(node.neg, child_prefix, "- ", lines)
+        else:
+            self._render(node.cont, child_prefix, "fail ", lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,148 @@
+"""Analysis and export utilities over TT procedures.
+
+Downstream users of a solved procedure want more than its expected cost:
+per-object diagnostic effort, action-usage frequencies, worst cases,
+structural comparison between procedures, and a Graphviz export for
+papers/reports.  Everything operates on the validated
+:class:`~repro.core.tree.TTTree` structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.bitops import bits_of, subset_str
+from .tree import TTNode, TTTree
+
+__all__ = [
+    "ObjectOutcome",
+    "per_object_outcomes",
+    "expected_action_count",
+    "worst_case_cost",
+    "action_usage",
+    "trees_equal",
+    "to_dot",
+]
+
+
+@dataclass(frozen=True)
+class ObjectOutcome:
+    """Diagnostic summary for one possible faulty object."""
+
+    obj: int
+    weight: float
+    n_actions: int
+    cost: float
+    treated_by: int  # action index of the curing treatment
+
+
+def per_object_outcomes(tree: TTTree) -> list[ObjectOutcome]:
+    """Simulate every object through the procedure."""
+    out = []
+    for j in bits_of(tree.problem.universe):
+        steps = tree.simulate(j)
+        if not steps or steps[-1].outcome != "cured":
+            raise ValueError(f"object {j} is never cured — invalid procedure")
+        out.append(
+            ObjectOutcome(
+                obj=j,
+                weight=tree.problem.weights[j],
+                n_actions=len(steps),
+                cost=sum(s.cost for s in steps),
+                treated_by=steps[-1].action_index,
+            )
+        )
+    return out
+
+
+def expected_action_count(tree: TTTree) -> float:
+    """Expected number of actions executed (weights normalized)."""
+    outcomes = per_object_outcomes(tree)
+    total_w = sum(o.weight for o in outcomes)
+    return sum(o.weight * o.n_actions for o in outcomes) / total_w
+
+
+def worst_case_cost(tree: TTTree) -> tuple[int, float]:
+    """The most expensive object to diagnose: ``(object, path cost)``."""
+    outcomes = per_object_outcomes(tree)
+    worst = max(outcomes, key=lambda o: o.cost)
+    return worst.obj, worst.cost
+
+
+def action_usage(tree: TTTree) -> dict[int, float]:
+    """Probability (normalized weight) that each used action executes."""
+    problem = tree.problem
+    total_w = sum(problem.weights)
+    usage: dict[int, float] = {}
+
+    def walk(node: TTNode | None) -> None:
+        if node is None:
+            return
+        usage[node.action_index] = usage.get(node.action_index, 0.0) + (
+            problem.weight_of(node.live_set) / total_w
+        )
+        for child in node.children():
+            walk(child)
+
+    walk(tree.root)
+    return usage
+
+
+def trees_equal(a: TTTree, b: TTTree) -> bool:
+    """Structural equality: same actions applied to the same live sets."""
+
+    def eq(x: TTNode | None, y: TTNode | None) -> bool:
+        if x is None or y is None:
+            return x is y is None
+        return (
+            x.action_index == y.action_index
+            and x.live_set == y.live_set
+            and eq(x.pos, y.pos)
+            and eq(x.neg, y.neg)
+            and eq(x.cont, y.cont)
+        )
+
+    return a.problem == b.problem and eq(a.root, b.root)
+
+
+def to_dot(tree: TTTree, name: str = "tt_procedure") -> str:
+    """Graphviz DOT export: test nodes are boxes, treatments ellipses;
+    edge labels follow the paper's Fig. 1 conventions (``+``/``-`` for
+    test outcomes, ``fail`` for a treatment continuation)."""
+    problem = tree.problem
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    counter = [0]
+
+    def emit(node: TTNode | None) -> str | None:
+        if node is None:
+            return None
+        nid = f"n{counter[0]}"
+        counter[0] += 1
+        act = problem.actions[node.action_index]
+        shape = "box" if act.is_test else "ellipse"
+        label = (
+            f"{act.label(node.action_index)}\\n"
+            f"on {subset_str(node.live_set)}\\ncost {act.cost:g}"
+        )
+        lines.append(f'  {nid} [shape={shape}, label="{label}"];')
+        if act.is_test:
+            for child, tag in ((node.pos, "+"), (node.neg, "-")):
+                cid = emit(child)
+                if cid:
+                    lines.append(f'  {nid} -> {cid} [label="{tag}"];')
+        else:
+            treated = node.live_set & act.subset
+            tid = f"n{counter[0]}"
+            counter[0] += 1
+            lines.append(
+                f'  {tid} [shape=doublecircle, label="treated\\n{subset_str(treated)}"];'
+            )
+            lines.append(f"  {nid} -> {tid} [style=bold];")
+            cid = emit(node.cont)
+            if cid:
+                lines.append(f'  {nid} -> {cid} [label="fail"];')
+        return nid
+
+    emit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Ideal hypercube SIMD model, ASCEND/DESCEND programs, CCC emulation."""
+
+from .benes import (
+    benes_schedule,
+    benes_stage_count,
+    permutation_program,
+    route_permutation,
+)
+from .ccc import CCC, CCCStats, ccc_links, hypercube_links
+from .collectives import (
+    broadcast_program,
+    broadcast_schedule,
+    min_reduce_program,
+    prefix_sum_program,
+    propagation1_program,
+    propagation2_program,
+    reduce_program,
+)
+from .sorting import bitonic_sort_program, bitonic_stage_count, compare_exchange_op
+from .machine import (
+    DimOp,
+    Hypercube,
+    LocalOp,
+    Program,
+    RunStats,
+    ScheduleError,
+    State,
+    dims_for,
+    make_state,
+)
+
+__all__ = [
+    "State",
+    "DimOp",
+    "LocalOp",
+    "Program",
+    "Hypercube",
+    "RunStats",
+    "ScheduleError",
+    "make_state",
+    "dims_for",
+    "CCC",
+    "CCCStats",
+    "ccc_links",
+    "hypercube_links",
+    "broadcast_program",
+    "broadcast_schedule",
+    "propagation1_program",
+    "propagation2_program",
+    "reduce_program",
+    "min_reduce_program",
+    "prefix_sum_program",
+    "bitonic_sort_program",
+    "bitonic_stage_count",
+    "compare_exchange_op",
+    "benes_schedule",
+    "benes_stage_count",
+    "permutation_program",
+    "route_permutation",
+]

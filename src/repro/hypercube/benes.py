@@ -1,0 +1,192 @@
+"""Beneš permutation routing: any permutation in ``2·log n - 1`` steps.
+
+Paper §2: "Since the BVM communication network resembles the Benes
+permutation network, it can accomplish any permutation within O(log n)
+time if the control bits are precalculated."  This module makes that
+claim executable:
+
+* :func:`benes_schedule` — the classic *looping algorithm*: recursively
+  2-color the entry/exit constraint graph so that each half of the
+  network receives a genuine sub-permutation, producing a list of
+  ``(dim, swap_mask)`` stages with dims ``m-1, .., 1, 0, 1, .., m-1``
+  (a DESCEND run followed by an ASCEND run — exactly the paper's §3
+  algorithm class, so the CCC executes it at the same constant-factor
+  slowdown as everything else);
+* :func:`permutation_program` — the schedule as executable
+  :class:`~repro.hypercube.machine.DimOp` objects (swap masks are
+  symmetric: both ends of an exchanged pair carry the same control bit,
+  which is what lets a one-bit-per-PE machine store them);
+* :func:`route_permutation` — convenience: run the program on an ideal
+  hypercube and return the permuted registers.
+
+``benes_schedule(dest)`` computes stages such that, after applying them,
+the item initially at PE ``s`` sits at PE ``dest[s]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import DimOp, Hypercube, Program, State
+
+__all__ = [
+    "benes_schedule",
+    "permutation_program",
+    "route_permutation",
+    "benes_stage_count",
+]
+
+
+def benes_stage_count(dims: int) -> int:
+    """``2m - 1`` exchange stages for a ``2^m``-PE machine (1 for m=1)."""
+    return max(1, 2 * dims - 1)
+
+
+def _check_permutation(dest: np.ndarray) -> np.ndarray:
+    dest = np.asarray(dest, dtype=np.int64)
+    n = dest.size
+    if n == 0 or (n & (n - 1)):
+        raise ValueError("permutation length must be a positive power of two")
+    if sorted(dest.tolist()) != list(range(n)):
+        raise ValueError("dest is not a permutation")
+    return dest
+
+
+def benes_schedule(dest) -> list[tuple[int, np.ndarray]]:
+    """Compute the Beneš stages for ``dest`` (item at ``s`` -> ``dest[s]``).
+
+    Returns ``[(dim, swap_mask), ...]``; ``swap_mask`` is a boolean array
+    over PE addresses, symmetric under ``addr ^ 2^dim``.  Identity pairs
+    route straight (their bit is ``False``).
+    """
+    dest = _check_permutation(dest)
+    n = dest.size
+    m = int(n).bit_length() - 1
+    if m == 0:
+        return []
+    full_stages: list[tuple[int, np.ndarray]] = [
+        (d, np.zeros(n, dtype=bool)) for d in _stage_dims(m)
+    ]
+    _solve(dest, list(range(m)), np.arange(n, dtype=np.int64), full_stages, 0)
+    return full_stages
+
+
+def _stage_dims(m: int) -> list[int]:
+    """Stage dimension order: m-1 .. 1, 0, 1 .. m-1."""
+    if m == 1:
+        return [0]
+    down = list(range(m - 1, 0, -1))
+    up = list(range(1, m))
+    return down + [0] + up
+
+
+def _solve(
+    perm: np.ndarray,
+    dims: list[int],
+    members: np.ndarray,
+    stages: list[tuple[int, np.ndarray]],
+    depth: int,
+) -> None:
+    """Route ``perm`` (a permutation of ``0..len(members)-1`` in *local*
+    coordinates) through the subnetwork spanned by ``dims``, writing swap
+    bits for the global ``members`` into ``stages[depth .. -1-depth]``.
+
+    ``members[i]`` is the global PE address of local position ``i``;
+    local bit ``t`` corresponds to global dimension ``dims[t]``.
+    """
+    t = len(dims)
+    size = perm.size
+    if t == 1:
+        dim, mask = stages[depth]
+        if perm[0] == 1:  # the two items cross
+            mask[members[0]] = True
+            mask[members[1]] = True
+        return
+
+    d_local = t - 1
+    half = size // 2
+    top = 1 << d_local
+
+    # --- looping algorithm: assign each item a subnetwork (color) ------
+    # entry pair p = low bits of source; exit pair q = low bits of dest.
+    color = np.full(size, -1, dtype=np.int8)  # per source item
+    src_of_dest = np.empty(size, dtype=np.int64)
+    src_of_dest[perm] = np.arange(size)
+
+    for start in range(size):
+        if color[start] != -1:
+            continue
+        # Walk the constraint loop starting by sending `start` to subnet 0.
+        s, c = start, 0
+        while color[s] == -1:
+            color[s] = c
+            # exit constraint: the item sharing our destination pair must
+            # take the other subnetwork.
+            partner_dest = perm[s] ^ top
+            s2 = src_of_dest[partner_dest]
+            if color[s2] == -1:
+                color[s2] = 1 - c
+            # entry constraint: the item sharing our source pair takes
+            # the other subnetwork; continue the walk from there.
+            s3 = s2 ^ top
+            c = 1 - color[s2]
+            s = s3
+
+    # --- entry stage: item colored c must sit on side c of its pair ---
+    entry_dim, entry_mask = stages[depth]
+    exit_dim, exit_mask = stages[len(stages) - 1 - depth]
+    assert entry_dim == exit_dim == dims[d_local]
+
+    for p in range(half):
+        if color[p] == 1:  # the top-bit-0 source item crosses over
+            entry_mask[members[p]] = True
+            entry_mask[members[p | top]] = True
+
+    # --- sub-permutations: pair p's color-c item enters subnet c at
+    # local position p, heading for local destination perm[item] mod top.
+    sub_perm = [np.empty(half, dtype=np.int64) for _ in range(2)]
+    for p in range(half):
+        for item in (p, p | top):
+            sub_perm[int(color[item])][p] = perm[item] & (top - 1)
+
+    # --- exit stage: the item destined for q | top leaves through the
+    # top side; swap its pair iff it arrives from subnet 0.
+    for q in range(half):
+        if int(color[src_of_dest[q | top]]) == 0:
+            exit_mask[members[q]] = True
+            exit_mask[members[q | top]] = True
+
+    # --- recurse into the two half-size subnetworks --------------------
+    sub_dims = dims[:d_local]
+    members_lo = members[np.arange(half)]
+    members_hi = members[np.arange(half) | top]
+    _solve(sub_perm[0], sub_dims, members_lo, stages, depth + 1)
+    _solve(sub_perm[1], sub_dims, members_hi, stages, depth + 1)
+
+
+def permutation_program(dest, value_regs=("X",)) -> Program:
+    """Executable Beneš program: after running, register contents move
+    from PE ``s`` to PE ``dest[s]`` for every listed register."""
+    schedule = benes_schedule(dest)
+    program: Program = []
+    for dim, mask in schedule:
+        mask = mask.copy()
+
+        def fn(own, partner, addr, _mask=mask, _regs=tuple(value_regs)):
+            take = _mask[addr]
+            return {r: np.where(take, partner[r], own[r]) for r in _regs}
+
+        program.append(DimOp(dim=dim, fn=fn, label=f"benes dim {dim}"))
+    return program
+
+
+def route_permutation(dest, values) -> np.ndarray:
+    """Route ``values`` through a Beneš network on an ideal hypercube;
+    returns the array with ``out[dest[s]] = values[s]``."""
+    dest = _check_permutation(dest)
+    n = dest.size
+    dims = int(n).bit_length() - 1
+    st = State(dims)
+    st["X"] = np.asarray(values)
+    Hypercube(dims).run(st, permutation_program(dest))
+    return st["X"]

@@ -1,0 +1,189 @@
+"""The paper's §4 dataflow algorithms as ASCEND hypercube programs.
+
+* :func:`broadcast_program` — Broadcasting(): flood one PE's value to all
+  PEs, SENDER flags travelling with the data (paper Fig. 6 schedule).
+* :func:`propagation1_program` — Propagation1(): move data from the
+  ``N``-PE group (addresses with exactly ``N`` one-bits) to the
+  ``(N+1)``-PE group; senders stay fixed for the whole pass.
+* :func:`propagation2_program` — Propagation2(): flood data from the
+  ``N``-PE group upward to all supersets, receivers becoming senders
+  immediately (used for the ``N``-group to ``M``-group propagation).
+* :func:`min_reduce_program` / :func:`reduce_program` — the ASCEND
+  minimization of §6 (paper Fig. 7): after the pass every PE in a reduce
+  group holds the group minimum.
+
+All are ASCEND programs (dims strictly increasing), so they run verbatim
+on the CCC emulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .machine import DimOp, Program
+
+__all__ = [
+    "broadcast_program",
+    "propagation1_program",
+    "propagation2_program",
+    "min_reduce_program",
+    "reduce_program",
+    "broadcast_schedule",
+    "prefix_sum_program",
+]
+
+
+def _bit(addr: np.ndarray, i: int) -> np.ndarray:
+    return ((addr >> i) & 1).astype(bool)
+
+
+def broadcast_program(dims: int, value: str = "V", sender: str = "SENDER") -> Program:
+    """Broadcasting(): PE with ``sender`` set floods ``value`` to everyone.
+
+    Per the paper: at step ``i``, a PE at the 1-end of dimension ``i``
+    whose partner is a sender copies the partner's value *and* its sender
+    flag.  After ``dims`` steps every PE holds PE 0's value (when PE 0 was
+    the initial sender).
+    """
+
+    def step(i: int) -> DimOp:
+        def fn(own, partner, addr):
+            take = _bit(addr, i) & partner[sender].astype(bool)
+            return {
+                value: np.where(take, partner[value], own[value]),
+                sender: own[sender].astype(bool) | take,
+            }
+
+        return DimOp(dim=i, fn=fn, label=f"broadcast dim {i}")
+
+    return [step(i) for i in range(dims)]
+
+
+def broadcast_schedule(dims: int, origin: int = 0) -> list[list[tuple[int, int]]]:
+    """The transmission list per round, as printed in the paper's Fig. 6.
+
+    Round ``i`` contains every ``(sender, receiver)`` pair in which the
+    receiver is the sender with bit ``i`` raised; with ``origin`` PE 0 this
+    reproduces the figure's ``0000 -> 0001, ...`` rows exactly.
+    """
+    senders = {origin}
+    rounds: list[list[tuple[int, int]]] = []
+    for i in range(dims):
+        this_round = []
+        for s in sorted(senders):
+            r = s | (1 << i)
+            if r != s:
+                this_round.append((s, r))
+        senders |= {s | (1 << i) for s in senders}
+        rounds.append(this_round)
+    return rounds
+
+
+def propagation1_program(
+    dims: int,
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    value: str = "V",
+    sender: str = "SENDER",
+) -> Program:
+    """Propagation1(): ``N``-group to ``(N+1)``-group, fixed senders.
+
+    PE ``j`` combines in the partner's value when the partner is a sender
+    and ``j`` is at the 1-end of the link — so after the pass, PE ``j`` in
+    the ``(N+1)``-group has combined the values of *all* ``N``-group PEs
+    ``k`` with ``k ⊂ j``.  Sender flags are not changed.
+    """
+
+    def step(i: int) -> DimOp:
+        def fn(own, partner, addr):
+            take = _bit(addr, i) & partner[sender].astype(bool)
+            return {value: np.where(take, combine(own[value], partner[value]), own[value])}
+
+        return DimOp(dim=i, fn=fn, label=f"prop1 dim {i}")
+
+    return [step(i) for i in range(dims)]
+
+
+def propagation2_program(
+    dims: int,
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    value: str = "V",
+    sender: str = "SENDER",
+) -> Program:
+    """Propagation2(): flood from the ``N``-group to all higher groups.
+
+    Identical dataflow to propagation1 except that a receiver acquires the
+    sender flag immediately, so data hops through intermediate groups
+    within the single pass (the paper's 1-PE-group to 4-PE-group example).
+    """
+
+    def step(i: int) -> DimOp:
+        def fn(own, partner, addr):
+            take = _bit(addr, i) & partner[sender].astype(bool)
+            return {
+                value: np.where(take, combine(own[value], partner[value]), own[value]),
+                sender: own[sender].astype(bool) | take,
+            }
+
+        return DimOp(dim=i, fn=fn, label=f"prop2 dim {i}")
+
+    return [step(i) for i in range(dims)]
+
+
+def reduce_program(
+    lo: int,
+    hi: int,
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    value: str = "M",
+    gate: str | None = None,
+) -> Program:
+    """ASCEND all-reduce over dimensions ``lo..hi-1``.
+
+    After the pass every PE in each ``2^(hi-lo)``-aligned group holds the
+    combine of the whole group (§6's induction).  ``gate`` optionally
+    names a boolean register restricting which PEs update (the paper's
+    predicate ``P(S,i)`` uses this to touch only the current layer).
+    """
+
+    def step(t: int) -> DimOp:
+        def fn(own, partner, addr):
+            new = combine(own[value], partner[value])
+            if gate is not None:
+                new = np.where(own[gate].astype(bool), new, own[value])
+            return {value: new}
+
+        return DimOp(dim=t, fn=fn, label=f"reduce dim {t}")
+
+    return [step(t) for t in range(lo, hi)]
+
+
+def min_reduce_program(
+    lo: int, hi: int, value: str = "M", gate: str | None = None
+) -> Program:
+    """§6 minimization: ``M[S,i] = min(M[S,i], M[S,i#t])`` for each ``t``."""
+    return reduce_program(lo, hi, np.minimum, value=value, gate=gate)
+
+
+def prefix_sum_program(dims: int, prefix: str = "PRE", total: str = "TOT") -> Program:
+    """Inclusive prefix sum by PE address — another ASCEND classic.
+
+    Initialize both registers to each PE's value.  Per dimension ``i``:
+    every PE folds the partner's block total into its own block total,
+    and PEs at the 1-end additionally fold it into their prefix (their
+    partner's block lies entirely before them in address order).  After
+    ``dims`` steps ``prefix[j] = sum(x[0..j])`` and ``total`` holds the
+    grand total everywhere.
+    """
+
+    def step(i: int) -> DimOp:
+        def fn(own, partner, addr):
+            upper = _bit(addr, i)
+            return {
+                prefix: own[prefix] + np.where(upper, partner[total], 0),
+                total: own[total] + partner[total],
+            }
+
+        return DimOp(dim=i, fn=fn, label=f"prefix dim {i}")
+
+    return [step(i) for i in range(dims)]

@@ -1,0 +1,221 @@
+"""An idealized SIMD hypercube and its program representation.
+
+The paper designs its algorithms for a hypercube of ``2^m`` PEs (PE ``x``
+linked to every ``x # i``, i.e. ``x`` with bit ``i`` complemented) and then
+transforms them to the CCC.  To make that transformation executable we
+represent algorithms as *programs*: sequences of
+
+* :class:`DimOp` — one simultaneous pairwise exchange along a single
+  hypercube dimension, combined by an elementwise function, and
+* :class:`LocalOp` — pure per-PE computation with no communication.
+
+A program in which the :class:`DimOp` dimensions are non-decreasing
+(non-increasing) is an **ASCEND** (**DESCEND**) program in the paper's
+sense.  The same program object runs unchanged on the ideal
+:class:`Hypercube` here and on the :class:`~repro.hypercube.ccc.CCC`
+emulator, which is exactly the property the paper exploits.
+
+Machine state is a :class:`State`: named NumPy arrays indexed by PE
+address.  ``DimOp.fn`` receives the PE's own view, the partner's view and
+the participating addresses, and returns the registers it updates — all
+vectorized, per the HPC guides (no per-PE Python loops).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.bitops import ilog2
+
+__all__ = [
+    "State",
+    "DimOp",
+    "LocalOp",
+    "Program",
+    "Hypercube",
+    "ScheduleError",
+    "RunStats",
+    "make_state",
+    "dims_for",
+]
+
+
+class ScheduleError(ValueError):
+    """A program violated the requested ASCEND/DESCEND discipline."""
+
+
+class State:
+    """Named register arrays over ``n = 2^dims`` PEs.
+
+    Registers are created on assignment; every register is an array of
+    length ``n`` (any dtype).  ``addresses`` is the PE index vector.
+    """
+
+    def __init__(self, dims: int):
+        if dims < 0:
+            raise ValueError("dims must be non-negative")
+        self.dims = dims
+        self.n = 1 << dims
+        self._regs: dict[str, np.ndarray] = {}
+
+    @property
+    def addresses(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64)
+
+    def __setitem__(self, name: str, value) -> None:
+        arr = np.asarray(value)
+        if arr.shape == ():
+            arr = np.full(self.n, arr[()])
+        if arr.shape != (self.n,):
+            raise ValueError(
+                f"register {name!r} must have shape ({self.n},), got {arr.shape}"
+            )
+        self._regs[name] = arr.copy()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._regs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regs
+
+    def names(self) -> list[str]:
+        return sorted(self._regs)
+
+    def copy(self) -> "State":
+        out = State(self.dims)
+        for k, v in self._regs.items():
+            out._regs[k] = v.copy()
+        return out
+
+    def view(self, perm: np.ndarray | None = None, sel: np.ndarray | None = None) -> dict[str, np.ndarray]:
+        """Read-only snapshot dict, optionally permuted/sliced by index."""
+        if perm is None and sel is None:
+            return {k: v for k, v in self._regs.items()}
+        idx = perm if perm is not None else np.arange(self.n)
+        if sel is not None:
+            idx = idx[sel]
+        return {k: v[idx] for k, v in self._regs.items()}
+
+    def equal(self, other: "State", names=None) -> bool:
+        names = names if names is not None else self.names()
+        return all(np.array_equal(self[k], other[k]) for k in names)
+
+
+# fn(own, partner, addr) -> {reg: new values} for the participating PEs.
+DimFn = Callable[[Mapping[str, np.ndarray], Mapping[str, np.ndarray], np.ndarray], dict]
+# fn(own, addr) -> {reg: new values}
+LocalFn = Callable[[Mapping[str, np.ndarray], np.ndarray], dict]
+
+
+@dataclass(frozen=True)
+class DimOp:
+    """One pairwise hypercube exchange-and-combine along ``dim``.
+
+    ``fn(own, partner, addr)`` sees every participating PE's registers,
+    its partner's registers (same names, partner-ordered), and the PE
+    addresses; it returns the registers it rewrites.  It must be
+    elementwise (no cross-PE coupling beyond the given partner), which is
+    what lets the CCC emulator evaluate it on pipelined slices.
+    """
+
+    dim: int
+    fn: DimFn
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class LocalOp:
+    """Per-PE computation, no communication."""
+
+    fn: LocalFn
+    label: str = ""
+
+
+Program = list  # list[DimOp | LocalOp]
+
+
+@dataclass
+class RunStats:
+    """Step counters separated by kind, as the paper's accounting does."""
+
+    route_steps: int = 0
+    compute_steps: int = 0
+    dims_used: list = field(default_factory=list)
+
+    @property
+    def total_steps(self) -> int:
+        return self.route_steps + self.compute_steps
+
+
+class Hypercube:
+    """Ideal hypercube executor: every :class:`DimOp` costs one route step."""
+
+    def __init__(self, dims: int):
+        self.dims = dims
+        self.n = 1 << dims
+
+    def partner_index(self, dim: int) -> np.ndarray:
+        if not (0 <= dim < self.dims):
+            raise ValueError(f"dimension {dim} out of range for {self.dims}-cube")
+        return np.arange(self.n, dtype=np.int64) ^ (1 << dim)
+
+    def run(
+        self,
+        state: State,
+        program: Program,
+        discipline: str | None = None,
+    ) -> RunStats:
+        """Execute ``program`` in place on ``state``.
+
+        ``discipline`` may be ``"ascend"`` / ``"descend"`` to enforce the
+        paper's dimension ordering (monotone non-decreasing resp.
+        non-increasing DimOp dims); violations raise :class:`ScheduleError`.
+        """
+        if state.dims != self.dims:
+            raise ValueError("state size does not match machine size")
+        stats = RunStats()
+        addrs = state.addresses
+        last_dim: int | None = None
+        for op in program:
+            if isinstance(op, LocalOp):
+                updates = op.fn(state.view(), addrs)
+                for name, val in updates.items():
+                    state[name] = val
+                stats.compute_steps += 1
+                continue
+            if not isinstance(op, DimOp):
+                raise TypeError(f"unknown op {op!r}")
+            if discipline == "ascend" and last_dim is not None and op.dim < last_dim:
+                raise ScheduleError(
+                    f"ASCEND violated: dim {op.dim} after dim {last_dim}"
+                )
+            if discipline == "descend" and last_dim is not None and op.dim > last_dim:
+                raise ScheduleError(
+                    f"DESCEND violated: dim {op.dim} after dim {last_dim}"
+                )
+            last_dim = op.dim
+            perm = self.partner_index(op.dim)
+            own = state.view()
+            partner = state.view(perm=perm)
+            updates = op.fn(own, partner, addrs)
+            for name, val in updates.items():
+                state[name] = val
+            stats.route_steps += 1
+            stats.dims_used.append(op.dim)
+        return stats
+
+
+def make_state(dims: int, **registers) -> State:
+    """Convenience constructor: ``make_state(4, M=..., SENDER=...)``."""
+    st = State(dims)
+    for name, value in registers.items():
+        st[name] = value
+    return st
+
+
+def dims_for(n: int) -> int:
+    """Hypercube dimension count for an ``n``-PE machine (n a power of 2)."""
+    return ilog2(n)

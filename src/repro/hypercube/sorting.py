@@ -1,0 +1,66 @@
+"""Bitonic sorting as ASCEND/DESCEND programs.
+
+The paper's §3 frames its whole approach around the ASCEND/DESCEND
+algorithm class of Preparata & Vuillemin, whose canonical member is
+Batcher's bitonic sorter.  This module provides it both as a library
+capability (sorting keys, or key-value pairs, across the PE array) and
+as the classic workload for the CCC slowdown ablation: a full bitonic
+sort is ``m`` DESCEND phases of lengths ``1..m``, which exercises the
+emulator's pipelined descend sweeps far harder than the TT program does.
+
+Construction (textbook): stage ``s = 0..m-1`` merges bitonic blocks of
+size ``2^(s+1)``; within a stage, compare-exchange along dims
+``s, s-1, .., 0`` (a DESCEND run); the element at the ``dir``-matching
+end keeps the minimum, where ``dir`` is bit ``s+1`` of the PE address
+(0 = ascending block; the final stage has ``dir = 0`` everywhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import DimOp, Program
+
+__all__ = ["bitonic_sort_program", "bitonic_stage_count", "compare_exchange_op"]
+
+
+def compare_exchange_op(stage: int, dim: int, value: str = "X", tag: str | None = None) -> DimOp:
+    """One bitonic compare-exchange along ``dim`` inside stage ``stage``.
+
+    With ``tag`` given, a satellite register moves with its key (stable
+    only up to equal-key ties, as usual for bitonic networks).
+    """
+
+    def fn(own, partner, addr):
+        dir_bit = ((addr >> (stage + 1)) & 1).astype(bool)  # 1 = descending
+        here_hi = ((addr >> dim) & 1).astype(bool)
+        keep_min = here_hi == dir_bit
+        a, b = own[value], partner[value]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        out = {value: np.where(keep_min, lo, hi)}
+        if tag is not None:
+            # Equal keys: both ends keep their own tag (still a permutation).
+            mine_is_kept = np.where(keep_min, a <= b, a >= b)
+            out[tag] = np.where(mine_is_kept, own[tag], partner[tag])
+        return out
+
+    return DimOp(dim=dim, fn=fn, label=f"bitonic s{stage} d{dim}")
+
+
+def bitonic_sort_program(dims: int, value: str = "X", tag: str | None = None) -> Program:
+    """Full bitonic sort of ``2^dims`` keys: ascending by PE address.
+
+    The program is a sequence of DESCEND runs (dims ``s..0`` per stage),
+    so it executes on the CCC emulator with pipelined descend sweeps.
+    """
+    program: Program = []
+    for s in range(dims):
+        for d in range(s, -1, -1):
+            program.append(compare_exchange_op(s, d, value=value, tag=tag))
+    return program
+
+
+def bitonic_stage_count(dims: int) -> int:
+    """Total compare-exchange steps: ``m(m+1)/2`` (the O(log^2 n) depth)."""
+    return dims * (dims + 1) // 2

@@ -1,0 +1,74 @@
+"""The paper's parallel TT algorithm and its complexity analysis."""
+
+from .analysis import (
+    SpeedupPoint,
+    machine_sizing_table,
+    max_k_for_budget,
+    model_bit_steps,
+    model_route_steps,
+    sequential_word_ops,
+    speedup_curve,
+    speedup_point,
+)
+from .bvm_tt import BVMTTResult, build_bvm_tt, solve_tt_bvm
+from .costmodel import (
+    dominant_term,
+    paper_scale_estimate,
+    predict_loop_cycles,
+    predict_phase_cycles,
+    predict_phase_cycles_for,
+)
+from .dataflow import (
+    EloopTrace,
+    ParallelTTResult,
+    build_tt_program,
+    build_tt_state,
+    solve_tt_ccc,
+    solve_tt_hypercube,
+    trace_r_propagation,
+)
+from .extract import rederive_policy, tree_from_tables
+from .layout import TTLayout, choose_ccc_r, pad_actions
+from .marking import (
+    build_marking_program,
+    mark_policy_subsets,
+    policy_subsets_reference,
+)
+from .verify import VerificationReport, bellman_values, verify_cost_table
+
+__all__ = [
+    "TTLayout",
+    "pad_actions",
+    "choose_ccc_r",
+    "ParallelTTResult",
+    "build_tt_state",
+    "build_tt_program",
+    "solve_tt_hypercube",
+    "solve_tt_ccc",
+    "solve_tt_bvm",
+    "build_bvm_tt",
+    "BVMTTResult",
+    "EloopTrace",
+    "trace_r_propagation",
+    "tree_from_tables",
+    "rederive_policy",
+    "SpeedupPoint",
+    "speedup_point",
+    "speedup_curve",
+    "model_route_steps",
+    "model_bit_steps",
+    "sequential_word_ops",
+    "max_k_for_budget",
+    "machine_sizing_table",
+    "verify_cost_table",
+    "bellman_values",
+    "VerificationReport",
+    "predict_phase_cycles",
+    "predict_phase_cycles_for",
+    "predict_loop_cycles",
+    "dominant_term",
+    "paper_scale_estimate",
+    "build_marking_program",
+    "mark_policy_subsets",
+    "policy_subsets_reference",
+]

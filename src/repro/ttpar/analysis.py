@@ -1,0 +1,142 @@
+"""Complexity accounting and the paper's headline claims, as computable
+functions.
+
+The paper's quantitative statements:
+
+* parallel time ``O(k * p * (k + log N))`` on ``O(N * 2^k)`` PEs, where
+  ``p`` is the arithmetic precision in bits (our ``W``) — §1;
+* speedup ``O(P / log P)`` over the sequential backward induction, for
+  ``P`` PEs, after granting the sequential machine its 64-bit word
+  parallelism — §1;
+* a ``2^30``-PE machine handles ``k ≈ 15`` candidates even when every
+  subset is an action (``N = O(2^k)``), and ``k ≈ 20`` when
+  ``N = O(k^2)`` — §1 (the abstract pegs ``2^20`` as currently
+  implementable and ``2^30`` as feasible).
+
+This module turns each into a function of the instance/machine size so
+the benchmark harness can tabulate model-vs-measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "model_route_steps",
+    "model_bit_steps",
+    "sequential_word_ops",
+    "SpeedupPoint",
+    "speedup_point",
+    "speedup_curve",
+    "max_k_for_budget",
+    "machine_sizing_table",
+]
+
+
+def padded_p(n_actions: int) -> int:
+    """Bits of the padded action index: ``p = ceil(log2(N))`` (min 1)."""
+    return max(1, (max(1, n_actions) - 1).bit_length())
+
+
+def model_route_steps(k: int, n_actions: int) -> int:
+    """Word-level parallel steps of the §6 program: ``k * (k + log N')``.
+
+    Each DP layer runs the ``k``-step ``e``-loop plus the ``log N'``-step
+    minimization; there are ``k`` layers.  The dataflow executor's
+    ``route_steps`` counter must match this exactly (tested).
+    """
+    return k * (k + padded_p(n_actions))
+
+
+def model_bit_steps(k: int, n_actions: int, width: int) -> int:
+    """Bit-level parallel time ``O(k * W * (k + log N))``: every word
+    routed or combined costs ``W`` single-bit instruction cycles on the
+    BVM.  This is the paper's ``O(k p (k + log N))`` with ``p = W``."""
+    return model_route_steps(k, n_actions) * width
+
+
+def sequential_word_ops(k: int, n_actions: int) -> int:
+    """Work of the sequential backward induction: ``(2^k - 1) * N``
+    action evaluations (each O(1) word operations on a 64-bit machine)."""
+    return ((1 << k) - 1) * n_actions
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One row of the speedup study."""
+
+    k: int
+    n_actions: int
+    pe_count: int          # P = N' * 2^k
+    seq_ops: int
+    par_steps: int
+    speedup: float         # seq_ops / par_steps (word-level, both sides)
+    p_over_logp: float     # the claimed asymptote, for shape comparison
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per PE (1.0 would be perfect linear speedup)."""
+        return self.speedup / self.pe_count
+
+
+def speedup_point(k: int, n_actions: int) -> SpeedupPoint:
+    """Word-level speedup of the parallel algorithm at ``(k, N)``.
+
+    Both sides are counted in word operations, so the bit-serial factor
+    ``W`` and the sequential machine's 64-bit datapath (which the paper
+    nets off against each other) cancel out of the ratio.
+    """
+    p = padded_p(n_actions)
+    pe = (1 << p) * (1 << k)
+    seq = sequential_word_ops(k, n_actions)
+    par = model_route_steps(k, n_actions)
+    logp = math.log2(pe)
+    return SpeedupPoint(
+        k=k,
+        n_actions=n_actions,
+        pe_count=pe,
+        seq_ops=seq,
+        par_steps=par,
+        speedup=seq / par,
+        p_over_logp=pe / logp,
+    )
+
+
+def speedup_curve(ks, n_of_k) -> list[SpeedupPoint]:
+    """Speedup across instance sizes; ``n_of_k`` maps ``k`` to ``N``.
+
+    The claim to check is *shape*: ``speedup / (P / log P)`` should be
+    bounded between positive constants along the curve.
+    """
+    return [speedup_point(k, max(1, int(n_of_k(k)))) for k in ks]
+
+
+def max_k_for_budget(pe_budget: int, n_of_k) -> int:
+    """Largest ``k`` whose PE demand ``N'(k) * 2^k`` fits the budget."""
+    best = 0
+    k = 1
+    while True:
+        n = max(1, int(n_of_k(k)))
+        demand = (1 << padded_p(n)) * (1 << k)
+        if demand > pe_budget:
+            return best
+        best = k
+        k += 1
+        if k > 64:  # no machine is that big
+            return best
+
+
+def machine_sizing_table(budgets=(2**20, 2**30)) -> list[dict]:
+    """The paper's sizing claims: max candidates per machine size for the
+    ``N = 2^k`` (all subsets available) and ``N = k^2`` regimes."""
+    rows = []
+    for budget in budgets:
+        rows.append(
+            {
+                "pe_budget": budget,
+                "max_k_exponential_actions": max_k_for_budget(budget, lambda k: 2**k),
+                "max_k_quadratic_actions": max_k_for_budget(budget, lambda k: k * k),
+            }
+        )
+    return rows

@@ -1,0 +1,308 @@
+"""The complete TT algorithm as a bit-level BVM program (paper §7).
+
+This is the paper's actual artifact: the §6 ASCEND scheme compiled down
+to single-bit CCC instructions.  Per the implementation scheme of §7:
+
+* each PE stands for a pair ``(S, i)`` — ``S`` on the high address bits,
+  the action index ``i`` on the low bits (which land inside the cycles);
+* the predicates ``e ∈ S ∩ T_i`` and ``e ∈ S - T_i`` are built from the
+  **processor-ID** bits and per-action membership rows ``TB[e]`` loaded
+  by matching the ``i`` bits against each action index (the paper:
+  "``T_i`` should be input to the BVM");
+* the ``e``-loop moves ``R``/``Q`` words along the subset dimensions via
+  the lateral sweeps of :mod:`repro.bvm.hyperops`, with the dataflow
+  controlled by the enable register;
+* the minimization is the §6 ASCEND over the ``i`` dimensions, done with
+  the bit-serial tagged-min so the argmin rides along;
+* arithmetic is ``W``-bit saturating fixed point; the all-ones word is
+  ``INF`` and stays absorbing, which implements the paper's sentinel
+  argument at the bit level.
+
+Everything after the initial host pokes (none are needed — even the
+processor-ID, layer popcounts, ``p(S)`` prefix sums and ``t_i * p(S)``
+products are computed *in machine* with host-immediate constants folded
+into instruction truth tables) runs through the simulator's five-line
+execution core, so the returned tables carry an honest cycle count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bvm import bitserial as bs
+from ..bvm.hyperops import route_dim
+from ..bvm.isa import FN, Reg
+from ..bvm.machine import BVM
+from ..bvm.primitives import processor_id
+from ..bvm.program import ProgramBuilder
+from ..core.problem import TTProblem
+from ..util.fixedpoint import FixedPointScale, choose_scale
+from .layout import TTLayout, pad_actions
+
+__all__ = ["BVMTTResult", "build_bvm_tt", "solve_tt_bvm"]
+
+
+@dataclass
+class BVMTTResult:
+    """Decoded output of a bit-level TT run.
+
+    ``cost``/``best_action`` have the same shape and semantics as the
+    sequential :class:`~repro.core.sequential.DPResult` tables; ``cycles``
+    is the exact number of single-bit machine instructions executed and
+    ``scale`` the fixed-point encoding used.
+    """
+
+    problem: TTProblem
+    layout: TTLayout
+    scale: FixedPointScale
+    cost: np.ndarray
+    best_action: np.ndarray
+    cycles: int
+    r: int
+    width: int
+
+    @property
+    def optimal_cost(self) -> float:
+        return float(self.cost[self.problem.universe])
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.optimal_cost)
+
+    def tree(self):
+        from .extract import tree_from_tables
+
+        return tree_from_tables(self.problem, self.cost, self.best_action)
+
+
+def _choose_r(dims: int) -> int:
+    for r in range(1, 5):
+        if r + (1 << r) >= dims:
+            return r
+    raise ValueError(f"problem needs {dims} hypercube dims; CCC(r<=4) is the cap")
+
+
+@dataclass
+class _Plan:
+    """Program plus the register map needed to decode the results."""
+
+    prog: ProgramBuilder
+    layout: TTLayout
+    scale: FixedPointScale
+    M: list
+    ARG: list
+    r: int
+    width: int
+
+    def input_bits(self) -> list[int]:
+        return [0] * self.prog.Q  # consumed by cycle-ID inside processor-ID
+
+
+def build_bvm_tt(problem: TTProblem, width: int = 16, r: int | None = None) -> _Plan:
+    """Emit the full TT program for ``problem`` (no execution)."""
+    problem.require_adequate()
+    padded = pad_actions(problem)
+    layout = TTLayout.for_problem(problem)
+    k, p = layout.k, layout.p
+    r = _choose_r(layout.dims) if r is None else r
+    if r + (1 << r) < layout.dims:
+        raise ValueError(f"CCC(r={r}) too small for {layout.dims} dims")
+
+    finite_costs = [a.cost for a in problem.actions if math.isfinite(a.cost)]
+    scale = choose_scale(finite_costs or [1.0], problem.weights, k, width)
+    # Split scaling: the machine multiplies encoded costs by encoded
+    # weights, so the two factors must carry *square roots* of the overall
+    # scale — encoding both at `scale.scale` would square it and overflow.
+    m_exp = int(round(math.log2(scale.scale)))
+    scale_w = 2.0 ** (m_exp - m_exp // 2)
+    scale_c = 2.0 ** (m_exp // 2)
+    enc_costs = [
+        scale.inf if math.isinf(a.cost) else int(round(a.cost * scale_c))
+        for a in padded.actions
+    ]
+    enc_weights = [int(round(w * scale_w)) for w in problem.weights]
+    if any(c > scale.max_value for c in enc_costs if c != scale.inf) or any(
+        w > scale.max_value for w in enc_weights
+    ):
+        raise OverflowError("split-scale encoding overflows the word width")
+
+    prog = ProgramBuilder(r, L=256)
+    pool = prog.pool
+    W = width
+
+    # ------------------------------------------------------------------
+    # Register map (data first — see the allocation discipline note).
+    # ------------------------------------------------------------------
+    M = pool.alloc(W)
+    Rw = pool.alloc(W)
+    Qw = pool.alloc(W)
+    TP = pool.alloc(W)
+    PB = pool.alloc(W)       # shared partner-copy buffer (R/Q/M routes)
+    ARG = pool.alloc(p)
+    ARG0 = pool.alloc(p)
+    PARG = pool.alloc(p)
+    lk = max(1, k.bit_length())
+    LAYER = pool.alloc(lk)
+    TB = pool.alloc(k)       # TB[e] = (e ∈ T_i) per PE
+    IS_TEST = pool.alloc1()
+    GATE = pool.alloc1()
+    GATE2 = pool.alloc1()
+    pid = pool.alloc(r + (1 << r))
+
+    # ------------------------------------------------------------------
+    # Phase 1: self-knowledge — processor-ID and per-action structure.
+    # ------------------------------------------------------------------
+    prog.mark("processor-id")
+    processor_id(prog, pid)
+    i_word = pid[:p]          # action index bits
+    s_bits = pid[p : p + k]   # subset membership bits
+
+    prog.mark("control-bits")
+    prog.clear(IS_TEST)
+    for row in TB:
+        prog.clear(row)
+    match = pool.alloc1()
+    for v, act in enumerate(padded.actions):
+        bs.equals_const(prog, i_word, v, match)
+        if act.is_test:
+            prog.logic(IS_TEST, FN.OR, IS_TEST, match)
+        for e in range(k):
+            if (act.subset >> e) & 1:
+                prog.logic(TB[e], FN.OR, TB[e], match)
+
+    # LAYER = popcount of the S bits (in-machine, gated unit adds).
+    for row in LAYER:
+        prog.clear(row)
+    for e in range(k):
+        prog.enable_from(s_bits[e])
+        bs.add_const_into(prog, LAYER, 1, saturate=False)
+        prog.enable_all()
+
+    # ------------------------------------------------------------------
+    # Phase 2: arithmetic inputs — p(S), t_i, TP = t_i * p(S).
+    # ------------------------------------------------------------------
+    prog.mark("arith-inputs")
+    PS = pool.alloc(W)
+    CW = pool.alloc(W)
+    for row in PS:
+        prog.clear(row)
+    for e in range(k):
+        prog.enable_from(s_bits[e])
+        bs.add_const_into(prog, PS, enc_weights[e])
+        prog.enable_all()
+    for v, act in enumerate(padded.actions):
+        bs.equals_const(prog, i_word, v, match)
+        prog.enable_from(match)
+        bs.set_word_const(prog, CW, min(enc_costs[v], scale.inf))
+        prog.enable_all()
+    bs.mult_into(prog, TP, PS, CW)
+    # Infinite-cost actions (pads and any user INF) force TP = INF
+    # directly — the sentinel must not depend on p(S)'s encoding.
+    for v, act in enumerate(padded.actions):
+        if enc_costs[v] == scale.inf:
+            bs.equals_const(prog, i_word, v, match)
+            prog.enable_from(match)
+            bs.set_word_const(prog, TP, scale.inf)
+            prog.enable_all()
+    pool.free(*PS, *CW, match)
+
+    # M init: INF everywhere, 0 on the empty set's PEs.
+    prog.mark("m-init")
+    bs.set_word_const(prog, M, scale.inf)
+    bs.equals_const(prog, LAYER, 0, GATE)
+    prog.enable_from(GATE)
+    bs.set_word_const(prog, M, 0)
+    prog.enable_all()
+    bs.copy_word(prog, ARG0, i_word)
+    bs.copy_word(prog, ARG, ARG0)
+
+    # ------------------------------------------------------------------
+    # Phase 3: the §6 TT() loop.
+    # ------------------------------------------------------------------
+    for j in range(1, k + 1):
+        prog.mark("copy-buffers")
+        bs.copy_word(prog, Rw, M)
+        bs.copy_word(prog, Qw, M)
+
+        # e-loop: R[S,i] = R[S-{e},i] if e ∈ S∩T_i ; Q likewise for S-T_i.
+        prog.mark("e-loop")
+        for e in range(k):
+            dim = layout.subset_dim(e)
+            # cond_r = s_bit_e & TB[e] ; cond_q = s_bit_e & ~TB[e]
+            route_dim(prog, Rw, PB, dim)
+            prog.logic(GATE2, FN.AND, s_bits[e], TB[e])
+            bs.select_word(prog, Rw, GATE2, PB, Rw)
+            route_dim(prog, Qw, PB, dim)
+            prog.logic(GATE2, FN.ANDN, s_bits[e], TB[e])
+            bs.select_word(prog, Qw, GATE2, PB, Qw)
+
+        # finalize layer j: M = R + TP (+ Q if test), ARG = own index.
+        prog.mark("finalize")
+        bs.equals_const(prog, LAYER, j, GATE)
+        prog.enable_from(GATE)
+        bs.copy_word(prog, M, Rw)
+        bs.add_into(prog, M, TP)
+        prog.enable_all()
+        prog.logic(GATE2, FN.AND, GATE, IS_TEST)
+        prog.enable_from(GATE2)
+        bs.add_into(prog, M, Qw)
+        prog.enable_all()
+        prog.enable_from(GATE)
+        bs.copy_word(prog, ARG, ARG0)
+        prog.enable_all()
+
+        # §6 ASCEND minimization over the i dimensions, argmin riding along.
+        prog.mark("min-ascend")
+        for t in range(p):
+            route_dim(prog, M, PB, t)
+            route_dim(prog, ARG, PARG, t)
+            bs.min_tagged_into(prog, M, ARG, PB, PARG, gate=GATE)
+
+    return _Plan(prog=prog, layout=layout, scale=scale, M=M, ARG=ARG, r=r, width=width)
+
+
+def _decode(plan: _Plan, machine: BVM, problem: TTProblem) -> tuple[np.ndarray, np.ndarray]:
+    layout, scale = plan.layout, plan.scale
+    n_sub = 1 << layout.k
+    m_words = np.zeros(machine.n, dtype=np.int64)
+    for w, row in enumerate(plan.M):
+        m_words |= machine.read(row).astype(np.int64) << w
+    args = np.zeros(machine.n, dtype=np.int64)
+    for w, row in enumerate(plan.ARG):
+        args |= machine.read(row).astype(np.int64) << w
+
+    masks = np.arange(n_sub, dtype=np.int64)
+    addr0 = masks << layout.p
+    cost = scale.decode_array(m_words[addr0])
+    best = args[addr0]
+    best = np.where(np.isfinite(cost), best, -1)
+    best[0] = -1
+    # Clamp pad indices (only reachable on infeasible subsets anyway).
+    best = np.where(best >= problem.n_actions, -1, best)
+    return cost, best
+
+
+def solve_tt_bvm(problem: TTProblem, width: int = 16, r: int | None = None) -> BVMTTResult:
+    """Build, run and decode the bit-level TT program.
+
+    Practical sizes: ``k + ceil(log2 N) <= 11`` (a 2048-PE CCC(3) at
+    most), which covers the same instances the CCC emulator handles.
+    """
+    plan = build_bvm_tt(problem, width=width, r=r)
+    machine = plan.prog.build_machine()
+    machine.feed_input(plan.input_bits())
+    cycles = plan.prog.run(machine)
+    cost, best = _decode(plan, machine, problem)
+    return BVMTTResult(
+        problem=problem,
+        layout=plan.layout,
+        scale=plan.scale,
+        cost=cost,
+        best_action=best,
+        cycles=cycles,
+        r=plan.r,
+        width=width,
+    )

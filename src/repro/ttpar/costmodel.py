@@ -1,0 +1,126 @@
+"""Closed-form cycle model of the bit-level TT program.
+
+The paper's ``O(k · p · (k + log N))`` bound, with the constants written
+out: for each of the ``k`` DP layers the program spends
+
+* ``2W`` cycles copying ``R = Q = M``,
+* the ``e``-loop: per element, two word routes along the subset
+  dimension plus two predicate-gated conditional moves,
+* the finalize combine: masked copy + two saturating adds + the argmin
+  reset,
+* the minimization: per ``i``-dimension, routing ``M`` and ``ARG`` to
+  the partner and one bit-serial tagged min.
+
+``predict_phase_cycles`` evaluates these formulas **without building the
+program**; the test suite asserts exact equality against the emitted
+instruction counts per phase, so any change to either the macros or the
+model is caught.  ``route_dim_cost`` supplies the per-dimension routing
+constants (``2·2^d + 4`` in-cycle, ``2Q + 1`` lateral) — the concrete
+numbers behind the CCC's "constant-factor" communication overhead.
+"""
+
+from __future__ import annotations
+
+from ..bvm.hyperops import route_dim_cost
+from ..core.problem import TTProblem
+from .layout import TTLayout
+
+__all__ = [
+    "predict_phase_cycles",
+    "predict_phase_cycles_for",
+    "predict_loop_cycles",
+    "dominant_term",
+    "paper_scale_estimate",
+]
+
+
+def predict_phase_cycles(
+    problem: TTProblem, width: int, r: int
+) -> dict[str, int]:
+    """Exact per-phase cycle counts for the §6 loop phases.
+
+    Covers the phases repeated every DP layer (``copy-buffers``,
+    ``e-loop``, ``finalize``, ``min-ascend``); the one-off setup phases
+    (processor-ID, control bits, arithmetic inputs) depend on the
+    action table's bit patterns and are reported by the builder's
+    ``phase_breakdown`` instead.
+    """
+    layout = TTLayout.for_problem(problem)
+    return predict_phase_cycles_for(layout.k, layout.p, width, r)
+
+
+def predict_phase_cycles_for(k: int, p: int, width: int, r: int) -> dict[str, int]:
+    """Phase model from raw sizes (no instance needed) — lets the
+    analysis estimate machine time at paper scale (e.g. a ``2^20``-PE
+    CCC(4) that is too large to simulate bit by bit)."""
+    layout = TTLayout(k=k, p=p)
+    W = width
+    lk = max(1, k.bit_length())
+
+    copy_buffers = k * (2 * W)
+
+    eloop = 0
+    for e in range(k):
+        c = route_dim_cost(r, layout.subset_dim(e))
+        # two word routes (R and Q) + per half: predicate logic (1) and
+        # a conditional word move (1 load_b + W cmovs)
+        eloop += 2 * (W * c + 1 + 1 + W)
+    eloop *= k
+
+    finalize = k * ((1 + lk) + 1 + W + (2 * W + 2) + 1 + 1 + 1 + (2 * W + 2) + 1 + 1 + p + 1)
+
+    min_ascend = 0
+    for t in range(p):
+        c = route_dim_cost(r, t)
+        tagged_min = (W + 2) + (W + 2) + (p + 2) + 3 + 1 + W + 1 + p
+        min_ascend += (W + p) * c + tagged_min
+    min_ascend *= k
+
+    return {
+        "copy-buffers": copy_buffers,
+        "e-loop": eloop,
+        "finalize": finalize,
+        "min-ascend": min_ascend,
+    }
+
+
+def predict_loop_cycles(problem: TTProblem, width: int, r: int) -> int:
+    """Total cycles of the repeated §6 loop (sum of the phase model)."""
+    return sum(predict_phase_cycles(problem, width, r).values())
+
+
+def paper_scale_estimate(
+    k: int, n_actions: int, width: int = 64, r: int = 4, clock_hz: float = 10e6
+) -> dict:
+    """Estimated wall time of the §6 loop on the paper's hardware.
+
+    ``r = 4`` is the 2^20-PE machine the paper calls currently
+    implementable; mid-1980s bit-serial VLSI clocks sat around 10 MHz.
+    Returns the loop cycle count and the implied seconds — the number the
+    paper's speedup story promises for, e.g., 10 disease candidates with
+    1024 actions.
+    """
+    p = max(1, (max(1, n_actions) - 1).bit_length())
+    if k + p > r + (1 << r):
+        raise ValueError(f"k + log N = {k + p} dims exceed CCC({r})")
+    phases = predict_phase_cycles_for(k, p, width, r)
+    cycles = sum(phases.values())
+    return {
+        "k": k,
+        "n_actions": n_actions,
+        "pe_count": 1 << (r + (1 << r)),
+        "loop_cycles": cycles,
+        "seconds_at_clock": cycles / clock_hz,
+        "phases": phases,
+    }
+
+
+def dominant_term(problem: TTProblem, width: int, r: int) -> float:
+    """The asymptotic driver ``k · W · (k + log N') · (2Q + 1)``.
+
+    Useful for shape checks: the ratio of the measured loop cycles to
+    this term stays bounded as instances grow.
+    """
+    layout = TTLayout.for_problem(problem)
+    Q = 1 << r
+    return problem.k * width * (layout.k + layout.p) * (2 * Q + 1)

@@ -1,0 +1,83 @@
+"""Optimal-tree reconstruction from parallel cost tables.
+
+After the parallel run, every PE ``(S, ·)`` holds ``C(S)`` and the index
+of a minimizing action (the ``ARG`` register flooded alongside ``M``).
+Turning the tables into an explicit procedure is the standard DP policy
+walk; the only wrinkle is that ``ARG`` may name a *padding* treatment only
+on infeasible subsets, which reconstruction must treat as failure.
+
+``tree_from_tables`` also re-derives the argmin from the cost table when
+the recorded policy is missing/stale (``best_action=None``), which doubles
+as an internal consistency check between ``C`` and the recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import TTProblem
+from ..core.tree import TTNode, TTTree
+
+__all__ = ["tree_from_tables", "rederive_policy"]
+
+
+def rederive_policy(problem: TTProblem, cost: np.ndarray) -> np.ndarray:
+    """Recompute a minimizing action per subset from the cost table alone."""
+    n_sub = 1 << problem.k
+    best = np.full(n_sub, -1, dtype=np.int64)
+    masks = np.arange(n_sub, dtype=np.int64)
+    running = np.full(n_sub, np.inf)
+    for i, act in enumerate(problem.actions):
+        t = act.subset
+        inter = masks & t
+        rest = masks & ~t
+        value = act.cost * _subset_weight_vector(problem)[masks] + cost[rest]
+        if act.is_test:
+            value = value + cost[inter]
+            invalid = (inter == 0) | (rest == 0)
+        else:
+            invalid = inter == 0
+        value = np.where(invalid, np.inf, value)
+        better = value < running
+        running = np.where(better, value, running)
+        best = np.where(better, i, best)
+    best[0] = -1
+    return best
+
+
+def _subset_weight_vector(problem: TTProblem) -> np.ndarray:
+    from ..core.sequential import subset_weights
+
+    return subset_weights(problem)
+
+
+def tree_from_tables(
+    problem: TTProblem, cost: np.ndarray, best_action: np.ndarray | None
+) -> TTTree:
+    """Build an optimal :class:`TTTree` from ``C(S)`` (+ optional policy)."""
+    if not np.isfinite(cost[problem.universe]):
+        raise ValueError("no successful procedure exists (C(U) is infinite)")
+    if best_action is None:
+        best_action = rederive_policy(problem, cost)
+
+    n_real = problem.n_actions
+
+    def build(live: int) -> TTNode | None:
+        if live == 0:
+            return None
+        i = int(best_action[live])
+        if i < 0 or i >= n_real:
+            raise ValueError(
+                f"policy names action {i} on subset {live:#x}; table is "
+                "inconsistent or the subset is infeasible"
+            )
+        act = problem.actions[i]
+        node = TTNode(action_index=i, live_set=live)
+        if act.is_test:
+            node.pos = build(live & act.subset)
+            node.neg = build(live & ~act.subset)
+        else:
+            node.cont = build(live & ~act.subset)
+        return node
+
+    return TTTree(problem, build(problem.universe))

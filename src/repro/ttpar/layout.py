@@ -1,0 +1,114 @@
+"""PE layout for the parallel TT algorithm (paper §7).
+
+Each PE stands for a pair ``(S, i)``: ``S`` a subset of the universe
+(``k`` bits) and ``i`` an action index (``p = log2(N')`` bits, where the
+action list is padded to the next power of two ``N'`` with treatments
+``T = U`` of cost ``INF`` exactly as the paper prescribes).  The PE
+address is the concatenation — ``addr = (S << p) | i`` — so that
+
+* dims ``0 .. p-1`` flip bits of ``i``   (the §6 ASCEND minimization),
+* dims ``p .. p+k-1`` flip bits of ``S`` (the §6 ``e``-loop propagation).
+
+On the CCC/BVM realization, ``i`` lands on the in-cycle bits and ``S``
+(mostly) on the lateral bits, which is what makes the minimization an
+in-cycle shuffle and the subset propagation a lateral sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import Action, TTProblem
+from ..util.bitops import popcount_array
+
+__all__ = ["TTLayout", "pad_actions", "choose_ccc_r"]
+
+INF = np.inf
+
+
+def pad_actions(problem: TTProblem) -> TTProblem:
+    """Pad the action list to a power of two with ``T = U``, cost ``INF``
+    treatments ("we let T_N = .. = T_{2^p - 1} = U and all of them will be
+    treatments with cost INF")."""
+    n = problem.n_actions
+    target = 1 << max(1, (n - 1).bit_length())
+    if target == n:
+        return problem
+    pad = [
+        Action.treatment(problem.universe, float("inf"), name=f"pad{t}")
+        for t in range(target - n)
+    ]
+    return problem.with_actions(list(problem.actions) + pad)
+
+
+@dataclass(frozen=True)
+class TTLayout:
+    """Address bookkeeping for one padded TT instance.
+
+    Attributes
+    ----------
+    k:
+        Universe size (bits of ``S``).
+    p:
+        Bits of the action index (``N' = 2^p`` padded actions).
+    """
+
+    k: int
+    p: int
+
+    @property
+    def dims(self) -> int:
+        """Hypercube dimensions needed: ``k + p``."""
+        return self.k + self.p
+
+    @property
+    def n(self) -> int:
+        """PE count ``N' * 2^k`` — the paper's ``O(N * 2^k)`` demand."""
+        return 1 << self.dims
+
+    @property
+    def n_actions(self) -> int:
+        return 1 << self.p
+
+    def addr(self, s: int, i: int) -> int:
+        """PE address of pair ``(S, i)``."""
+        return (s << self.p) | i
+
+    def action_of(self, addr: np.ndarray) -> np.ndarray:
+        """Action index ``i`` of each (possibly replicated) address."""
+        return np.asarray(addr) & (self.n_actions - 1)
+
+    def subset_of(self, addr: np.ndarray) -> np.ndarray:
+        """Subset ``S`` of each address (replica bits above ``k+p`` masked
+        off, so replicated PEs on an oversized CCC compute identically)."""
+        return (np.asarray(addr) >> self.p) & ((1 << self.k) - 1)
+
+    def subset_dim(self, e: int) -> int:
+        """Hypercube dimension that flips element ``e`` of ``S``."""
+        if not (0 <= e < self.k):
+            raise ValueError(f"element {e} outside the universe")
+        return self.p + e
+
+    def layer_of(self, addr: np.ndarray) -> np.ndarray:
+        """``#S`` per address — the DP layer each PE belongs to."""
+        return popcount_array(self.subset_of(addr), self.k)
+
+    @staticmethod
+    def for_problem(problem: TTProblem) -> "TTLayout":
+        padded = pad_actions(problem)
+        p = (padded.n_actions - 1).bit_length()
+        return TTLayout(k=problem.k, p=p)
+
+
+def choose_ccc_r(dims: int, max_r: int = 5) -> int:
+    """Smallest ``r`` with ``r + 2^r >= dims`` (CCC(r) simulates a
+    ``2^(r + 2^r)``-PE hypercube; smaller problems replicate)."""
+    for r in range(1, max_r + 1):
+        if r + (1 << r) >= dims:
+            return r
+    raise ValueError(
+        f"a {dims}-dim problem needs CCC(r>{max_r}) — more than "
+        f"{max_r + (1 << max_r)} dims; too large to simulate"
+    )

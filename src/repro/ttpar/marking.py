@@ -1,0 +1,137 @@
+"""Parallel policy extraction: a DESCEND marking pass.
+
+The ASCEND phases of §6 leave ``C(S)`` and the argmin action flooded in
+every PE.  Reading the optimal *procedure* out of the machine is the
+mirror problem: starting from ``U``, each on-path subset must notify its
+children under the argmin policy — ``S ∩ T_a`` and ``S - T_a`` for an
+argmin test ``a``, ``S - T_a`` for a treatment.  A child differs from
+its parent in *several* subset bits, so the notification travels exactly
+like the §6 ``e``-loop, but downward: one exchange per element, dims in
+**descending** order, dropping the elements of ``S ∩ T_a`` (for the
+``-`` child) or ``S - T_a`` (for the ``∩`` child) one at a time.
+
+To keep marks self-routing we propagate one (layer, argmin-action) class
+at a time: within a class the drop condition per element is a host
+constant (``e ∈ T_a``), merged marks follow identical routes, and a mark
+has *landed* exactly when no droppable element remains — an address
+predicate.  Cost: ``O(N * k)`` exchanges per layer, all DESCEND runs (so
+the CCC executes them with pipelined descend sweeps).
+
+The result is the set of live sets of the optimal procedure — verified
+in the tests against the tree the host-side extractor builds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import TTProblem
+from ..hypercube.ccc import CCC
+from ..hypercube.machine import DimOp, Hypercube, LocalOp, Program, State
+from .dataflow import _prepare
+from .layout import TTLayout, choose_ccc_r, pad_actions
+
+__all__ = ["build_marking_program", "mark_policy_subsets", "policy_subsets_reference"]
+
+
+def build_marking_program(problem: TTProblem) -> tuple[TTLayout, Program]:
+    """The DESCEND marking pass (appended after the §6 TT program)."""
+    padded = pad_actions(problem)
+    layout = TTLayout.for_problem(problem)
+    k, p = layout.k, layout.p
+    t_masks = padded.subset_array
+    is_test = padded.test_mask_array
+    program: Program = []
+
+    def seed_op(j: int, a: int) -> LocalOp:
+        def fn(own, addr):
+            mine = (own["LAYER"] == j) & own["ONPATH"].astype(bool) & (own["ARG"] == a)
+            tq = mine & bool(is_test[a])
+            return {"TM": mine, "TQ": tq}
+
+        return LocalOp(fn, label=f"seed layer {j} action {a}")
+
+    def drop_op(e: int, a: int) -> DimOp:
+        dim = layout.subset_dim(e)
+        in_t = bool((t_masks[a] >> e) & 1)
+
+        def fn(own, partner, addr):
+            sender_has_e = ((addr >> dim) & 1) == 0  # receiver bit e is 0
+            # TM (toward S - T_a) drops elements of T_a; TQ (toward
+            # S ∩ T_a) drops elements outside T_a.
+            take_m = sender_has_e & partner["TM"].astype(bool) if in_t else np.zeros(len(addr), bool)
+            take_q = sender_has_e & partner["TQ"].astype(bool) if not in_t else np.zeros(len(addr), bool)
+            return {
+                "TM": own["TM"].astype(bool) | take_m,
+                "TQ": own["TQ"].astype(bool) | take_q,
+            }
+
+        return DimOp(dim=dim, fn=fn, label=f"mark drop e={e}")
+
+    def land_op(a: int) -> LocalOp:
+        t = int(t_masks[a])
+
+        def fn(own, addr):
+            s_of = layout.subset_of(addr)
+            landed_m = own["TM"].astype(bool) & ((s_of & t) == 0) & (s_of != 0)
+            landed_q = own["TQ"].astype(bool) & ((s_of & ~t) == 0) & (s_of != 0)
+            return {"ONPATH": own["ONPATH"].astype(bool) | landed_m | landed_q}
+
+        return LocalOp(fn, label=f"land action {a}")
+
+    n_actions = padded.n_actions
+    for j in range(k, 0, -1):
+        for a in range(n_actions):
+            program.append(seed_op(j, a))
+            for e in range(k - 1, -1, -1):
+                program.append(drop_op(e, a))
+            program.append(land_op(a))
+    return layout, program
+
+
+def _init_marks(layout: TTLayout, st: State) -> None:
+    addr = st.addresses
+    st["ONPATH"] = layout.subset_of(addr) == ((1 << layout.k) - 1)
+    st["TM"] = np.zeros(st.n, dtype=bool)
+    st["TQ"] = np.zeros(st.n, dtype=bool)
+
+
+def mark_policy_subsets(problem: TTProblem, machine: str = "hypercube") -> np.ndarray:
+    """Run ASCEND TT then the DESCEND marking; return the boolean vector
+    over subset masks that the optimal procedure visits (``U`` included,
+    ``∅`` excluded).  ``machine`` is ``"hypercube"`` or ``"ccc"``."""
+    problem.require_adequate()
+    if machine == "ccc":
+        layout = TTLayout.for_problem(problem)
+        ccc = CCC(choose_ccc_r(layout.dims))
+        layout, st, tt_program = _prepare(problem, state_dims=ccc.dims)
+        _init_marks(layout, st)
+        _, marking = build_marking_program(problem)
+        ccc.run(st, tt_program + marking)
+    else:
+        layout, st, tt_program = _prepare(problem, state_dims=None)
+        _init_marks(layout, st)
+        _, marking = build_marking_program(problem)
+        Hypercube(layout.dims).run(st, tt_program + marking)
+
+    n_sub = 1 << layout.k
+    masks = np.arange(n_sub, dtype=np.int64)
+    onpath = np.asarray(st["ONPATH"])[masks << layout.p].astype(bool)
+    onpath[0] = False
+    return onpath
+
+
+def policy_subsets_reference(problem: TTProblem) -> np.ndarray:
+    """Host-side truth: the live sets of the extracted optimal tree."""
+    from ..core.sequential import solve_dp
+
+    tree = solve_dp(problem).tree()
+    seen = np.zeros(1 << problem.k, dtype=bool)
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        seen[node.live_set] = True
+        stack.extend(node.children())
+    return seen

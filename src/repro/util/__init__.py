@@ -1,0 +1,47 @@
+"""Shared low-level utilities: bitmask sets, fixed-point, vertical integers."""
+
+from .bitops import (
+    all_subsets,
+    bit,
+    bit_matrix,
+    bits_of,
+    from_bit_matrix,
+    ilog2,
+    is_power_of_two,
+    iter_submasks,
+    mask_of,
+    popcount,
+    popcount_array,
+    subset_str,
+    subsets_of_size,
+)
+from .fixedpoint import INF_WORD, FixedPointScale, choose_scale
+from .intcodec import (
+    pack_vertical,
+    saturating_add,
+    unpack_vertical,
+    unsigned_less_than,
+)
+
+__all__ = [
+    "all_subsets",
+    "bit",
+    "bit_matrix",
+    "bits_of",
+    "from_bit_matrix",
+    "ilog2",
+    "is_power_of_two",
+    "iter_submasks",
+    "mask_of",
+    "popcount",
+    "popcount_array",
+    "subset_str",
+    "subsets_of_size",
+    "INF_WORD",
+    "FixedPointScale",
+    "choose_scale",
+    "pack_vertical",
+    "saturating_add",
+    "unpack_vertical",
+    "unsigned_less_than",
+]

@@ -1,0 +1,158 @@
+"""Bit-level helpers shared across the library.
+
+Sets of objects are represented throughout as Python ``int`` bitmasks over a
+universe ``U = {0, .., k-1}``: bit ``j`` of the mask is 1 iff object ``j`` is
+in the set.  These helpers keep all subset manipulation in one place and
+provide vectorized (NumPy) counterparts for the simulators, which operate on
+whole arrays of masks at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "popcount_array",
+    "bit",
+    "bits_of",
+    "mask_of",
+    "subsets_of_size",
+    "all_subsets",
+    "iter_submasks",
+    "subset_str",
+    "is_power_of_two",
+    "ilog2",
+    "bit_matrix",
+    "from_bit_matrix",
+]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (i.e. ``#S`` in the paper's notation)."""
+    return int(mask).bit_count()
+
+
+def popcount_array(masks: np.ndarray, k: int | None = None) -> np.ndarray:
+    """Vectorized popcount of an integer array.
+
+    Parameters
+    ----------
+    masks:
+        Array of non-negative integer bitmasks.
+    k:
+        Optional upper bound on the bit width; if given only bits
+        ``0..k-1`` are counted (masks must fit in ``k`` bits anyway).
+    """
+    masks = np.asarray(masks)
+    width = k if k is not None else int(masks.max(initial=0)).bit_length()
+    out = np.zeros(masks.shape, dtype=np.int64)
+    for b in range(width):
+        out += (masks >> b) & 1
+    return out
+
+
+def bit(mask: int, j: int) -> int:
+    """The ``j``-th bit of ``mask`` (0 or 1); ``bit(p, q)`` in the paper."""
+    return (mask >> j) & 1
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Iterate the indices of set bits of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(items) -> int:
+    """Bitmask with exactly the bits in the iterable ``items`` set."""
+    out = 0
+    for j in items:
+        out |= 1 << j
+    return out
+
+
+def subsets_of_size(k: int, j: int) -> Iterator[int]:
+    """All subsets of ``{0..k-1}`` with exactly ``j`` elements, ascending.
+
+    Uses Gosper's hack to walk same-popcount masks in increasing numeric
+    order, which is the layer order of the DP (`#S = j` layers).
+    """
+    if j < 0 or j > k:
+        return
+    if j == 0:
+        yield 0
+        return
+    mask = (1 << j) - 1
+    limit = 1 << k
+    while mask < limit:
+        yield mask
+        # Gosper's hack: next mask with the same popcount.
+        c = mask & -mask
+        r = mask + c
+        mask = (((r ^ mask) >> 2) // c) | r
+
+
+def all_subsets(k: int) -> range:
+    """All ``2**k`` subsets of ``{0..k-1}`` as a range of masks."""
+    return range(1 << k)
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """All submasks of ``mask``, including ``0`` and ``mask`` itself."""
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def subset_str(mask: int, k: int | None = None) -> str:
+    """Human-readable set notation, e.g. ``{0,2,3}`` (``{}`` for empty)."""
+    return "{" + ",".join(str(j) for j in bits_of(mask)) + "}"
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2; raises if ``n`` is not a power of two."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def bit_matrix(values: np.ndarray, width: int) -> np.ndarray:
+    """Bit-slice an integer vector into a ``(width, n)`` boolean matrix.
+
+    Row ``w`` holds bit ``w`` (LSB first) of each value — the *vertical*
+    number layout used by bit-serial machines like the BVM.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise ValueError("values must be a 1-D array")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if (values < 0).any():
+        raise ValueError("values must be non-negative")
+    if width < 64 and (values >= (1 << width)).any():
+        raise ValueError(f"values do not fit in {width} bits")
+    rows = [(values >> w) & 1 for w in range(width)]
+    return np.array(rows, dtype=bool)
+
+
+def from_bit_matrix(rows: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bit_matrix`: rebuild integers from bit slices."""
+    rows = np.asarray(rows, dtype=bool)
+    if rows.ndim != 2:
+        raise ValueError("rows must be a 2-D (width, n) matrix")
+    out = np.zeros(rows.shape[1], dtype=np.int64)
+    for w in range(rows.shape[0]):
+        out |= rows[w].astype(np.int64) << w
+    return out

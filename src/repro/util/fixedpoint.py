@@ -1,0 +1,117 @@
+"""Fixed-point cost encoding for the bit-serial machine.
+
+The BVM computes on ``W``-bit unsigned integers stored *vertically* (one bit
+per register row).  Core-level TT instances carry float costs and weights;
+before a problem is run on the BVM its arithmetic is rescaled to integers so
+that every intermediate value of the DP fits in ``W`` bits, with the all-ones
+word reserved as the ``INF`` sentinel (saturating arithmetic keeps it
+absorbing).
+
+The scaler chooses a power-of-two multiplier so the rescaling is exact for
+costs/weights that are already integers, and bounds the worst-case DP value
+by a (loose but safe) upper bound: every root-to-leaf path can charge each
+action at most once per DP layer, so ``sum_i c_i * p(U) * k`` dominates any
+reachable ``M[S,i]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointScale", "choose_scale", "INF_WORD"]
+
+
+def INF_WORD(width: int) -> int:
+    """The all-ones ``width``-bit word used as the +infinity sentinel."""
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class FixedPointScale:
+    """An exact mapping between float costs and ``width``-bit integers.
+
+    Attributes
+    ----------
+    width:
+        Word size in bits.  The encodable range is ``[0, 2**width - 2]``;
+        ``2**width - 1`` is reserved for ``INF``.
+    scale:
+        Multiplier applied to float quantities before rounding.
+    """
+
+    width: int
+    scale: float
+
+    @property
+    def inf(self) -> int:
+        return INF_WORD(self.width)
+
+    @property
+    def max_value(self) -> int:
+        return self.inf - 1
+
+    def encode(self, x: float) -> int:
+        """Encode a single non-negative float (``math.inf`` -> sentinel)."""
+        if np.isinf(x):
+            return self.inf
+        if x < 0:
+            raise ValueError("fixed-point encoding requires non-negative values")
+        v = int(round(x * self.scale))
+        if v > self.max_value:
+            raise OverflowError(
+                f"value {x} needs more than {self.width} bits at scale {self.scale}"
+            )
+        return v
+
+    def encode_array(self, xs) -> np.ndarray:
+        return np.array([self.encode(float(x)) for x in np.asarray(xs).ravel()], dtype=np.int64).reshape(np.shape(xs))
+
+    def decode(self, v: int) -> float:
+        """Decode an integer word back to a float (sentinel -> ``inf``)."""
+        if v == self.inf:
+            return float("inf")
+        return v / self.scale
+
+    def decode_array(self, vs) -> np.ndarray:
+        vs = np.asarray(vs, dtype=np.int64)
+        out = vs.astype(np.float64) / self.scale
+        out[vs == self.inf] = np.inf
+        return out
+
+
+def _pow2_at_most(x: float) -> float:
+    """Largest power of two ``<= x`` (for x >= 1), else 1.0-scaled fractions."""
+    if x <= 0:
+        raise ValueError("bound must be positive")
+    import math
+
+    return 2.0 ** math.floor(math.log2(x))
+
+
+def choose_scale(costs, weights, k: int, width: int) -> FixedPointScale:
+    """Pick a power-of-two scale so all DP values fit in ``width`` bits.
+
+    ``costs`` are the action costs ``c_i``, ``weights`` the object weights
+    ``P_j`` of a TT instance over ``k`` objects.  The bound
+    ``B = k * p(U) * sum_i c_i`` dominates every finite ``M[S,i]``: a DP value
+    is a sum of terms ``c_i * p(S')`` over a recursion tree in which each
+    (action, layer) pair contributes at most once per branch and
+    ``p(S') <= p(U)``.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    total_w = float(weights.sum())
+    bound = max(1.0, float(costs.sum()) * total_w * max(4, k))
+    max_enc = (1 << width) - 2
+    if max_enc < 1 or max_enc / bound <= 0:
+        raise OverflowError(f"width {width} too small for this instance")
+    scale = _pow2_at_most(max_enc / bound)
+    if scale < 2.0**-20:
+        # A scale this small quantizes every cost to zero bits of
+        # precision; the instance genuinely needs a wider word.
+        raise OverflowError(
+            f"width {width} leaves no usable precision for values up to {bound:g}"
+        )
+    return FixedPointScale(width=width, scale=scale)

@@ -1,0 +1,50 @@
+"""Vertical (bit-sliced) integer packing helpers.
+
+Bit-serial SIMD machines store a vector of ``W``-bit numbers as ``W``
+one-bit register rows: row ``w`` holds bit ``w`` of every number.  These
+helpers convert between that layout and ordinary integer vectors, and expose
+the handful of word-level operations the simulators need to cross-check the
+machine-level implementations against plain integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitops import bit_matrix, from_bit_matrix
+
+__all__ = [
+    "pack_vertical",
+    "unpack_vertical",
+    "saturating_add",
+    "unsigned_less_than",
+]
+
+
+def pack_vertical(values, width: int) -> np.ndarray:
+    """Pack an integer vector into a ``(width, n)`` bool matrix (LSB row 0)."""
+    return bit_matrix(np.asarray(values, dtype=np.int64), width)
+
+
+def unpack_vertical(rows: np.ndarray) -> np.ndarray:
+    """Unpack a ``(width, n)`` bool matrix back into integers."""
+    return from_bit_matrix(rows)
+
+
+def saturating_add(a, b, width: int) -> np.ndarray:
+    """Elementwise ``min(a + b, 2**width - 1)`` — the BVM add semantics.
+
+    The all-ones word doubles as the ``INF`` sentinel, so saturation makes
+    ``INF`` absorbing under addition, which is exactly what the TT dataflow
+    relies on to exclude invalid actions.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    top = (1 << width) - 1
+    s = a + b
+    return np.minimum(s, top)
+
+
+def unsigned_less_than(a, b) -> np.ndarray:
+    """Elementwise unsigned comparison ``a < b`` for int64 word vectors."""
+    return np.asarray(a, dtype=np.int64) < np.asarray(b, dtype=np.int64)

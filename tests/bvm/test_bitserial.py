@@ -1,0 +1,247 @@
+"""Bit-serial arithmetic vs. plain integer arithmetic (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm import bitserial as bs
+from repro.bvm.program import ProgramBuilder
+
+W = 8
+R_MACHINE = 1  # 8 PEs is plenty; every PE checks a different operand pair
+TOP = (1 << W) - 1
+
+words8 = st.lists(
+    st.integers(min_value=0, max_value=TOP), min_size=8, max_size=8
+)
+
+
+def _setup(n_words):
+    prog = ProgramBuilder(R_MACHINE)
+    words = [prog.pool.alloc(W) for _ in range(n_words)]
+    return prog, words
+
+
+def _poke_word(m, word, vals):
+    vals = np.asarray(vals, dtype=np.int64)
+    for w, row in enumerate(word):
+        m.poke(row, (vals >> w) & 1)
+
+
+def _read_word(m, word):
+    out = np.zeros(m.n, dtype=np.int64)
+    for w, row in enumerate(word):
+        out |= m.read(row).astype(np.int64) << w
+    return out
+
+
+class TestAdd:
+    @settings(max_examples=30, deadline=None)
+    @given(words8, words8)
+    def test_saturating_add(self, av, bv):
+        prog, (a, b) = _setup(2)
+        bs.add_into(prog, a, b)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        _poke_word(m, b, bv)
+        prog.run(m)
+        want = np.minimum(np.array(av) + np.array(bv), TOP)
+        assert (_read_word(m, a) == want).all()
+
+    def test_inf_absorbing(self):
+        prog, (a, b) = _setup(2)
+        bs.add_into(prog, a, b)
+        m = prog.build_machine()
+        _poke_word(m, a, [TOP] * 8)
+        _poke_word(m, b, list(range(8)))
+        prog.run(m)
+        assert (_read_word(m, a) == TOP).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(words8, st.integers(min_value=0, max_value=TOP))
+    def test_add_const(self, av, c):
+        prog, (a,) = _setup(1)
+        bs.add_const_into(prog, a, c)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        prog.run(m)
+        want = np.minimum(np.array(av) + c, TOP)
+        assert (_read_word(m, a) == want).all()
+
+    def test_nonsaturating_wraps(self):
+        prog, (a, b) = _setup(2)
+        bs.add_into(prog, a, b, saturate=False)
+        m = prog.build_machine()
+        _poke_word(m, a, [200] * 8)
+        _poke_word(m, b, [100] * 8)
+        prog.run(m)
+        assert (_read_word(m, a) == (300 % 256)).all()
+
+    def test_width_mismatch(self):
+        prog, (a,) = _setup(1)
+        short = prog.pool.alloc(4)
+        with pytest.raises(ValueError):
+            bs.add_into(prog, a, short)
+
+    def test_const_out_of_range(self):
+        prog, (a,) = _setup(1)
+        with pytest.raises(ValueError):
+            bs.add_const_into(prog, a, 1 << W)
+
+
+class TestCompare:
+    @settings(max_examples=30, deadline=None)
+    @given(words8, words8)
+    def test_less_than(self, av, bv):
+        prog, (a, b) = _setup(2)
+        out = prog.pool.alloc1()
+        bs.less_than(prog, a, b, out)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        _poke_word(m, b, bv)
+        prog.run(m)
+        assert (m.read(out) == (np.array(av) < np.array(bv))).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(words8, words8)
+    def test_equal_words(self, av, bv):
+        prog, (a, b) = _setup(2)
+        out = prog.pool.alloc1()
+        bs.equal_words(prog, a, b, out)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        _poke_word(m, b, bv)
+        prog.run(m)
+        assert (m.read(out) == (np.array(av) == np.array(bv))).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(words8, st.integers(min_value=0, max_value=TOP))
+    def test_equals_const(self, av, c):
+        prog, (a,) = _setup(1)
+        out = prog.pool.alloc1()
+        bs.equals_const(prog, a, c, out)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        prog.run(m)
+        assert (m.read(out) == (np.array(av) == c)).all()
+
+
+class TestMinSelect:
+    @settings(max_examples=30, deadline=None)
+    @given(words8, words8)
+    def test_min_into(self, av, bv):
+        prog, (a, b) = _setup(2)
+        bs.min_into(prog, a, b)
+        m = prog.build_machine()
+        _poke_word(m, a, av)
+        _poke_word(m, b, bv)
+        prog.run(m)
+        assert (_read_word(m, a) == np.minimum(av, bv)).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(words8, words8)
+    def test_select_word(self, xv, yv):
+        prog, (x, y, d) = _setup(3)
+        cond = prog.pool.alloc1()
+        bs.select_word(prog, d, cond, x, y)
+        m = prog.build_machine()
+        cv = np.arange(m.n) % 2 == 0
+        m.poke(cond, cv)
+        _poke_word(m, x, xv)
+        _poke_word(m, y, yv)
+        prog.run(m)
+        want = np.where(cv, xv, yv)
+        assert (_read_word(m, d) == want).all()
+
+    def test_min_into_instruction_count(self):
+        """2W+1 instructions: borrow chain + conditional moves."""
+        prog, (a, b) = _setup(2)
+        base = len(prog)
+        bs.min_into(prog, a, b)
+        assert len(prog) - base == 2 * W + 1
+
+
+class TestTaggedMin:
+    @settings(max_examples=25, deadline=None)
+    @given(words8, words8, words8, words8)
+    def test_lexicographic(self, va, ta, vb, tb):
+        prog, (a_val, a_tag, b_val, b_tag) = _setup(4)
+        bs.min_tagged_into(prog, a_val, a_tag, b_val, b_tag)
+        m = prog.build_machine()
+        _poke_word(m, a_val, va)
+        _poke_word(m, a_tag, ta)
+        _poke_word(m, b_val, vb)
+        _poke_word(m, b_tag, tb)
+        prog.run(m)
+        take = (np.array(vb) < va) | ((np.array(vb) == va) & (np.array(tb) < ta))
+        assert (_read_word(m, a_val) == np.where(take, vb, va)).all()
+        assert (_read_word(m, a_tag) == np.where(take, tb, ta)).all()
+
+    def test_gated(self):
+        prog, (a_val, a_tag, b_val, b_tag) = _setup(4)
+        gate = prog.pool.alloc1()
+        bs.min_tagged_into(prog, a_val, a_tag, b_val, b_tag, gate=gate)
+        m = prog.build_machine()
+        _poke_word(m, a_val, [9] * 8)
+        _poke_word(m, a_tag, [1] * 8)
+        _poke_word(m, b_val, [3] * 8)
+        _poke_word(m, b_tag, [2] * 8)
+        gv = np.arange(m.n) < 4
+        m.poke(gate, gv)
+        prog.run(m)
+        assert (_read_word(m, a_val) == np.where(gv, 3, 9)).all()
+
+
+class TestMult:
+    @settings(max_examples=25, deadline=None)
+    @given(words8, st.lists(st.integers(min_value=0, max_value=15), min_size=8, max_size=8))
+    def test_saturating_product(self, xv, yv):
+        prog, (x, y, acc) = _setup(3)
+        bs.mult_into(prog, acc, x, y)
+        m = prog.build_machine()
+        _poke_word(m, x, xv)
+        _poke_word(m, y, yv)
+        prog.run(m)
+        want = np.minimum(np.array(xv) * np.array(yv), TOP)
+        assert (_read_word(m, acc) == want).all()
+
+    def test_times_zero(self):
+        prog, (x, y, acc) = _setup(3)
+        bs.mult_into(prog, acc, x, y)
+        m = prog.build_machine()
+        _poke_word(m, x, [255] * 8)
+        _poke_word(m, y, [0] * 8)
+        prog.run(m)
+        assert (_read_word(m, acc) == 0).all()
+
+    def test_overflow_saturates(self):
+        prog, (x, y, acc) = _setup(3)
+        bs.mult_into(prog, acc, x, y)
+        m = prog.build_machine()
+        _poke_word(m, x, [100] * 8)
+        _poke_word(m, y, [100] * 8)
+        prog.run(m)
+        assert (_read_word(m, acc) == TOP).all()
+
+
+class TestWordUtilities:
+    def test_copy_word(self):
+        prog, (a, b) = _setup(2)
+        bs.copy_word(prog, b, a)
+        m = prog.build_machine()
+        _poke_word(m, a, list(range(8)))
+        prog.run(m)
+        assert (_read_word(m, b) == np.arange(8)).all()
+
+    def test_set_word_const(self):
+        prog, (a,) = _setup(1)
+        bs.set_word_const(prog, a, 0xA5)
+        m = prog.build_machine()
+        prog.run(m)
+        assert (_read_word(m, a) == 0xA5).all()
+
+    def test_set_word_const_range_checked(self):
+        prog, (a,) = _setup(1)
+        with pytest.raises(ValueError):
+            bs.set_word_const(prog, a, 1 << W)

@@ -1,0 +1,181 @@
+"""Differential testing of the BVM execution core.
+
+A deliberately slow, scalar, per-PE reference interpreter re-implements
+the instruction semantics straight from the paper's §2 description; the
+vectorized simulator must agree with it on randomly generated
+instruction sequences (registers, truth tables, neighbor modes,
+activation sets, enable gating, input shifts all fuzzed together).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.isa import FN, A, B, E, Instruction, Operand, R, activation_if, activation_nf
+from repro.bvm.machine import BVM
+from repro.bvm.topology import CCCTopology
+
+
+class ScalarBVM:
+    """Per-PE scalar reference: no NumPy in the execution path."""
+
+    def __init__(self, r: int, L: int = 16):
+        self.topo = CCCTopology(r)
+        self.L = L
+        n = self.topo.n
+        self.regs = [[False] * n for _ in range(L)]
+        self.a = [False] * n
+        self.b = [False] * n
+        self.e = [True] * n
+        self.inputs: list[bool] = []
+        self.outputs: list[bool] = []
+
+    def _row(self, reg):
+        if reg.kind == "A":
+            return self.a
+        if reg.kind == "B":
+            return self.b
+        if reg.kind == "E":
+            return self.e
+        return self.regs[reg.index]
+
+    def _fetch_d(self, op):
+        row = self._row(op.reg)
+        n = self.topo.n
+        if op.neighbor is None:
+            return list(row)
+        if op.neighbor == "I":
+            self.outputs.append(row[-1])
+            in_bit = self.inputs.pop(0) if self.inputs else False
+            return [in_bit] + row[:-1]
+        idx = self.topo.neighbor_index(op.neighbor)
+        return [row[int(idx[q])] for q in range(n)]
+
+    def execute(self, instr: Instruction) -> None:
+        n = self.topo.n
+        f_row = list(self._row(instr.fsrc))
+        d_row = self._fetch_d(instr.dsrc)
+        b_row = list(self.b)
+        out_f = [
+            FN.apply(instr.f, int(f_row[q]), int(d_row[q]), int(b_row[q])) == 1
+            for q in range(n)
+        ]
+        out_b = [
+            FN.apply(instr.g, int(f_row[q]), int(d_row[q]), int(b_row[q])) == 1
+            for q in range(n)
+        ]
+        if instr.activation is None:
+            active = [True] * n
+        else:
+            invert, positions = instr.activation
+            active = [
+                ((int(self.topo.pos_of[q]) in positions) != invert) for q in range(n)
+            ]
+        gated = [active[q] and self.e[q] for q in range(n)]
+        if instr.dest.kind == "E":
+            self.e = out_f
+        else:
+            dst = self._row(instr.dest)
+            for q in range(n):
+                if gated[q]:
+                    dst[q] = out_f[q]
+        for q in range(n):
+            if gated[q]:
+                self.b[q] = out_b[q]
+
+
+REGS = [A, E] + [R(j) for j in range(4)]
+DSRC_REGS = [A, B, E] + [R(j) for j in range(4)]
+NEIGHBORS = [None, "S", "P", "L", "XS", "XP", "I"]
+
+
+@st.composite
+def instructions(draw, Q):
+    dest = draw(st.sampled_from(REGS))
+    fsrc = draw(st.sampled_from(DSRC_REGS))
+    dreg = draw(st.sampled_from(DSRC_REGS))
+    neighbor = draw(st.sampled_from(NEIGHBORS))
+    f = draw(st.integers(min_value=0, max_value=255))
+    g = draw(st.integers(min_value=0, max_value=255))
+    act = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                activation_if,
+                st.sets(st.integers(min_value=0, max_value=Q - 1), max_size=Q),
+            ),
+            st.builds(
+                activation_nf,
+                st.sets(st.integers(min_value=0, max_value=Q - 1), max_size=Q),
+            ),
+        )
+    )
+    return Instruction(
+        dest=dest, f=f, fsrc=fsrc, dsrc=Operand(dreg, neighbor), g=g, activation=act
+    )
+
+
+def _sync_state(fast: BVM, slow: ScalarBVM, rng) -> None:
+    for j in range(4):
+        row = rng.integers(0, 2, fast.n).astype(bool)
+        fast.poke(R(j), row)
+        slow.regs[j] = row.tolist()
+    a = rng.integers(0, 2, fast.n).astype(bool)
+    b = rng.integers(0, 2, fast.n).astype(bool)
+    e = rng.integers(0, 2, fast.n).astype(bool)
+    fast.a, fast.b = a.copy(), b.copy()
+    fast.poke(E, e)
+    slow.a, slow.b, slow.e = a.tolist(), b.tolist(), e.tolist()
+
+
+def _agree(fast: BVM, slow: ScalarBVM) -> bool:
+    for j in range(4):
+        if fast.read(R(j)).tolist() != slow.regs[j]:
+            return False
+    return (
+        fast.a.tolist() == slow.a
+        and fast.b.tolist() == slow.b
+        and fast.e.tolist() == slow.e
+        and [bool(x) for x in fast.output_log] == slow.outputs
+    )
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.data(),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_programs_r1(self, data, seed):
+        r = 1
+        Q = 1 << r
+        fast = BVM(r, L=16)
+        slow = ScalarBVM(r, L=16)
+        rng = np.random.default_rng(seed)
+        _sync_state(fast, slow, rng)
+        in_bits = rng.integers(0, 2, 8).astype(bool).tolist()
+        fast.feed_input(in_bits)
+        slow.inputs = list(in_bits)
+        program = data.draw(
+            st.lists(instructions(Q), min_size=1, max_size=8)
+        )
+        for instr in program:
+            fast.execute(instr)
+            slow.execute(instr)
+        assert _agree(fast, slow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_r2(self, data, seed):
+        r = 2
+        Q = 1 << r
+        fast = BVM(r, L=16)
+        slow = ScalarBVM(r, L=16)
+        rng = np.random.default_rng(seed)
+        _sync_state(fast, slow, rng)
+        program = data.draw(st.lists(instructions(Q), min_size=1, max_size=5))
+        for instr in program:
+            fast.execute(instr)
+            slow.execute(instr)
+        assert _agree(fast, slow)

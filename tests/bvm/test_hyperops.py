@@ -1,0 +1,111 @@
+"""Hypercube dimension routing on CCC links."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.hyperops import dims_of, route_dim, route_dim_cost
+from repro.bvm.program import ProgramBuilder
+
+
+def _route(r, dim, vals):
+    prog = ProgramBuilder(r)
+    src = prog.pool.alloc1()
+    dst = prog.pool.alloc1()
+    route_dim(prog, [src], [dst], dim)
+    m = prog.build_machine()
+    m.poke(src, vals)
+    prog.run(m)
+    return m.read(dst), m.read(src), len(prog)
+
+
+class TestRouteDim:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_every_dimension(self, r):
+        dims = r + (1 << r)
+        rng = np.random.default_rng(r)
+        n = (1 << r) * (1 << (1 << r))
+        vals = rng.integers(0, 2, n).astype(bool)
+        for dim in range(dims):
+            got, src_after, _ = _route(r, dim, vals)
+            want = vals[np.arange(n) ^ (1 << dim)]
+            assert (got == want).all(), f"dim {dim}"
+            assert (src_after == vals).all(), "source must be preserved"
+
+    def test_multiple_rows_in_one_call(self):
+        r = 2
+        prog = ProgramBuilder(r)
+        s1, s2, d1, d2 = prog.pool.alloc(4)
+        route_dim(prog, [s1, s2], [d1, d2], 3)
+        m = prog.build_machine()
+        rng = np.random.default_rng(0)
+        v1 = rng.integers(0, 2, m.n).astype(bool)
+        v2 = rng.integers(0, 2, m.n).astype(bool)
+        m.poke(s1, v1)
+        m.poke(s2, v2)
+        prog.run(m)
+        perm = np.arange(m.n) ^ (1 << 3)
+        assert (m.read(d1) == v1[perm]).all()
+        assert (m.read(d2) == v2[perm]).all()
+
+    def test_dim_out_of_range(self):
+        prog = ProgramBuilder(1)
+        s, d = prog.pool.alloc(2)
+        with pytest.raises(ValueError):
+            route_dim(prog, [s], [d], 3)
+
+    def test_aliased_rows_rejected(self):
+        prog = ProgramBuilder(1)
+        s = prog.pool.alloc1()
+        with pytest.raises(ValueError):
+            route_dim(prog, [s], [s], 0)
+
+    def test_length_mismatch_rejected(self):
+        prog = ProgramBuilder(1)
+        s, d, d2 = prog.pool.alloc(3)
+        with pytest.raises(ValueError):
+            route_dim(prog, [s], [d, d2], 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=999))
+    def test_involution(self, seed):
+        """Routing twice along the same dim restores the original."""
+        r = 2
+        prog = ProgramBuilder(r)
+        src, mid, dst = prog.pool.alloc(3)
+        dim = seed % dims_of(prog)
+        route_dim(prog, [src], [mid], dim)
+        route_dim(prog, [mid], [dst], dim)
+        m = prog.build_machine()
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 2, m.n).astype(bool)
+        m.poke(src, vals)
+        prog.run(m)
+        assert (m.read(dst) == vals).all()
+
+
+class TestCostModel:
+    def test_cost_matches_emitted_instructions(self):
+        for r in (1, 2, 3):
+            for dim in range(r + (1 << r)):
+                prog = ProgramBuilder(r)
+                s, d = prog.pool.alloc(2)
+                route_dim(prog, [s], [d], dim)
+                assert len(prog) == route_dim_cost(r, dim), (r, dim)
+
+    def test_high_dims_cost_2q_plus_1(self):
+        r = 3
+        Q = 1 << r
+        assert route_dim_cost(r, r) == 2 * Q + 1
+        assert route_dim_cost(r, r + Q - 1) == 2 * Q + 1
+
+    def test_low_dims_cost_grows_with_distance(self):
+        r = 3
+        assert route_dim_cost(r, 0) < route_dim_cost(r, 2)
+
+    def test_rows_scale_linearly(self):
+        assert route_dim_cost(2, 3, rows=4) == 4 * route_dim_cost(2, 3, rows=1)
+
+    def test_dims_of(self):
+        assert dims_of(ProgramBuilder(2)) == 6

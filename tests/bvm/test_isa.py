@@ -1,0 +1,118 @@
+"""Instruction-set representation: registers, truth tables, instructions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bvm.isa import (
+    A,
+    B,
+    E,
+    FN,
+    Instruction,
+    Operand,
+    R,
+    Reg,
+    activation_if,
+    activation_nf,
+    tt,
+)
+
+
+class TestReg:
+    def test_named(self):
+        assert str(A) == "A" and str(B) == "B" and str(E) == "E"
+
+    def test_r(self):
+        assert str(R(7)) == "R[7]"
+        assert R(7).index == 7
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Reg("X")
+
+    def test_r_needs_index(self):
+        with pytest.raises(ValueError):
+            Reg("R")
+
+
+class TestTruthTables:
+    def test_tt_builds_8_bits(self):
+        assert tt(lambda f, d, b: 1) == 255
+        assert tt(lambda f, d, b: 0) == 0
+
+    def test_projections(self):
+        for f in (0, 1):
+            for d in (0, 1):
+                for b in (0, 1):
+                    assert FN.apply(FN.F, f, d, b) == f
+                    assert FN.apply(FN.D, f, d, b) == d
+                    assert FN.apply(FN.B, f, d, b) == b
+
+    def test_adder_tables(self):
+        for f in (0, 1):
+            for d in (0, 1):
+                for b in (0, 1):
+                    assert FN.apply(FN.SUM3, f, d, b) == (f + d + b) % 2
+                    assert FN.apply(FN.MAJ3, f, d, b) == int(f + d + b >= 2)
+
+    def test_borrow_table(self):
+        # borrow-out of f - d with borrow-in b
+        for f in (0, 1):
+            for d in (0, 1):
+                for b in (0, 1):
+                    expect = int(f - d - b < 0)
+                    assert FN.apply(FN.BORROW, f, d, b) == expect
+
+    def test_select_tables(self):
+        for f in (0, 1):
+            for d in (0, 1):
+                assert FN.apply(FN.SEL_B_FD, f, d, 1) == f
+                assert FN.apply(FN.SEL_B_FD, f, d, 0) == d
+                assert FN.apply(FN.SEL_B_DF, f, d, 1) == d
+                assert FN.apply(FN.SEL_B_DF, f, d, 0) == f
+
+    def test_eq_acc(self):
+        assert FN.apply(FN.EQ_ACC, 1, 1, 1) == 1
+        assert FN.apply(FN.EQ_ACC, 1, 0, 1) == 0
+        assert FN.apply(FN.EQ_ACC, 0, 0, 0) == 0  # prior mismatch sticks
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip_table(self, table):
+        rebuilt = tt(lambda f, d, b: (table >> (f * 4 + d * 2 + b)) & 1)
+        assert rebuilt == table
+
+
+class TestInstruction:
+    def test_str_contains_parts(self):
+        i = Instruction(dest=R(3), f=FN.AND, fsrc=A, dsrc=Operand(R(1), "L"))
+        s = str(i)
+        assert "R[3]" in s and "R[1].L" in s
+
+    def test_b_not_a_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(dest=B, f=FN.F, fsrc=A, dsrc=Operand(A))
+
+    def test_truth_table_range(self):
+        with pytest.raises(ValueError):
+            Instruction(dest=A, f=999, fsrc=A, dsrc=Operand(A))
+
+    def test_activation_rendering(self):
+        i = Instruction(
+            dest=A, f=FN.F, fsrc=A, dsrc=Operand(A), activation=activation_if([0, 2])
+        )
+        assert "IF {0,2}" in str(i)
+        j = Instruction(
+            dest=A, f=FN.F, fsrc=A, dsrc=Operand(A), activation=activation_nf([1])
+        )
+        assert "NF {1}" in str(j)
+
+
+class TestActivations:
+    def test_if(self):
+        inv, pos = activation_if([1, 3])
+        assert not inv and pos == frozenset({1, 3})
+
+    def test_nf(self):
+        inv, pos = activation_nf([0])
+        assert inv and pos == frozenset({0})

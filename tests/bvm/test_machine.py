@@ -1,0 +1,167 @@
+"""BVM execution semantics: dual assignment, masking, neighbors, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.bvm.isa import A, E, FN, Instruction, Operand, R, activation_if
+from repro.bvm.machine import BVM
+
+
+@pytest.fixture
+def m():
+    return BVM(r=1)  # 8 PEs: 4 cycles x 2 positions
+
+
+def instr(dest, f, fsrc, dsrc, g=FN.B, activation=None):
+    if not isinstance(dsrc, Operand):
+        dsrc = Operand(dsrc)
+    return Instruction(dest=dest, f=f, fsrc=fsrc, dsrc=dsrc, g=g, activation=activation)
+
+
+class TestBasicExecution:
+    def test_constant_write(self, m):
+        m.execute(instr(R(0), FN.ONE, A, A))
+        assert m.read(R(0)).all()
+        assert m.cycles == 1
+
+    def test_dual_assignment(self, m):
+        """dest and B are written simultaneously from the same inputs."""
+        m.poke(R(0), np.ones(8, bool))
+        m.execute(instr(R(1), FN.F, R(0), R(0), g=FN.NOT_F))
+        assert m.read(R(1)).all()
+        assert not m.b.any()
+
+    def test_reads_precede_writes(self, m):
+        """An in-place update sees the old value (A = ~A works)."""
+        m.execute(instr(A, FN.NOT_F, A, A))
+        assert m.a.all()
+
+    def test_logic_between_registers(self, m):
+        x = np.array([1, 0, 1, 0, 1, 0, 1, 0], bool)
+        y = np.array([1, 1, 0, 0, 1, 1, 0, 0], bool)
+        m.poke(R(0), x)
+        m.poke(R(1), y)
+        m.execute(instr(R(2), FN.XOR, R(0), R(1)))
+        assert (m.read(R(2)) == (x ^ y)).all()
+
+    def test_b_in_dataflow(self, m):
+        m.poke(R(0), np.ones(8, bool))
+        m.execute(instr(A, FN.F, R(0), R(0), g=FN.F))  # B = R0 = 1
+        m.execute(instr(R(1), FN.B, A, A))  # R1 = B
+        assert m.read(R(1)).all()
+
+    def test_register_bounds(self):
+        m = BVM(r=1, L=4)
+        with pytest.raises(IndexError):
+            m.execute(instr(R(4), FN.ONE, A, A))
+
+    def test_run_counts_cycles(self, m):
+        prog = [instr(A, FN.ONE, A, A)] * 5
+        assert m.run(prog) == 5
+        assert m.cycles == 5
+
+
+class TestNeighborReads:
+    def test_lateral(self, m):
+        vals = np.zeros(8, bool)
+        vals[0] = True  # PE (0,0)
+        m.poke(R(0), vals)
+        m.execute(instr(R(1), FN.D, A, Operand(R(0), "L")))
+        got = m.read(R(1))
+        # lateral of (1,0)=addr2 is (0,0): PE 2 must see the 1.
+        assert got[2] and got.sum() == 1
+
+    def test_succ_pred_shift(self, m):
+        vals = np.zeros(8, bool)
+        vals[0] = True  # (0,0)
+        m.poke(R(0), vals)
+        m.execute(instr(R(1), FN.D, A, Operand(R(0), "P")))
+        # (0,1) reads its predecessor (0,0): addr 1 gets the bit.
+        assert m.read(R(1))[1]
+
+    def test_xs_swaps_pairs(self):
+        m = BVM(r=2)  # Q=4
+        vals = np.zeros(m.n, bool)
+        vals[m.topology.address(0, 0)] = True
+        m.poke(R(0), vals)
+        m.execute(instr(R(1), FN.D, A, Operand(R(0), "XS")))
+        assert m.read(R(1))[m.topology.address(0, 1)]
+
+    def test_input_shift(self, m):
+        m.poke(R(0), np.zeros(8, bool))
+        m.feed_input([1])
+        m.execute(instr(R(0), FN.D, A, Operand(R(0), "I")))
+        got = m.read(R(0))
+        assert got[0] and got.sum() == 1
+
+    def test_output_logged(self, m):
+        vals = np.zeros(8, bool)
+        vals[-1] = True
+        m.poke(R(0), vals)
+        m.execute(instr(R(0), FN.D, A, Operand(R(0), "I")))
+        assert m.output_log == [True]
+
+    def test_empty_input_queue_shifts_zero(self, m):
+        m.poke(R(0), np.ones(8, bool))
+        m.execute(instr(R(0), FN.D, A, Operand(R(0), "I")))
+        assert not m.read(R(0))[0]
+
+
+class TestMasking:
+    def test_if_activation_by_position(self, m):
+        m.execute(instr(R(0), FN.ONE, A, A, activation=activation_if([1])))
+        got = m.read(R(0))
+        assert (got == (m.topology.pos_of == 1)).all()
+
+    def test_enable_register_gates_writes(self, m):
+        e = np.zeros(8, bool)
+        e[:4] = True
+        m.poke(E, e)
+        m.execute(instr(R(0), FN.ONE, A, A))
+        assert m.read(R(0)).tolist() == [True] * 4 + [False] * 4
+
+    def test_disabled_pe_keeps_b(self, m):
+        m.poke(E, np.zeros(8, bool))
+        m.execute(instr(A, FN.F, A, A, g=FN.ONE))
+        assert not m.b.any()
+
+    def test_e_write_ignores_disable(self, m):
+        """Writes to E are always enabled — otherwise a fully disabled
+        machine could never recover (the paper's exception)."""
+        m.poke(E, np.zeros(8, bool))
+        m.execute(instr(E, FN.ONE, A, A))
+        assert m.e.all()
+
+    def test_combined_if_and_enable(self, m):
+        e = np.zeros(8, bool)
+        e[::2] = True
+        m.poke(E, e)
+        m.execute(instr(R(0), FN.ONE, A, A, activation=activation_if([0])))
+        want = e & (m.topology.pos_of == 0)
+        assert (m.read(R(0)) == want).all()
+
+
+class TestHostInterface:
+    def test_poke_shape_checked(self, m):
+        with pytest.raises(ValueError):
+            m.poke(R(0), np.ones(7, bool))
+
+    def test_poke_read_roundtrip(self, m):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 2, 8).astype(bool)
+        m.poke(R(5), vals)
+        assert (m.read(R(5)) == vals).all()
+
+    def test_poke_costs_no_cycles(self, m):
+        m.poke(R(0), np.ones(8, bool))
+        assert m.cycles == 0
+
+    def test_render_contains_bits(self, m):
+        m.poke(R(0), np.ones(8, bool))
+        text = m.render([("M0", R(0)), ("A", A)])
+        assert "M0" in text and "1" in text
+
+    def test_initial_state(self, m):
+        assert m.e.all()          # enabled at power-on
+        assert not m.a.any()
+        assert not m.regs.any()

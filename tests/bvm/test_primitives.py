@@ -1,0 +1,216 @@
+"""§4 BVM primitives against closed-form golden patterns (Figs. 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.bvm.hyperops import route_dim
+from repro.bvm.primitives import (
+    broadcast_bit,
+    cycle_id,
+    cycle_id_input_bits,
+    processor_id,
+    propagation1,
+    propagation2,
+)
+from repro.bvm.program import ProgramBuilder
+from repro.util.bitops import popcount
+
+
+def _run_with_pid(r, data_rows, body):
+    """Build a program: allocate data rows first, then PID, then body."""
+    prog = ProgramBuilder(r)
+    data = prog.pool.alloc(data_rows)
+    pid = prog.pool.alloc(r + (1 << r))
+    processor_id(prog, pid)
+    body(prog, data, pid)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    return prog, m, data
+
+
+class TestCycleID:
+    """Fig. 3: the bit at cycle i, position j is bit j of i."""
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_golden_pattern(self, r):
+        prog = ProgramBuilder(r)
+        dst = prog.pool.alloc1()
+        cycle_id(prog, dst)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        topo = m.topology
+        want = ((topo.cycle_of >> topo.pos_of) & 1).astype(bool)
+        assert (m.read(dst) == want).all()
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_log_n_instructions(self, r):
+        """O(Q) = O(log n) instruction count, as the paper claims."""
+        prog = ProgramBuilder(r)
+        dst = prog.pool.alloc1()
+        cycle_id(prog, dst)
+        Q = prog.Q
+        assert len(prog) <= 4 * Q + 4
+
+    def test_one_end_interpretation(self):
+        """Equivalent view: the bit is 1 iff the PE is at the 1-end of its
+        lateral link."""
+        r = 2
+        prog = ProgramBuilder(r)
+        dst = prog.pool.alloc1()
+        cycle_id(prog, dst)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        topo = m.topology
+        got = m.read(dst)
+        partner = topo.lateral_index
+        # exactly one end of every lateral link holds a 1
+        assert (got ^ got[partner]).all()
+        # and it is the end with the larger cycle number
+        is_upper = topo.cycle_of > topo.cycle_of[partner]
+        assert (got == is_upper).all()
+
+    def test_consumes_q_input_bits(self):
+        prog = ProgramBuilder(2)
+        dst = prog.pool.alloc1()
+        cycle_id(prog, dst)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        assert len(m.input_queue) == 0
+
+    def test_input_bits_helper(self):
+        assert cycle_id_input_bits(4) == [0, 0, 0, 0]
+
+
+class TestProcessorID:
+    """Fig. 4: each PE holds its own address."""
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_golden_pattern(self, r):
+        prog = ProgramBuilder(r)
+        w = r + (1 << r)
+        pid = prog.pool.alloc(w)
+        processor_id(prog, pid)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        addr = np.zeros(m.n, dtype=np.int64)
+        for b, reg in enumerate(pid):
+            addr |= m.read(reg).astype(np.int64) << b
+        assert (addr == np.arange(m.n)).all()
+
+    def test_row_count_validated(self):
+        prog = ProgramBuilder(2)
+        with pytest.raises(ValueError):
+            processor_id(prog, prog.pool.alloc(3))
+
+    def test_log_squared_instructions(self):
+        """O(Q^2) = O(log^2 n) instruction count."""
+        for r in (1, 2, 3):
+            prog = ProgramBuilder(r)
+            pid = prog.pool.alloc(r + (1 << r))
+            processor_id(prog, pid)
+            Q = prog.Q
+            assert len(prog) <= Q * Q + 8 * Q + 10
+
+    def test_accepts_precomputed_cycle_id(self):
+        prog = ProgramBuilder(1)
+        pid = prog.pool.alloc(3)
+        cid = prog.pool.alloc1()
+        cycle_id(prog, cid)
+        processor_id(prog, pid, cid=cid)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        addr = np.zeros(m.n, dtype=np.int64)
+        for b, reg in enumerate(pid):
+            addr |= m.read(reg).astype(np.int64) << b
+        assert (addr == np.arange(m.n)).all()
+
+
+class TestBroadcast:
+    """§4.3 / Fig. 6: flood PE 0's bit to the whole machine."""
+
+    @pytest.mark.parametrize("r", [1, 2])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_floods_value(self, r, bit):
+        def body(prog, data, pid):
+            broadcast_bit(prog, data[0], data[1], pid, route_dim)
+
+        prog, m, data = _run_with_pid(r, 2, body)
+        v = np.zeros(m.n, bool)
+        s = np.zeros(m.n, bool)
+        v[0] = bool(bit)
+        s[0] = True
+        m.poke(data[0], v)
+        m.poke(data[1], s)
+        prog.run(m)
+        assert (m.read(data[0]) == bool(bit)).all()
+        assert m.read(data[1]).all()
+
+    def test_matches_hypercube_collective(self):
+        """BVM broadcast == the hypercube-level broadcast program."""
+        from repro.hypercube.collectives import broadcast_program
+        from repro.hypercube.machine import Hypercube, make_state
+
+        r = 2
+        dims = r + (1 << r)
+
+        def body(prog, data, pid):
+            broadcast_bit(prog, data[0], data[1], pid, route_dim)
+
+        prog, m, data = _run_with_pid(r, 2, body)
+        v = np.zeros(m.n, bool)
+        s = np.zeros(m.n, bool)
+        v[0] = True
+        s[0] = True
+        m.poke(data[0], v.copy())
+        m.poke(data[1], s.copy())
+        prog.run(m)
+
+        st = make_state(dims, V=v.astype(float), SENDER=s)
+        Hypercube(dims).run(st, broadcast_program(dims))
+        assert (m.read(data[0]) == st["V"].astype(bool)).all()
+
+
+class TestPropagation:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_propagation1_group_step(self, r):
+        """1-group to 2-group: each 2-set PE ORs its two singletons."""
+
+        def body(prog, data, pid):
+            propagation1(prog, data[0], data[1], pid, route_dim)
+
+        prog, m, data = _run_with_pid(r, 2, body)
+        addrs = np.arange(m.n)
+        pops = np.array([popcount(a) for a in addrs])
+        sender = pops == 1
+        value = sender & (addrs % 3 == 0)  # some singletons carry a 1
+        m.poke(data[0], value.copy())
+        m.poke(data[1], sender.copy())
+        prog.run(m)
+        got = m.read(data[0])
+        for a in addrs[pops == 2]:
+            subs = [a & ~(1 << b) for b in range(20) if (a >> b) & 1]
+            want = any(value[s] for s in subs)
+            assert got[a] == want
+        # senders keep their group membership
+        assert (m.read(data[1]) == sender).all()
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_propagation2_floods_upward(self, r):
+        def body(prog, data, pid):
+            propagation2(prog, data[0], data[1], pid, route_dim)
+
+        prog, m, data = _run_with_pid(r, 2, body)
+        addrs = np.arange(m.n)
+        pops = np.array([popcount(a) for a in addrs])
+        sender = pops == 1
+        m.poke(data[0], sender.copy())
+        m.poke(data[1], sender.copy())
+        prog.run(m)
+        want = addrs != 0
+        assert (m.read(data[0]) == want).all()
+        assert (m.read(data[1]) == want).all()

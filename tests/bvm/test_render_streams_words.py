@@ -1,0 +1,133 @@
+"""Coverage for the render helpers and word-level streaming."""
+
+import numpy as np
+import pytest
+
+from repro.bvm import bitserial as bs
+from repro.bvm.isa import A, R
+from repro.bvm.machine import BVM
+from repro.bvm.primitives import cycle_id, cycle_id_input_bits
+from repro.bvm.program import ProgramBuilder
+from repro.bvm.render import render_cycle_grid, render_machine, render_pid_columns
+from repro.bvm.streams import (
+    decode_streamed_row,
+    stream_bits_for,
+    stream_load_word,
+    stream_read_word,
+)
+
+
+class TestRenderMachine:
+    def test_shows_rows_and_truncates(self):
+        m = BVM(r=2)
+        m.poke(R(0), np.ones(m.n, bool))
+        text = render_machine(m, [("ones", R(0)), ("A", A)], max_pes=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("PE")
+        assert "ones" in text
+        # 10 PEs shown: 10 cells per row
+        assert lines[1].count("1") == 10
+
+
+class TestRenderCycleGrid:
+    def test_matches_cycle_id(self):
+        prog = ProgramBuilder(2)
+        dst = prog.pool.alloc1()
+        cycle_id(prog, dst)
+        m = prog.build_machine()
+        m.feed_input(cycle_id_input_bits(prog.Q))
+        prog.run(m)
+        text = render_cycle_grid(m, dst, max_cycles=16)
+        lines = text.splitlines()
+        assert len(lines) == 17  # header + 16 cycles
+        # cycle 5 = 0b0101: bits at positions 0..3 are 1 0 1 0
+        assert lines[6].split()[-4:] == ["1", "0", "1", "0"]
+
+    def test_truncation_notice(self):
+        m = BVM(r=2)
+        text = render_cycle_grid(m, R(0), max_cycles=4)
+        assert "more cycles" in text
+
+
+class TestRenderPidColumns:
+    def test_addresses_row(self):
+        m = BVM(r=1)
+        # poke PID rows directly: bit b of each address
+        pid = [R(0), R(1), R(2)]
+        for b, reg in enumerate(pid):
+            m.poke(reg, ((np.arange(8) >> b) & 1).astype(bool))
+        text = render_pid_columns(m, pid, max_pes=8)
+        assert text.splitlines()[-1].split()[1:] == [str(q) for q in range(8)]
+
+
+class TestWordStreaming:
+    W = 4
+
+    def test_stream_load_word(self):
+        prog = ProgramBuilder(1)
+        word = prog.pool.alloc(self.W)
+        n_bits = stream_load_word(prog, word)
+        m = prog.build_machine()
+        vals = np.array([3, 7, 0, 15, 9, 1, 5, 12])
+        queue = []
+        for w in range(self.W):
+            queue.extend(stream_bits_for((vals >> w) & 1))
+        m.feed_input(queue)
+        prog.run(m)
+        got = np.zeros(m.n, dtype=int)
+        for w, row in enumerate(word):
+            got |= m.read(row).astype(int) << w
+        assert n_bits == self.W * m.n
+        assert (got == vals).all()
+
+    def test_stream_read_word(self):
+        prog = ProgramBuilder(1)
+        word = prog.pool.alloc(self.W)
+        scratch = prog.pool.alloc1()
+        n_bits = stream_read_word(prog, word, scratch)
+        m = prog.build_machine()
+        vals = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+        for w, row in enumerate(word):
+            m.poke(row, ((vals >> w) & 1).astype(bool))
+        prog.run(m)
+        assert n_bits == self.W * m.n
+        # output log holds W planes, LSB first, each last-PE-first
+        planes = []
+        per = m.n
+        for w in range(self.W):
+            chunk = m.output_log[w * per : (w + 1) * per]
+            planes.append(np.array(chunk[::-1], dtype=bool))
+        got = np.zeros(m.n, dtype=int)
+        for w, plane in enumerate(planes):
+            got |= plane.astype(int) << w
+        assert (got == vals).all()
+
+    def test_decode_streamed_row_tail(self):
+        prog = ProgramBuilder(1)
+        src, scratch = prog.pool.alloc(2)
+        from repro.bvm.streams import stream_read
+
+        n = stream_read(prog, src, scratch)
+        m = prog.build_machine()
+        pattern = np.array([1, 0, 0, 1, 1, 0, 1, 0], bool)
+        m.poke(src, pattern)
+        prog.run(m)
+        assert (decode_streamed_row(m, n) == pattern).all()
+
+
+class TestStateView:
+    def test_view_with_selection(self):
+        from repro.hypercube.machine import make_state
+
+        st = make_state(2, X=np.arange(4.0))
+        sel = np.array([0, 2])
+        view = st.view(sel=sel)
+        assert view["X"].tolist() == [0.0, 2.0]
+
+    def test_view_perm_and_sel(self):
+        from repro.hypercube.machine import make_state
+
+        st = make_state(2, X=np.arange(4.0))
+        perm = np.array([3, 2, 1, 0])
+        view = st.view(perm=perm, sel=np.array([1]))
+        assert view["X"].tolist() == [2.0]

@@ -1,0 +1,107 @@
+"""Bit-level sorting and permutation routing on the BVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.primitives import cycle_id_input_bits, processor_id
+from repro.bvm.program import ProgramBuilder
+from repro.bvm.sortroute import benes_permute, bitonic_sort
+from repro.hypercube.benes import benes_stage_count
+
+W = 8
+
+
+def _sorted_machine(r, vals):
+    prog = ProgramBuilder(r)
+    word = prog.pool.alloc(W)
+    pid = prog.pool.alloc(r + (1 << r))
+    processor_id(prog, pid)
+    bitonic_sort(prog, word, pid)
+    m = prog.build_machine()
+    m.feed_input(cycle_id_input_bits(prog.Q))
+    for w in range(W):
+        m.poke(word[w], (np.asarray(vals) >> w) & 1)
+    prog.run(m)
+    got = np.zeros(m.n, dtype=int)
+    for w in range(W):
+        got |= m.read(word[w]).astype(int) << w
+    return got
+
+
+class TestBVMBitonicSort:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_random_values(self, r):
+        rng = np.random.default_rng(r)
+        n = (1 << r) * (1 << (1 << r))
+        vals = rng.integers(0, 256, n)
+        assert (_sorted_machine(r, vals) == np.sort(vals)).all()
+
+    def test_duplicates(self):
+        vals = np.array([7, 7, 3, 3, 255, 0, 0, 7])
+        assert (_sorted_machine(1, vals) == np.sort(vals)).all()
+
+    def test_already_sorted(self):
+        vals = np.arange(8) * 10
+        assert (_sorted_machine(1, vals) == vals).all()
+
+    def test_reverse(self):
+        vals = np.arange(8)[::-1].copy()
+        assert (_sorted_machine(1, vals) == np.arange(8)).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8))
+    def test_property(self, vals):
+        assert _sorted_machine(1, np.array(vals)).tolist() == sorted(vals)
+
+
+class TestBVMBenes:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_random_permutation(self, r):
+        prog = ProgramBuilder(r)
+        word = prog.pool.alloc(W)
+        n = prog.Q * (1 << prog.Q)
+        rng = np.random.default_rng(r + 20)
+        dest = rng.permutation(n)
+        plan = benes_permute(prog, word, dest)
+        m = prog.build_machine()
+        plan.load_control_bits(m)
+        vals = rng.integers(0, 256, n)
+        for w in range(W):
+            m.poke(word[w], (vals >> w) & 1)
+        prog.run(m)
+        got = np.zeros(n, dtype=int)
+        for w in range(W):
+            got |= m.read(word[w]).astype(int) << w
+        want = np.empty(n, dtype=int)
+        want[dest] = vals
+        assert (got == want).all()
+
+    def test_stage_count(self):
+        prog = ProgramBuilder(2)
+        word = prog.pool.alloc(W)
+        dest = np.random.default_rng(0).permutation(64)
+        plan = benes_permute(prog, word, dest)
+        assert plan.n_stages == benes_stage_count(6) == 11
+
+    def test_identity_permutation(self):
+        prog = ProgramBuilder(1)
+        word = prog.pool.alloc(W)
+        plan = benes_permute(prog, word, np.arange(8))
+        m = prog.build_machine()
+        plan.load_control_bits(m)
+        vals = np.arange(8) + 40
+        for w in range(W):
+            m.poke(word[w], (vals >> w) & 1)
+        prog.run(m)
+        got = np.zeros(8, dtype=int)
+        for w in range(W):
+            got |= m.read(word[w]).astype(int) << w
+        assert (got == vals).all()
+
+    def test_wrong_size_rejected(self):
+        prog = ProgramBuilder(1)
+        word = prog.pool.alloc(W)
+        with pytest.raises(ValueError):
+            benes_permute(prog, word, np.arange(4))

@@ -1,0 +1,184 @@
+"""Serial I/O streaming and machine-wide reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.collectives import global_and, global_count, global_or
+from repro.bvm.program import ProgramBuilder
+from repro.bvm.streams import (
+    decode_streamed_row,
+    stream_bits_for,
+    stream_load,
+    stream_read,
+)
+
+
+class TestStreamLoad:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_roundtrip_pattern(self, r):
+        prog = ProgramBuilder(r)
+        dst = prog.pool.alloc1()
+        n_bits = stream_load(prog, dst)
+        m = prog.build_machine()
+        rng = np.random.default_rng(r)
+        pattern = rng.integers(0, 2, m.n).astype(bool)
+        m.feed_input(stream_bits_for(pattern))
+        prog.run(m)
+        assert n_bits == m.n
+        assert (m.read(dst) == pattern).all()
+
+    def test_streamed_equals_poked(self):
+        """The honest serial path produces the same register contents as
+        a host poke — nothing depends on magic memory access."""
+        r = 1
+        pattern = np.array([1, 0, 1, 1, 0, 0, 1, 0], bool)
+
+        prog_a = ProgramBuilder(r)
+        row_a = prog_a.pool.alloc1()
+        stream_load(prog_a, row_a)
+        ma = prog_a.build_machine()
+        ma.feed_input(stream_bits_for(pattern))
+        prog_a.run(ma)
+
+        prog_b = ProgramBuilder(r)
+        row_b = prog_b.pool.alloc1()
+        mb = prog_b.build_machine()
+        mb.poke(row_b, pattern)
+        prog_b.run(mb)
+
+        assert (ma.read(row_a) == mb.read(row_b)).all()
+
+    def test_costs_n_cycles(self):
+        prog = ProgramBuilder(1)
+        dst = prog.pool.alloc1()
+        stream_load(prog, dst)
+        assert len(prog) == 8
+
+
+class TestStreamRead:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_output_matches_register(self, r):
+        prog = ProgramBuilder(r)
+        src, scratch = prog.pool.alloc(2)
+        n_bits = stream_read(prog, src, scratch)
+        m = prog.build_machine()
+        rng = np.random.default_rng(r + 10)
+        pattern = rng.integers(0, 2, m.n).astype(bool)
+        m.poke(src, pattern)
+        prog.run(m)
+        assert (decode_streamed_row(m, n_bits) == pattern).all()
+
+    def test_source_preserved(self):
+        prog = ProgramBuilder(1)
+        src, scratch = prog.pool.alloc(2)
+        stream_read(prog, src, scratch)
+        m = prog.build_machine()
+        pattern = np.array([1, 1, 0, 0, 1, 0, 1, 0], bool)
+        m.poke(src, pattern)
+        prog.run(m)
+        assert (m.read(src) == pattern).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_roundtrip_property(self, bits):
+        prog = ProgramBuilder(1)
+        src, scratch = prog.pool.alloc(2)
+        n_bits = stream_read(prog, src, scratch)
+        m = prog.build_machine()
+        m.poke(src, np.array(bits, bool))
+        prog.run(m)
+        assert decode_streamed_row(m, n_bits).tolist() == bits
+
+
+class TestGlobalOr:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_one_hot(self, r):
+        prog = ProgramBuilder(r)
+        row = prog.pool.alloc1()
+        global_or(prog, row)
+        m = prog.build_machine()
+        pattern = np.zeros(m.n, bool)
+        pattern[m.n // 3] = True
+        m.poke(row, pattern)
+        prog.run(m)
+        assert m.read(row).all()
+
+    def test_all_zero(self):
+        prog = ProgramBuilder(2)
+        row = prog.pool.alloc1()
+        global_or(prog, row)
+        m = prog.build_machine()
+        prog.run(m)
+        assert not m.read(row).any()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**8 - 1))
+    def test_property(self, bits):
+        prog = ProgramBuilder(1)
+        row = prog.pool.alloc1()
+        global_or(prog, row)
+        m = prog.build_machine()
+        pattern = np.array([(bits >> i) & 1 for i in range(8)], bool)
+        m.poke(row, pattern)
+        prog.run(m)
+        assert m.read(row).all() == (bits != 0)
+
+
+class TestGlobalAnd:
+    def test_all_ones(self):
+        prog = ProgramBuilder(1)
+        row = prog.pool.alloc1()
+        global_and(prog, row)
+        m = prog.build_machine()
+        m.poke(row, np.ones(m.n, bool))
+        prog.run(m)
+        assert m.read(row).all()
+
+    def test_one_zero_kills(self):
+        prog = ProgramBuilder(1)
+        row = prog.pool.alloc1()
+        global_and(prog, row)
+        m = prog.build_machine()
+        pattern = np.ones(m.n, bool)
+        pattern[5] = False
+        m.poke(row, pattern)
+        prog.run(m)
+        assert not m.read(row).any()
+
+
+class TestGlobalCount:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_counts_flags(self, r):
+        prog = ProgramBuilder(r)
+        flag = prog.pool.alloc1()
+        width = (r + (1 << r)) + 1
+        count = prog.pool.alloc(width)
+        global_count(prog, flag, count)
+        m = prog.build_machine()
+        rng = np.random.default_rng(r + 7)
+        pattern = rng.integers(0, 2, m.n).astype(bool)
+        m.poke(flag, pattern)
+        prog.run(m)
+        got = np.zeros(m.n, dtype=int)
+        for w, row in enumerate(count):
+            got |= m.read(row).astype(int) << w
+        assert (got == pattern.sum()).all()
+
+    def test_width_validated(self):
+        prog = ProgramBuilder(2)
+        flag = prog.pool.alloc1()
+        with pytest.raises(ValueError):
+            global_count(prog, flag, prog.pool.alloc(3))
+
+    def test_count_all_set(self):
+        prog = ProgramBuilder(1)
+        flag = prog.pool.alloc1()
+        count = prog.pool.alloc(4)
+        global_count(prog, flag, count)
+        m = prog.build_machine()
+        m.poke(flag, np.ones(m.n, bool))
+        prog.run(m)
+        got = sum(int(m.read(row)[0]) << w for w, row in enumerate(count))
+        assert got == m.n

@@ -1,0 +1,113 @@
+"""CCC topology of the BVM: neighbor maps and structural facts."""
+
+import numpy as np
+import pytest
+
+from repro.bvm.topology import CCCTopology
+
+
+@pytest.fixture(params=[1, 2, 3])
+def topo(request):
+    return CCCTopology(request.param)
+
+
+class TestGeometry:
+    def test_sizes(self, topo):
+        assert topo.Q == 1 << topo.r
+        assert topo.n == topo.Q * (1 << topo.Q)
+
+    def test_rejects_r0(self):
+        with pytest.raises(ValueError):
+            CCCTopology(0)
+
+    def test_cycle_pos_decomposition(self, topo):
+        assert (topo.address(topo.cycle_of, topo.pos_of) == topo.addresses).all()
+        assert (topo.pos_of < topo.Q).all()
+        assert (topo.cycle_of < topo.n_cycles).all()
+
+
+class TestNeighborMaps:
+    def test_succ_pred_are_inverse(self, topo):
+        assert (topo.succ_index[topo.pred_index] == topo.addresses).all()
+        assert (topo.pred_index[topo.succ_index] == topo.addresses).all()
+
+    def test_succ_stays_in_cycle(self, topo):
+        assert (topo.cycle_of[topo.succ_index] == topo.cycle_of).all()
+
+    def test_succ_advances_position(self, topo):
+        assert (topo.pos_of[topo.succ_index] == (topo.pos_of + 1) % topo.Q).all()
+
+    def test_lateral_is_involution(self, topo):
+        lat = topo.lateral_index
+        assert (lat[lat] == topo.addresses).all()
+
+    def test_lateral_flips_cycle_bit_at_position(self, topo):
+        lat = topo.lateral_index
+        assert (topo.pos_of[lat] == topo.pos_of).all()
+        flipped = topo.cycle_of[lat] ^ topo.cycle_of
+        assert (flipped == (1 << topo.pos_of)).all()
+
+    def test_xs_is_involution(self, topo):
+        if topo.Q == 2:
+            pytest.skip("Q=2: XS pairs coincide with the 2-cycle itself")
+        xs = topo.xs_index
+        assert (xs[xs] == topo.addresses).all()
+
+    def test_xs_pairs_even_with_successor(self, topo):
+        xs = topo.xs_index
+        even = topo.pos_of % 2 == 0
+        assert (xs[even] == topo.succ_index[even]).all()
+        assert (xs[~even] == topo.pred_index[~even]).all()
+
+    def test_xp_pairs_even_with_predecessor(self, topo):
+        xp = topo.xp_index
+        even = topo.pos_of % 2 == 0
+        assert (xp[even] == topo.pred_index[even]).all()
+        assert (xp[~even] == topo.succ_index[~even]).all()
+
+    def test_linear_pred(self, topo):
+        lp = topo.linear_pred_index
+        assert lp[0] == 0  # PE 0 handled by the input port
+        assert (lp[1:] == topo.addresses[:-1]).all()
+
+    def test_unknown_neighbor_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.neighbor_index("Z")
+
+    def test_named_lookup(self, topo):
+        assert (topo.neighbor_index("S") == topo.succ_index).all()
+        assert (topo.neighbor_index("L") == topo.lateral_index).all()
+
+
+class TestStructure:
+    def test_degree_three(self, topo):
+        assert topo.degree() == 3
+
+    def test_link_count_3n_over_2(self):
+        for r in (2, 3):
+            topo = CCCTopology(r)
+            assert topo.link_count() == 3 * topo.n // 2
+
+    def test_link_count_q2_special_case(self):
+        topo = CCCTopology(1)
+        # 2-PE cycles have one edge each: 4 cycle edges + 4 laterals.
+        assert topo.link_count() == 8
+
+    def test_hypercube_dims(self, topo):
+        assert topo.hypercube_dims() == topo.r + topo.Q
+        assert 1 << topo.hypercube_dims() == topo.n
+
+    def test_every_pe_reachable(self):
+        """The CCC is connected: BFS over the three link types covers n."""
+        topo = CCCTopology(2)
+        seen = {0}
+        frontier = [0]
+        maps = [topo.succ_index, topo.pred_index, topo.lateral_index]
+        while frontier:
+            q = frontier.pop()
+            for m in maps:
+                t = int(m[q])
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        assert len(seen) == topo.n

@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.problem import Action, TTProblem
+
+
+@st.composite
+def tt_problems(draw, min_k=1, max_k=5, max_actions=6, integral=False):
+    """Random *adequate* TT problems.
+
+    ``integral=True`` restricts costs/weights to small integers so that
+    fixed-point encodings on the bit-serial machine are exact.
+    """
+    k = draw(st.integers(min_value=min_k, max_value=max_k))
+    full = (1 << k) - 1
+    if integral:
+        weight = st.integers(min_value=1, max_value=8).map(float)
+        cost = st.integers(min_value=0, max_value=8).map(float)
+    else:
+        weight = st.floats(min_value=0.25, max_value=8.0, allow_nan=False)
+        cost = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+    weights = draw(st.lists(weight, min_size=k, max_size=k))
+
+    n_extra = draw(st.integers(min_value=0, max_value=max_actions))
+    actions = []
+    for _ in range(n_extra):
+        subset = draw(st.integers(min_value=1, max_value=full))
+        is_test = draw(st.booleans())
+        c = draw(cost)
+        if is_test and (subset == full or subset == 0):
+            is_test = False
+        actions.append(
+            Action.test(subset, c) if is_test else Action.treatment(subset, c)
+        )
+    # Guarantee adequacy with a covering treatment.
+    actions.append(Action.treatment(full, draw(cost), name="cover"))
+    return TTProblem.build(weights, actions)
+
+
+@pytest.fixture
+def tiny_problem():
+    """The worked 3-object example used across the suite."""
+    return TTProblem.build(
+        weights=[3.0, 1.0, 2.0],
+        actions=[
+            Action.test({0, 1}, cost=1.0, name="swab"),
+            Action.treatment({0}, cost=4.0, name="drugA"),
+            Action.treatment({1, 2}, cost=5.0, name="drugB"),
+        ],
+        name="tiny",
+    )

@@ -1,0 +1,131 @@
+"""Binary-testing specialization: reduction, Huffman and entropy anchors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_testing import (
+    BinaryTestingProblem,
+    complete_test_instance,
+    entropy_lower_bound,
+    huffman_cost,
+    safe_treatment_cost,
+    solve_binary_testing,
+    to_tt_problem,
+)
+from repro.core.sequential import solve_dp
+
+
+class TestModelValidation:
+    def test_weight_count(self):
+        with pytest.raises(ValueError):
+            BinaryTestingProblem(k=2, weights=(1.0,), tests=((1, 1.0),))
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            BinaryTestingProblem(k=1, weights=(0.0,), tests=())
+
+    def test_test_outside_universe(self):
+        with pytest.raises(ValueError):
+            BinaryTestingProblem(k=1, weights=(1.0,), tests=((0b10, 1.0),))
+
+
+class TestReduction:
+    def test_reduction_shape(self):
+        btp = complete_test_instance([1.0, 2.0, 3.0])
+        tt = to_tt_problem(btp)
+        assert tt.n_tests == 6  # 2^3 - 2 subsets
+        assert tt.n_treatments == 3
+        assert tt.is_adequate()
+
+    def test_treatment_cost_forbids_probing(self):
+        btp = complete_test_instance([1.0, 1.0, 1.0, 1.0])
+        c = safe_treatment_cost(btp)
+        tt = to_tt_problem(btp, treatment_cost=c)
+        tree = solve_dp(tt).tree()
+        # Optimal procedure must treat only at singleton live sets.
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            act = tt.actions[node.action_index]
+            if act.is_treatment:
+                assert bin(node.live_set).count("1") == 1
+            stack.extend(node.children())
+
+
+class TestHuffmanAnchor:
+    """DP == Huffman when every subset is a unit-cost test: the strongest
+    independent validation of the TT recurrence."""
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            [1.0, 1.0],
+            [1.0, 1.0, 1.0, 1.0],
+            [5.0, 3.0, 2.0, 1.0],
+            [8.0, 4.0, 2.0, 1.0, 1.0],
+            [1.0, 1.0, 2.0, 3.0, 5.0],
+        ],
+    )
+    def test_dp_matches_huffman(self, weights):
+        btp = complete_test_instance(weights)
+        ident_cost, tree = solve_binary_testing(btp)
+        assert ident_cost == pytest.approx(huffman_cost(weights))
+        tree.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=9).map(float), min_size=2, max_size=5
+        )
+    )
+    def test_dp_matches_huffman_property(self, weights):
+        btp = complete_test_instance(weights)
+        ident_cost, _ = solve_binary_testing(btp)
+        assert ident_cost == pytest.approx(huffman_cost(weights))
+
+    def test_single_object_needs_no_tests(self):
+        btp = complete_test_instance([4.0])
+        # k=1 has no nontrivial subsets, hence no tests; identification
+        # is immediate.
+        assert btp.tests == ()
+        ident_cost, _ = solve_binary_testing(btp)
+        assert ident_cost == pytest.approx(0.0)
+
+
+class TestEntropyBound:
+    def test_uniform_power_of_two(self):
+        # 4 equal weights: H = 2 bits; total weight 4 -> bound 8; Huffman 8.
+        assert entropy_lower_bound([1, 1, 1, 1]) == pytest.approx(8.0)
+        assert huffman_cost([1, 1, 1, 1]) == pytest.approx(8.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_huffman_within_one_bit_of_entropy(self, weights):
+        lb = entropy_lower_bound(weights)
+        hc = huffman_cost(weights)
+        assert hc >= lb - 1e-9
+        assert hc <= lb + sum(weights) + 1e-9  # redundancy < 1 bit/symbol
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_lower_bound([0.0, 0.0])
+
+
+class TestHuffman:
+    def test_two_items(self):
+        assert huffman_cost([3.0, 5.0]) == pytest.approx(8.0)
+
+    def test_singleton(self):
+        assert huffman_cost([42.0]) == 0.0
+
+    def test_textbook_example(self):
+        # weights 1,1,2,3,5: merges 2, 4, 7, 12 -> internal sum 25
+        assert huffman_cost([1, 1, 2, 3, 5]) == pytest.approx(25.0)

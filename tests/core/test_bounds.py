@@ -1,0 +1,106 @@
+"""Certified lower bounds and action criticality."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.binary_testing import complete_test_instance, to_tt_problem
+from repro.core.bounds import (
+    action_criticality,
+    entropy_actions_floor,
+    lower_bound,
+    treatment_floor,
+)
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from tests.conftest import tt_problems
+
+
+class TestTreatmentFloor:
+    @settings(max_examples=40, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_never_exceeds_optimum(self, problem):
+        assert treatment_floor(problem) <= solve_dp(problem).optimal_cost + 1e-9
+
+    def test_tight_when_single_covering_treatment(self):
+        p = TTProblem.build([2.0, 3.0], [Action.treatment({0, 1}, 5.0)])
+        # Optimal = apply it once: 5 * 5 = 25; floor = 5*2 + 5*3 = 25.
+        assert treatment_floor(p) == pytest.approx(25.0)
+        assert solve_dp(p).optimal_cost == pytest.approx(25.0)
+
+    def test_untreatable_object_gives_inf(self):
+        p = TTProblem.build(
+            [1.0, 1.0], [Action.test({0}, 1.0), Action.treatment({0}, 2.0)]
+        )
+        assert math.isinf(treatment_floor(p))
+
+
+class TestEntropyFloor:
+    def test_none_with_group_treatments(self, tiny_problem):
+        # drugB covers {1, 2}: the entropy argument does not apply.
+        assert entropy_actions_floor(tiny_problem) is None
+
+    def test_applies_with_singleton_treatments(self):
+        btp = complete_test_instance([1.0, 1.0, 1.0, 1.0])
+        tt = to_tt_problem(btp, treatment_cost=1.0)
+        floor = entropy_actions_floor(tt)
+        assert floor is not None
+        # uniform over 4: H = 2 bits, weight 4, c_min = 1 -> floor 8.
+        assert floor == pytest.approx(8.0)
+
+    def test_bounded_by_optimum(self):
+        btp = complete_test_instance([5.0, 3.0, 2.0, 1.0])
+        tt = to_tt_problem(btp, treatment_cost=1.0)
+        floor = entropy_actions_floor(tt)
+        assert floor is not None
+        assert floor <= solve_dp(tt).optimal_cost + 1e-9
+
+
+class TestLowerBound:
+    @settings(max_examples=40, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_sound(self, problem):
+        assert lower_bound(problem) <= solve_dp(problem).optimal_cost + 1e-9
+
+    def test_takes_the_max(self):
+        btp = complete_test_instance([1.0, 1.0, 1.0, 1.0])
+        tt = to_tt_problem(btp, treatment_cost=0.25)
+        lb = lower_bound(tt)
+        assert lb >= treatment_floor(tt)
+        ent = entropy_actions_floor(tt)
+        assert ent is not None and lb >= ent
+
+
+class TestActionCriticality:
+    @settings(max_examples=15, deadline=None)
+    @given(tt_problems(max_k=4, max_actions=4))
+    def test_regret_nonnegative(self, problem):
+        for crit in action_criticality(problem):
+            assert crit.regret >= -1e-9
+
+    def test_sole_covering_treatment_essential(self):
+        p = TTProblem.build(
+            [1.0, 2.0],
+            [Action.test({0}, 1.0), Action.treatment({0, 1}, 3.0)],
+        )
+        crits = {c.action_index: c for c in action_criticality(p)}
+        assert crits[1].is_essential
+        assert not crits[0].is_essential
+
+    def test_redundant_action_has_zero_regret(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0, 1}, 2.0, "good"),
+                Action.treatment({0, 1}, 9.0, "junk"),
+            ],
+        )
+        crits = {c.action_index: c for c in action_criticality(p)}
+        assert crits[1].regret == pytest.approx(0.0)
+        assert crits[0].regret > 0  # falling back to the junk price
+
+    def test_single_action_problem(self):
+        p = TTProblem.build([1.0], [Action.treatment({0}, 1.0)])
+        crits = action_criticality(p)
+        assert crits[0].is_essential

@@ -1,0 +1,105 @@
+"""Workload generators: adequacy, determinism, domain structure."""
+
+import pytest
+
+from repro.core.generators import (
+    WORKLOADS,
+    fault_location_instance,
+    lab_analysis_instance,
+    medical_instance,
+    random_instance,
+    taxonomy_instance,
+)
+from repro.core.problem import ActionKind
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestAllWorkloads:
+    def test_adequate(self, name, k, seed):
+        problem = WORKLOADS[name](k, seed=seed)
+        assert problem.is_adequate()
+
+    def test_universe_size(self, name, k, seed):
+        assert WORKLOADS[name](k, seed=seed).k == k
+
+    def test_deterministic(self, name, k, seed):
+        a = WORKLOADS[name](k, seed=seed)
+        b = WORKLOADS[name](k, seed=seed)
+        assert a == b
+
+    def test_seed_varies(self, name, k, seed):
+        a = WORKLOADS[name](k, seed=seed)
+        b = WORKLOADS[name](k, seed=seed + 100)
+        assert a != b  # overwhelmingly likely for random structures
+
+    def test_paper_ordering(self, name, k, seed):
+        """Generators emit tests before treatments (paper convention)."""
+        problem = WORKLOADS[name](k, seed=seed)
+        kinds = [a.kind for a in problem.actions]
+        if ActionKind.TEST in kinds:
+            last_test = max(i for i, x in enumerate(kinds) if x == ActionKind.TEST)
+            first_treat = min(
+                i for i, x in enumerate(kinds) if x == ActionKind.TREATMENT
+            )
+            assert last_test < first_treat
+
+
+class TestRandomInstance:
+    def test_action_counts_at_least_requested(self):
+        p = random_instance(5, n_tests=4, n_treatments=3, seed=0)
+        assert p.n_tests == 4
+        assert p.n_treatments >= 3  # coverage fallbacks may add more
+
+    def test_cost_range_respected_for_tests(self):
+        p = random_instance(5, 4, 3, seed=1, cost_range=(2.0, 3.0))
+        for a in p.actions:
+            if a.is_test:
+                assert 2.0 <= a.cost <= 3.0
+
+
+class TestDomainStructure:
+    def test_medical_has_skewed_weights(self):
+        p = medical_instance(8, seed=0)
+        ws = sorted(p.weights)
+        assert ws[-1] / ws[0] >= 4.0  # Zipf-ish spread
+
+    def test_medical_has_broad_spectrum_treatment(self):
+        p = medical_instance(8, seed=0)
+        names = [a.name for a in p.actions]
+        assert "broad" in names
+
+    def test_fault_has_bisection_probes(self):
+        p = fault_location_instance(8, seed=0)
+        probe_sets = [a.subset for a in p.actions if a.is_test]
+        # The first-level bisection (lower half) must be present.
+        assert 0b00001111 in probe_sets
+
+    def test_fault_replacements_cover_all_modules(self):
+        p = fault_location_instance(6, seed=0)
+        singles = [a.subset for a in p.actions if a.is_treatment and bin(a.subset).count("1") == 1]
+        assert len(set(singles)) == 6
+
+    def test_taxonomy_tests_nest(self):
+        """Dichotomous key couplets come from a tree, so any two test sets
+        are nested or disjoint (laminar family)."""
+        p = taxonomy_instance(8, seed=0)
+        sets = [a.subset for a in p.actions if a.is_test]
+        for x in sets:
+            for y in sets:
+                inter = x & y
+                assert inter == 0 or inter == x or inter == y
+
+    def test_lab_has_overlapping_assays(self):
+        p = lab_analysis_instance(8, seed=0)
+        sets = [a.subset for a in p.actions if a.is_test]
+        overlapping = any(
+            (x & y) not in (0, x, y) for x in sets for y in sets if x != y
+        )
+        assert overlapping
+
+    def test_taxonomy_singleton_determinations(self):
+        p = taxonomy_instance(6, seed=1)
+        singles = {a.subset for a in p.actions if a.is_treatment}
+        assert {1 << j for j in range(6)} <= singles

@@ -1,0 +1,87 @@
+"""Greedy baselines: validity, optimality gap direction, determinism."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.generators import WORKLOADS
+from repro.core.heuristics import (
+    HEURISTICS,
+    cost_per_resolution,
+    greedy_tree,
+    information_gain,
+    treatment_only,
+)
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from tests.conftest import tt_problems
+
+
+class TestValidity:
+    @settings(max_examples=30)
+    @given(tt_problems(max_k=5))
+    def test_all_heuristics_build_successful_procedures(self, problem):
+        for name, h in HEURISTICS.items():
+            tree = h(problem)
+            tree.validate()
+
+    def test_inadequate_rejected(self):
+        p = TTProblem.build([1.0, 1.0], [Action.treatment({0}, 1.0)])
+        for h in HEURISTICS.values():
+            with pytest.raises(ValueError):
+                h(p)
+
+
+class TestOptimalityGap:
+    @settings(max_examples=40)
+    @given(tt_problems(max_k=5))
+    def test_dp_lower_bounds_every_heuristic(self, problem):
+        """The central NP-hard-problem property: the DP optimum is a lower
+        bound on every heuristic procedure's cost."""
+        opt = solve_dp(problem).optimal_cost
+        for name, h in HEURISTICS.items():
+            assert h(problem).expected_cost() >= opt - 1e-9, name
+
+    def test_tests_help_on_structured_instances(self):
+        """On the fault-location workload, strategies that may test should
+        beat blind treatment (that is the paper's motivation for tests)."""
+        problem = WORKLOADS["fault"](6, seed=0)
+        blind = treatment_only(problem).expected_cost()
+        smart = min(
+            cost_per_resolution(problem).expected_cost(),
+            information_gain(problem).expected_cost(),
+        )
+        assert smart <= blind
+
+
+class TestTreatmentOnly:
+    @settings(max_examples=25)
+    @given(tt_problems(max_k=4))
+    def test_never_uses_tests(self, problem):
+        tree = treatment_only(problem)
+        for i in tree.actions_used():
+            assert problem.actions[i].is_treatment
+
+    def test_straight_line_shape(self):
+        problem = WORKLOADS["medical"](5, seed=2)
+        tree = treatment_only(problem)
+        # A treatment-only procedure is a path: nodes == depth.
+        assert tree.node_count() == tree.depth()
+
+
+class TestDeterminism:
+    def test_same_input_same_tree(self):
+        problem = WORKLOADS["lab"](5, seed=4)
+        a = cost_per_resolution(problem)
+        b = cost_per_resolution(problem)
+        assert a.render() == b.render()
+
+
+class TestCustomScorer:
+    def test_greedy_tree_with_custom_scorer(self, tiny_problem):
+        # Always prefer the lowest-index applicable action.
+        def first_applicable(problem, live, i, p_live, p_inter, p_rest):
+            return float(i)
+
+        tree = greedy_tree(tiny_problem, first_applicable)
+        tree.validate()
+        assert tree.root.action_index == 0  # swab splits {0,1,2}

@@ -1,0 +1,137 @@
+"""Tests for the TT problem model."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.problem import Action, ActionKind, TTProblem
+from tests.conftest import tt_problems
+
+
+class TestAction:
+    def test_test_constructor_accepts_iterable(self):
+        a = Action.test({0, 2}, 1.5)
+        assert a.subset == 0b101
+        assert a.is_test and not a.is_treatment
+
+    def test_treatment_constructor_accepts_mask(self):
+        a = Action.treatment(0b11, 2.0)
+        assert a.subset == 3
+        assert a.is_treatment
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Action.test({0}, -1.0)
+
+    def test_nan_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Action.test({0}, math.nan)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Action(ActionKind.TEST, -1, 1.0)
+
+    def test_labels(self):
+        assert Action.test({0}, 1.0, name="x-ray").label(3) == "x-ray"
+        assert Action.test({0}, 1.0).label(3) == "test#3"
+        assert Action.treatment({0}, 1.0).label(7) == "treat#7"
+
+    def test_inf_cost_allowed(self):
+        # Padding treatments use INF costs.
+        a = Action.treatment({0}, math.inf)
+        assert math.isinf(a.cost)
+
+
+class TestTTProblemValidation:
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            TTProblem(k=2, weights=(1.0,), actions=(Action.treatment(0b11, 1.0),))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TTProblem.build([1.0, 0.0], [Action.treatment(0b11, 1.0)])
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            TTProblem(k=0, weights=(), actions=(Action.treatment(0, 1.0),))
+
+    def test_no_actions_rejected(self):
+        with pytest.raises(ValueError):
+            TTProblem.build([1.0], [])
+
+    def test_action_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            TTProblem.build([1.0], [Action.treatment({3}, 1.0)])
+
+
+class TestTTProblemAccessors:
+    def test_counts(self, tiny_problem):
+        assert tiny_problem.n_actions == 3
+        assert tiny_problem.n_tests == 1
+        assert tiny_problem.n_treatments == 2
+        assert tiny_problem.universe == 0b111
+
+    def test_arrays(self, tiny_problem):
+        assert tiny_problem.cost_array.tolist() == [1.0, 4.0, 5.0]
+        assert tiny_problem.subset_array.tolist() == [0b011, 0b001, 0b110]
+        assert tiny_problem.test_mask_array.tolist() == [True, False, False]
+
+    def test_weight_of(self, tiny_problem):
+        assert tiny_problem.weight_of(0b101) == 5.0
+        assert tiny_problem.weight_of(0) == 0.0
+
+    def test_stats(self, tiny_problem):
+        s = tiny_problem.stats()
+        assert s["pe_demand"] == 3 * 8
+        assert s["adequate"]
+
+
+class TestAdequacy:
+    def test_adequate(self, tiny_problem):
+        assert tiny_problem.is_adequate()
+        tiny_problem.require_adequate()
+
+    def test_inadequate_detected(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [Action.test({0}, 1.0), Action.treatment({0}, 1.0)],
+        )
+        assert not p.is_adequate()
+        with pytest.raises(ValueError, match="inadequate"):
+            p.require_adequate()
+
+    def test_treatable_mask(self, tiny_problem):
+        assert tiny_problem.treatable_mask() == 0b111
+
+    @given(tt_problems())
+    def test_generated_problems_adequate(self, problem):
+        assert problem.is_adequate()
+
+
+class TestOrderingAndSerialization:
+    def test_paper_order_puts_tests_first(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0}, 1.0, name="tr"),
+                Action.test({0}, 1.0, name="te"),
+                Action.treatment({1}, 1.0, name="tr2"),
+            ],
+        )
+        ordered = p.paper_order()
+        kinds = [a.kind for a in ordered.actions]
+        assert kinds == [ActionKind.TEST, ActionKind.TREATMENT, ActionKind.TREATMENT]
+
+    def test_json_roundtrip(self, tiny_problem):
+        again = TTProblem.from_json(tiny_problem.to_json())
+        assert again == tiny_problem
+
+    @given(tt_problems())
+    def test_json_roundtrip_property(self, problem):
+        assert TTProblem.from_json(problem.to_json()) == problem
+
+    def test_describe_mentions_all_actions(self, tiny_problem):
+        text = tiny_problem.describe()
+        for name in ("swab", "drugA", "drugB"):
+            assert name in text

@@ -1,0 +1,97 @@
+"""Interactive diagnosis sessions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.heuristics import cost_per_resolution
+from repro.core.sequential import solve_dp
+from repro.core.session import DiagnosisSession
+from tests.conftest import tt_problems
+
+
+@pytest.fixture
+def tree(tiny_problem):
+    return solve_dp(tiny_problem).tree()
+
+
+class TestSessionWalk:
+    def test_manual_walk(self, tiny_problem, tree):
+        s = DiagnosisSession(tree)
+        assert not s.done
+        assert s.current_action.name == "swab"
+        assert s.valid_outcomes() == ("positive", "negative")
+        s.record("positive")          # disease in {0,1}
+        assert s.current_action.name == "drugA"
+        s.record("failed")            # not disease 0
+        assert s.current_action.name == "drugB"
+        s.record("cured")
+        assert s.done
+        assert s.treated_set == 0b010
+        assert s.total_cost == pytest.approx(1.0 + 4.0 + 5.0)
+
+    def test_live_set_shrinks(self, tiny_problem, tree):
+        s = DiagnosisSession(tree)
+        assert s.live_set == 0b111
+        s.record("negative")
+        assert s.live_set == 0b100
+
+    def test_transcript_records_everything(self, tree):
+        s = DiagnosisSession(tree)
+        s.run_against(1)
+        assert [step.outcome for step in s.transcript] == [
+            "positive",
+            "failed",
+            "cured",
+        ]
+
+    def test_describe(self, tree):
+        s = DiagnosisSession(tree)
+        assert "swab" in s.describe()
+        s.run_against(0)
+        assert "cured" in s.describe()
+
+
+class TestValidation:
+    def test_wrong_outcome_kind_rejected(self, tree):
+        s = DiagnosisSession(tree)
+        with pytest.raises(ValueError, match="test"):
+            s.record("cured")  # swab is a test
+
+    def test_finished_session_rejects_more(self, tree):
+        s = DiagnosisSession(tree)
+        s.run_against(0)
+        with pytest.raises(RuntimeError):
+            s.record("positive")
+        with pytest.raises(RuntimeError):
+            _ = s.current_action
+
+    def test_invalid_tree_rejected(self, tiny_problem):
+        from repro.core.tree import TTNode, TTTree
+
+        bad = TTTree(tiny_problem, TTNode(action_index=1, live_set=0b111))
+        with pytest.raises(ValueError):
+            DiagnosisSession(bad)
+
+    def test_inconsistent_outcomes_detected(self, tiny_problem, tree):
+        """Claiming the terminal treatment failed contradicts the
+        single-fault assumption."""
+        s = DiagnosisSession(tree)
+        s.record("negative")  # live = {2}; next is drugB covering {1,2}
+        with pytest.raises(RuntimeError, match="single-fault"):
+            s.record("failed")
+
+
+class TestAgainstSimulate:
+    @settings(max_examples=30)
+    @given(tt_problems(max_k=4))
+    def test_session_matches_tree_simulate(self, problem):
+        tree = cost_per_resolution(problem)
+        for j in range(problem.k):
+            s = DiagnosisSession(tree)
+            transcript = s.run_against(j)
+            expected = tree.simulate(j)
+            assert [t.action_index for t in transcript] == [
+                e.action_index for e in expected
+            ]
+            assert s.total_cost == pytest.approx(sum(e.cost for e in expected))
+            assert (s.treated_set >> j) & 1

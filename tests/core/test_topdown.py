@@ -1,0 +1,134 @@
+"""Top-down memoized solver and the minimax variant."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.generators import WORKLOADS, fault_location_instance
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from repro.core.topdown import solve_dp_topdown, solve_minimax
+from tests.conftest import tt_problems
+
+
+class TestTopDownExpected:
+    @settings(max_examples=40, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_matches_bottom_up(self, problem):
+        td = solve_dp_topdown(problem)
+        assert td.optimal_cost == pytest.approx(solve_dp(problem).optimal_cost)
+
+    @settings(max_examples=25, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_tree_roundtrip(self, problem):
+        td = solve_dp_topdown(problem)
+        tree = td.tree()
+        tree.validate()
+        assert tree.expected_cost() == pytest.approx(td.optimal_cost)
+
+    def test_memo_values_match_dp_table(self):
+        problem = WORKLOADS["medical"](5, seed=0)
+        td = solve_dp_topdown(problem)
+        dp = solve_dp(problem)
+        for s, v in td.cost.items():
+            assert v == pytest.approx(float(dp.cost[s]))
+
+    def test_structured_instances_visit_few_subsets(self):
+        """Prefix probes keep every live set an interval, so top-down
+        memoization visits O(k^2) subsets instead of 2^k — the sequential
+        advantage of structure that the per-subset parallel layout does
+        not (need to) exploit."""
+        from repro.util.bitops import mask_of
+
+        k = 12
+        tests = [
+            Action.test(mask_of(range(0, i + 1)), 1.0) for i in range(k - 1)
+        ]
+        actions = tests + [Action.treatment((1 << k) - 1, 5.0)]
+        problem = TTProblem.build([1.0] * k, actions)
+        td = solve_dp_topdown(problem)
+        assert td.feasible
+        # intervals only: at most k(k+1)/2 + 1 subsets of the 4096.
+        assert td.reachable_subsets <= k * (k + 1) // 2 + 1
+        assert td.lattice_fraction < 0.02
+        assert td.optimal_cost == pytest.approx(
+            solve_dp(problem).optimal_cost
+        )
+
+    def test_unstructured_instances_reach_everything(self):
+        """With per-module repairs any subset is reachable — full lattice."""
+        problem = fault_location_instance(8, seed=0)
+        td = solve_dp_topdown(problem)
+        assert td.reachable_subsets == 1 << 8
+
+    def test_inadequate_is_infeasible(self):
+        p = TTProblem.build([1.0, 1.0], [Action.treatment({0}, 1.0)])
+        td = solve_dp_topdown(p)
+        assert not td.feasible
+        with pytest.raises(ValueError):
+            td.tree()
+
+
+class TestMinimax:
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=4))
+    def test_tree_worst_case_equals_value(self, problem):
+        mm = solve_minimax(problem)
+        tree = mm.tree()
+        tree.validate()
+        worst = max(
+            sum(s.cost for s in tree.simulate(j)) for j in range(problem.k)
+        )
+        assert worst == pytest.approx(mm.optimal_cost)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=4))
+    def test_no_tree_beats_minimax_value(self, problem):
+        """The expected-cost-optimal tree's worst path is >= the minimax
+        optimum (minimax is the true floor over all trees)."""
+        mm = solve_minimax(problem)
+        exp_tree = solve_dp(problem).tree()
+        worst_of_exp = max(
+            sum(s.cost for s in exp_tree.simulate(j)) for j in range(problem.k)
+        )
+        assert worst_of_exp >= mm.optimal_cost - 1e-9
+
+    def test_exhaustive_oracle_tiny(self):
+        """Minimax DP == brute-force enumeration of all procedures."""
+        from repro.core.bruteforce import enumerate_trees
+
+        problem = TTProblem.build(
+            [1.0, 1.0, 1.0],
+            [
+                Action.test({0}, 2.0),
+                Action.test({1, 2}, 1.0),
+                Action.treatment({0, 1}, 3.0),
+                Action.treatment({2}, 2.0),
+                Action.treatment({0, 1, 2}, 8.0),
+            ],
+        )
+        best = min(
+            max(
+                sum(s.cost for s in tree.simulate(j)) for j in range(problem.k)
+            )
+            for tree in enumerate_trees(problem, limit=500_000)
+        )
+        assert solve_minimax(problem).optimal_cost == pytest.approx(best)
+
+    def test_minimax_ignores_weights(self):
+        base = WORKLOADS["lab"](4, seed=1)
+        reweighted = TTProblem.build(
+            [w * 7.0 for w in base.weights], base.actions
+        )
+        assert solve_minimax(base).optimal_cost == pytest.approx(
+            solve_minimax(reweighted).optimal_cost
+        )
+
+    def test_criterion_label(self):
+        p = WORKLOADS["random"](3, seed=0)
+        assert solve_minimax(p).criterion == "minimax"
+        assert solve_dp_topdown(p).criterion == "expected"
+
+    def test_covering_treatment_base_case(self):
+        p = TTProblem.build([1.0, 2.0], [Action.treatment({0, 1}, 5.0)])
+        mm = solve_minimax(p)
+        assert mm.optimal_cost == pytest.approx(5.0)

@@ -1,0 +1,186 @@
+"""Optimum-preserving preprocessing: the invariance properties."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from repro.core.transforms import (
+    canonicalize,
+    merge_equivalent_objects,
+    remove_dominated_treatments,
+    remove_duplicate_actions,
+)
+from tests.conftest import tt_problems
+
+
+def _with_junk(problem: TTProblem) -> TTProblem:
+    """Inject duplicates and dominated treatments into an instance."""
+    extra = []
+    for a in problem.actions[:2]:
+        extra.append(Action(a.kind, a.subset, a.cost + 1.0, a.name + "_dup"))
+    full = problem.universe
+    # A dominated treatment: strictly smaller set, strictly higher cost
+    # than the guaranteed universe-covering treatment.
+    cover_cost = max(a.cost for a in problem.actions if a.is_treatment)
+    extra.append(Action.treatment(1, cover_cost + 5.0, "dominated"))
+    extra.append(Action.treatment(full, cover_cost + 7.0, "dominated_cover"))
+    return problem.with_actions(list(problem.actions) + extra)
+
+
+class TestRemoveDuplicates:
+    def test_keeps_cheapest(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0, 1}, 5.0, "a"),
+                Action.treatment({0, 1}, 3.0, "b"),
+                Action.test({0}, 2.0, "t1"),
+                Action.test({0}, 1.0, "t2"),
+            ],
+        )
+        out = remove_duplicate_actions(p)
+        assert out.n_actions == 2
+        assert {a.name for a in out.actions} == {"b", "t2"}
+
+    def test_noop_when_clean(self, tiny_problem):
+        assert remove_duplicate_actions(tiny_problem) is tiny_problem
+
+    def test_kind_distinguishes(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [Action.test({0}, 1.0), Action.treatment({0}, 2.0), Action.treatment({0, 1}, 1.0)],
+        )
+        assert remove_duplicate_actions(p).n_actions == 3
+
+
+class TestDominatedTreatments:
+    def test_superset_cheaper_dominates(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0}, 5.0, "narrow"),
+                Action.treatment({0, 1}, 4.0, "broad"),
+            ],
+        )
+        out = remove_dominated_treatments(p)
+        assert [a.name for a in out.actions] == ["broad"]
+
+    def test_cheaper_subset_survives(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0}, 1.0, "cheap_narrow"),
+                Action.treatment({0, 1}, 4.0, "broad"),
+            ],
+        )
+        out = remove_dominated_treatments(p)
+        assert out.n_actions == 2
+
+    def test_tests_never_dropped(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.test({0}, 9.0),
+                Action.treatment({0, 1}, 1.0),
+            ],
+        )
+        assert remove_dominated_treatments(p).n_tests == 1
+
+    def test_exact_ties_keep_one(self):
+        p = TTProblem.build(
+            [1.0],
+            [Action.treatment({0}, 2.0, "x"), Action.treatment({0}, 2.0, "y")],
+        )
+        assert remove_dominated_treatments(p).n_actions == 1
+
+
+class TestMergeObjects:
+    def test_merges_indistinguishable(self):
+        # Objects 0 and 1 appear together in every action.
+        p = TTProblem.build(
+            [2.0, 3.0, 1.0],
+            [
+                Action.test({0, 1}, 1.0),
+                Action.treatment({0, 1, 2}, 4.0),
+            ],
+        )
+        reduced, groups = merge_equivalent_objects(p)
+        assert reduced.k == 2
+        assert [sorted(g) for g in groups] == [[0, 1], [2]]
+        assert reduced.weights[0] == 5.0  # summed
+
+    def test_noop_when_distinguishable(self, tiny_problem):
+        reduced, groups = merge_equivalent_objects(tiny_problem)
+        assert reduced.k == tiny_problem.k
+        assert groups == [[0], [1], [2]]
+
+    def test_merge_preserves_optimum(self):
+        p = TTProblem.build(
+            [2.0, 3.0, 1.0],
+            [
+                Action.test({0, 1}, 1.0),
+                Action.treatment({0, 1}, 4.0),
+                Action.treatment({2}, 2.0),
+            ],
+        )
+        reduced, _ = merge_equivalent_objects(p)
+        assert solve_dp(reduced).optimal_cost == pytest.approx(
+            solve_dp(p).optimal_cost
+        )
+
+
+class TestInvarianceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_duplicates_preserve_optimum(self, problem):
+        junk = _with_junk(problem)
+        assert solve_dp(remove_duplicate_actions(junk)).optimal_cost == pytest.approx(
+            solve_dp(junk).optimal_cost
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_domination_preserves_optimum(self, problem):
+        junk = _with_junk(problem)
+        assert solve_dp(remove_dominated_treatments(junk)).optimal_cost == pytest.approx(
+            solve_dp(junk).optimal_cost
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_canonicalize_preserves_optimum(self, problem):
+        junk = _with_junk(problem)
+        report = canonicalize(junk)
+        assert solve_dp(report.problem).optimal_cost == pytest.approx(
+            solve_dp(junk).optimal_cost
+        )
+        # groups partition the original universe
+        flat = sorted(j for g in report.groups for j in g)
+        assert flat == list(range(junk.k))
+
+    @settings(max_examples=20, deadline=None)
+    @given(tt_problems(max_k=4))
+    def test_canonicalize_never_grows(self, problem):
+        report = canonicalize(problem)
+        assert report.problem.k <= problem.k
+        assert report.problem.n_actions <= problem.n_actions
+        assert report.pe_demand_ratio <= 1.0
+
+
+class TestReport:
+    def test_report_counts(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [
+                Action.treatment({0, 1}, 1.0, "best"),
+                Action.treatment({0, 1}, 2.0, "dup"),
+                Action.treatment({0}, 3.0, "dom"),
+            ],
+        )
+        report = canonicalize(p)
+        assert report.actions_saved == 2
+        assert report.original_n_actions == 3
+        # 0 and 1 become indistinguishable once only "best" remains.
+        assert report.problem.k == 1
+        assert report.k_saved == 1

@@ -1,0 +1,122 @@
+"""Tests for TT procedure trees: validation, cost, simulation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.heuristics import cost_per_resolution
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from repro.core.tree import TTNode, TTTree
+from tests.conftest import tt_problems
+
+
+@pytest.fixture
+def tiny_tree(tiny_problem):
+    return solve_dp(tiny_problem).tree()
+
+
+class TestValidation:
+    def test_optimal_tree_validates(self, tiny_tree):
+        tiny_tree.validate()
+        assert tiny_tree.is_successful()
+
+    def test_missing_root(self, tiny_problem):
+        with pytest.raises(ValueError):
+            TTTree(tiny_problem, None).validate()
+
+    def test_wrong_live_set_detected(self, tiny_problem):
+        # drugB applied to the whole universe but recording the wrong set.
+        node = TTNode(action_index=2, live_set=0b011)
+        assert not TTTree(tiny_problem, node).is_successful()
+
+    def test_abandoned_objects_detected(self, tiny_problem):
+        # drugB on U treats {1,2} but abandons {0}: no continuation child.
+        node = TTNode(action_index=2, live_set=0b111)
+        assert not TTTree(tiny_problem, node).is_successful()
+
+    def test_non_splitting_test_detected(self, tiny_problem):
+        # swab on {0,1} ∩ {0,1} = everything: cannot appear on live {0,1}?
+        # swab tests {0,1}; applied to live {0,1} it does not split.
+        node = TTNode(action_index=0, live_set=0b011)
+        assert not TTTree(tiny_problem, node).is_successful()
+
+    def test_complete_procedure_validates(self, tiny_problem):
+        # Hand-built: treat drugA on U (cures 0), then drugB (cures 1,2).
+        inner = TTNode(action_index=2, live_set=0b110)
+        root = TTNode(action_index=1, live_set=0b111, cont=inner)
+        tree = TTTree(tiny_problem, root)
+        tree.validate()
+
+    def test_treatment_with_test_children_rejected(self, tiny_problem):
+        bad = TTNode(
+            action_index=1,
+            live_set=0b111,
+            pos=TTNode(action_index=2, live_set=0b110),
+        )
+        assert not TTTree(tiny_problem, bad).is_successful()
+
+
+class TestCost:
+    def test_known_cost(self, tiny_tree):
+        assert tiny_tree.expected_cost() == pytest.approx(37.0)
+
+    def test_handbuilt_cost(self, tiny_problem):
+        # drugA on U charges 4*6=24; drugB on {1,2} charges 5*3=15 -> 39.
+        inner = TTNode(action_index=2, live_set=0b110)
+        root = TTNode(action_index=1, live_set=0b111, cont=inner)
+        assert TTTree(tiny_problem, root).expected_cost() == pytest.approx(39.0)
+
+    @settings(max_examples=40)
+    @given(tt_problems(max_k=4))
+    def test_recursive_cost_equals_path_cost(self, problem):
+        """The DP-style node charge and the paper's per-object path sum
+        are the same functional (the identity §1 relies on)."""
+        tree = cost_per_resolution(problem)
+        assert tree.expected_cost() == pytest.approx(tree.expected_cost_by_paths())
+
+
+class TestSimulation:
+    def test_every_object_cured(self, tiny_problem, tiny_tree):
+        for j in range(tiny_problem.k):
+            steps = tiny_tree.simulate(j)
+            assert steps[-1].outcome == "cured"
+
+    def test_simulation_path(self, tiny_tree):
+        # Object 2 fails the swab and goes straight to drugB.
+        steps = tiny_tree.simulate(2)
+        outcomes = [s.outcome for s in steps]
+        assert outcomes[0] == "negative"
+        assert outcomes[-1] == "cured"
+
+    def test_out_of_range_object(self, tiny_tree):
+        with pytest.raises(ValueError):
+            tiny_tree.simulate(99)
+
+    @settings(max_examples=40)
+    @given(tt_problems(max_k=4))
+    def test_simulation_terminates_cured(self, problem):
+        tree = cost_per_resolution(problem)
+        for j in range(problem.k):
+            steps = tree.simulate(j)
+            assert steps[-1].outcome == "cured"
+            # No action repeats on a greedy path with strictly shrinking sets
+            assert len(steps) <= problem.n_actions * problem.k + problem.k
+
+
+class TestStatsAndRender:
+    def test_stats_keys(self, tiny_tree):
+        s = tiny_tree.stats()
+        assert s["nodes"] == 4
+        assert s["depth"] == 3
+        assert s["distinct_actions"] == 3
+
+    def test_render_mentions_actions(self, tiny_tree):
+        text = tiny_tree.render()
+        assert "swab" in text and "drugA" in text and "drugB" in text
+        assert "=>treated" in text
+
+    def test_render_empty(self, tiny_problem):
+        assert "empty" in TTTree(tiny_problem, None).render()
+
+    def test_actions_used(self, tiny_tree):
+        assert tiny_tree.actions_used() == {0, 1, 2}

@@ -1,0 +1,119 @@
+"""Beneš permutation routing (the paper's §2 O(log n) permutation claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.benes import (
+    benes_schedule,
+    benes_stage_count,
+    permutation_program,
+    route_permutation,
+)
+from repro.hypercube.ccc import CCC
+from repro.hypercube.machine import Hypercube, make_state
+
+
+def _expected(dest, values):
+    out = np.empty(len(dest), dtype=np.asarray(values).dtype)
+    out[np.asarray(dest)] = values
+    return out
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_stage_count_is_2m_minus_1(self, m):
+        rng = np.random.default_rng(m)
+        sched = benes_schedule(rng.permutation(1 << m))
+        assert len(sched) == benes_stage_count(m)
+
+    def test_stage_dims_descend_then_ascend(self):
+        sched = benes_schedule(np.random.default_rng(0).permutation(16))
+        dims = [d for d, _ in sched]
+        assert dims == [3, 2, 1, 0, 1, 2, 3]
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_masks_symmetric(self, m):
+        rng = np.random.default_rng(m + 10)
+        n = 1 << m
+        for dim, mask in benes_schedule(rng.permutation(n)):
+            assert (mask == mask[np.arange(n) ^ (1 << dim)]).all()
+
+    def test_identity_needs_no_swaps(self):
+        sched = benes_schedule(np.arange(32))
+        assert sum(int(mask.sum()) for _, mask in sched) == 0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            benes_schedule([0, 0, 1, 2])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            benes_schedule([2, 0, 1])
+
+
+class TestRouting:
+    @pytest.mark.parametrize("m", [1, 2, 4, 6])
+    def test_random_permutations(self, m):
+        rng = np.random.default_rng(m)
+        n = 1 << m
+        for _ in range(5):
+            dest = rng.permutation(n)
+            vals = rng.integers(0, 10_000, n)
+            assert (route_permutation(dest, vals) == _expected(dest, vals)).all()
+
+    def test_reversal(self):
+        n = 32
+        dest = np.arange(n)[::-1].copy()
+        vals = np.arange(n)
+        assert (route_permutation(dest, vals) == vals[::-1]).all()
+
+    def test_cyclic_shift(self):
+        n = 16
+        dest = (np.arange(n) + 5) % n
+        vals = np.arange(n) * 3
+        assert (route_permutation(dest, vals) == _expected(dest, vals)).all()
+
+    def test_swap_pairs(self):
+        n = 8
+        dest = np.arange(n) ^ 1
+        vals = np.arange(n)
+        assert (route_permutation(dest, vals) == _expected(dest, vals)).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.permutations(list(range(16))))
+    def test_property(self, dest):
+        dest = np.array(dest)
+        vals = np.arange(16) + 100
+        assert (route_permutation(dest, vals) == _expected(dest, vals)).all()
+
+    def test_multiple_registers_travel_together(self):
+        n = 16
+        rng = np.random.default_rng(3)
+        dest = rng.permutation(n)
+        st_ = make_state(4, X=np.arange(n).astype(float), Y=(np.arange(n) * 7).astype(float))
+        Hypercube(4).run(st_, permutation_program(dest, value_regs=("X", "Y")))
+        assert (st_["X"] == _expected(dest, np.arange(n).astype(float))).all()
+        assert (st_["Y"] == _expected(dest, (np.arange(n) * 7).astype(float))).all()
+
+
+class TestOnCCC:
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    def test_matches_on_ccc(self, schedule):
+        ccc = CCC(2)
+        rng = np.random.default_rng(7)
+        dest = rng.permutation(ccc.n)
+        vals = rng.integers(0, 999, ccc.n).astype(float)
+        st_ = make_state(ccc.dims, X=vals)
+        stats = ccc.run(st_, permutation_program(dest), schedule=schedule)
+        assert (st_["X"] == _expected(dest, vals)).all()
+        assert stats.ideal_dimops == benes_stage_count(ccc.dims)
+
+    def test_constant_slowdown(self):
+        ccc = CCC(2)
+        rng = np.random.default_rng(8)
+        dest = rng.permutation(ccc.n)
+        st_ = make_state(ccc.dims, X=rng.uniform(0, 1, ccc.n))
+        stats = ccc.run(st_, permutation_program(dest), schedule="pipelined")
+        assert stats.slowdown < 6.0

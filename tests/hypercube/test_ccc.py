@@ -1,0 +1,236 @@
+"""CCC emulation: bit-for-bit agreement with the ideal hypercube under
+both schedules, step accounting, and the link-count claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.ccc import CCC, ccc_links, hypercube_links
+from repro.hypercube.collectives import (
+    broadcast_program,
+    min_reduce_program,
+    propagation2_program,
+    reduce_program,
+)
+from repro.hypercube.machine import DimOp, Hypercube, LocalOp, make_state
+from repro.util.bitops import popcount
+
+
+def _random_state(dims, seed, with_sender=False):
+    rng = np.random.default_rng(seed)
+    st_ = make_state(dims, M=rng.integers(0, 1000, 1 << dims).astype(float))
+    if with_sender:
+        st_["V"] = rng.integers(0, 1000, 1 << dims).astype(float)
+        st_["SENDER"] = rng.integers(0, 2, 1 << dims).astype(bool)
+    return st_
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_sizes(self, r):
+        ccc = CCC(r)
+        assert ccc.Q == 1 << r
+        assert ccc.n == ccc.Q * (1 << ccc.Q)
+        assert ccc.n == 1 << ccc.dims
+
+    def test_rejects_r0(self):
+        with pytest.raises(ValueError):
+            CCC(0)
+
+    def test_position_items_offset0(self):
+        ccc = CCC(2)  # Q=4, 16 cycles
+        items = ccc.position_items(pos=2, offset=0)
+        # Items at position 2, unrotated: virtual (c, 2) for every cycle.
+        assert items.tolist() == [(c << 2) | 2 for c in range(16)]
+
+    def test_position_items_wraps_with_offset(self):
+        ccc = CCC(2)
+        items = ccc.position_items(pos=0, offset=1)
+        # After one forward rotation, position 0 holds origin j = Q-1 = 3.
+        assert items.tolist() == [(c << 2) | 3 for c in range(16)]
+
+
+class TestEquivalenceWithHypercube:
+    """The core Preparata–Vuillemin property: identical results."""
+
+    @pytest.mark.parametrize("r", [1, 2])
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    def test_min_flood_all_dims(self, r, schedule):
+        ccc = CCC(r)
+        a = _random_state(ccc.dims, seed=1)
+        b = a.copy()
+        prog = min_reduce_program(0, ccc.dims)
+        Hypercube(ccc.dims).run(a, prog, discipline="ascend")
+        ccc.run(b, prog, schedule=schedule)
+        assert a.equal(b)
+
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    def test_broadcast(self, schedule):
+        ccc = CCC(2)
+        n = 1 << ccc.dims
+        v = np.zeros(n)
+        v[0] = 3.14
+        sender = np.zeros(n, dtype=bool)
+        sender[0] = True
+        a = make_state(ccc.dims, V=v, SENDER=sender)
+        b = a.copy()
+        prog = broadcast_program(ccc.dims)
+        Hypercube(ccc.dims).run(a, prog)
+        ccc.run(b, prog, schedule=schedule)
+        assert a.equal(b)
+        assert (b["V"] == 3.14).all()
+
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    def test_propagation2(self, schedule):
+        ccc = CCC(2)
+        n = 1 << ccc.dims
+        addrs = np.arange(n)
+        sender = np.array([popcount(a) == 1 for a in addrs])
+        v = np.where(sender, addrs, 0).astype(np.int64)
+        a = make_state(ccc.dims, V=v, SENDER=sender)
+        b = a.copy()
+        prog = propagation2_program(ccc.dims, np.bitwise_or)
+        Hypercube(ccc.dims).run(a, prog)
+        ccc.run(b, prog, schedule=schedule)
+        assert a.equal(b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=999), st.booleans())
+    def test_random_sum_programs(self, seed, pipelined):
+        """Random ascending dim subsets with a sum combiner."""
+        ccc = CCC(2)
+        rng = np.random.default_rng(seed)
+        dims = sorted(rng.choice(ccc.dims, size=rng.integers(1, ccc.dims + 1), replace=False))
+        prog = [
+            DimOp(int(d), lambda o, p, a: {"M": o["M"] + p["M"]}) for d in dims
+        ]
+        a = _random_state(ccc.dims, seed=seed)
+        b = a.copy()
+        Hypercube(ccc.dims).run(a, prog, discipline="ascend")
+        ccc.run(b, prog, schedule="pipelined" if pipelined else "naive")
+        assert a.equal(b)
+
+    def test_local_ops_interleaved(self):
+        ccc = CCC(1)
+        prog = [
+            DimOp(0, lambda o, p, a: {"M": np.minimum(o["M"], p["M"])}),
+            LocalOp(lambda o, a: {"M": o["M"] * 2}),
+            DimOp(1, lambda o, p, a: {"M": o["M"] + p["M"]}),
+            DimOp(2, lambda o, p, a: {"M": np.maximum(o["M"], p["M"])}),
+        ]
+        a = _random_state(ccc.dims, seed=5)
+        b = a.copy()
+        Hypercube(ccc.dims).run(a, prog)
+        ccc.run(b, prog)
+        assert a.equal(b)
+
+    def test_descending_highdims_fall_back_to_naive(self):
+        """A DESCEND-ordered program still runs correctly (naive fallback
+        breaks the sweep batching)."""
+        ccc = CCC(2)
+        prog = [
+            DimOp(d, lambda o, p, a: {"M": np.minimum(o["M"], p["M"])})
+            for d in reversed(range(ccc.dims))
+        ]
+        a = _random_state(ccc.dims, seed=6)
+        b = a.copy()
+        Hypercube(ccc.dims).run(a, prog, discipline="descend")
+        stats = ccc.run(b, prog, schedule="pipelined")
+        assert a.equal(b)
+        assert stats.sweeps <= ccc.dims  # each high dim its own batch
+
+
+class TestStepAccounting:
+    def test_pipelined_sweep_counts(self):
+        """One full high-dim sweep on CCC(2): laterals <= 2Q-1, rotations
+        = (2Q-2) + unwind, regardless of how many dims it covers."""
+        ccc = CCC(2)
+        Q = ccc.Q
+        prog = min_reduce_program(ccc.r, ccc.dims)  # all Q high dims
+        st_ = _random_state(ccc.dims, seed=2)
+        stats = ccc.run(st_, prog, schedule="pipelined")
+        assert stats.sweeps == 1
+        assert stats.lateral_steps <= 2 * Q - 1
+        assert stats.rotation_steps >= 2 * Q - 2
+        assert stats.ideal_dimops == Q
+
+    def test_naive_highdim_counts(self):
+        ccc = CCC(2)
+        Q = ccc.Q
+        prog = min_reduce_program(ccc.r, ccc.r + 1)  # a single high dim
+        st_ = _random_state(ccc.dims, seed=3)
+        stats = ccc.run(st_, prog, schedule="naive")
+        assert stats.lateral_steps == Q
+        assert stats.rotation_steps == Q
+
+    def test_lowdim_counts(self):
+        ccc = CCC(2)
+        prog = min_reduce_program(0, ccc.r)  # dims 0..r-1
+        st_ = _random_state(ccc.dims, seed=4)
+        stats = ccc.run(st_, prog)
+        # dim d costs 2^d unit shifts: 1 + 2 = 3 for r=2.
+        assert stats.lowsheaf_steps == 3
+        assert stats.lateral_steps == 0
+
+    def test_slowdown_in_constant_band(self):
+        """Full-cube ASCEND slowdown on the pipelined schedule stays in a
+        small constant band (the paper claims 4-6 with its counting)."""
+        for r in (1, 2):
+            ccc = CCC(r)
+            prog = min_reduce_program(0, ccc.dims)
+            st_ = _random_state(ccc.dims, seed=7)
+            stats = ccc.run(st_, prog, schedule="pipelined")
+            assert 1.0 <= stats.slowdown <= 6.0
+
+    def test_naive_slowdown_grows(self):
+        """The naive schedule's slowdown must exceed the pipelined one —
+        the paper's motivation for the ASCEND transformation."""
+        results = {}
+        for sched in ("pipelined", "naive"):
+            ccc = CCC(2)
+            prog = min_reduce_program(0, ccc.dims)
+            st_ = _random_state(ccc.dims, seed=8)
+            results[sched] = ccc.run(st_, prog, schedule=sched).slowdown
+        assert results["naive"] > results["pipelined"]
+
+    def test_compute_steps_counted(self):
+        ccc = CCC(1)
+        st_ = _random_state(ccc.dims, seed=9)
+        stats = ccc.run(st_, [LocalOp(lambda o, a: {})])
+        assert stats.compute_steps == 1
+        assert stats.route_steps == 0
+
+
+class TestValidationErrors:
+    def test_wrong_state_size(self):
+        with pytest.raises(ValueError):
+            CCC(1).run(make_state(2, M=np.zeros(4)), [])
+
+    def test_unknown_schedule(self):
+        ccc = CCC(1)
+        with pytest.raises(ValueError):
+            ccc.run(make_state(ccc.dims, M=np.zeros(ccc.n)), [], schedule="magic")
+
+    def test_unknown_op(self):
+        ccc = CCC(1)
+        with pytest.raises(TypeError):
+            ccc.run(make_state(ccc.dims, M=np.zeros(ccc.n)), [42])
+
+
+class TestLinkCounts:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_ccc_is_3n_over_2(self, r):
+        Q = 1 << r
+        n = Q * (1 << Q)
+        assert ccc_links(r) == 3 * n // 2
+
+    def test_hypercube_is_nlogn_over_2(self):
+        assert hypercube_links(10) == 1024 * 10 // 2
+
+    def test_ccc_asymptotically_cheaper(self):
+        """The paper's hardware argument: for matching PE counts the CCC
+        needs a vanishing fraction of the hypercube's wiring."""
+        r = 3
+        dims = r + (1 << r)  # CCC(r) simulates this hypercube
+        assert ccc_links(r) * 3 < hypercube_links(dims)

@@ -1,0 +1,204 @@
+"""§4 dataflow algorithms on the ideal hypercube: broadcast, propagation,
+minimization — checked against closed-form expectations and the paper's
+worked examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.collectives import (
+    broadcast_program,
+    broadcast_schedule,
+    min_reduce_program,
+    propagation1_program,
+    propagation2_program,
+    reduce_program,
+)
+from repro.hypercube.machine import Hypercube, make_state
+from repro.util.bitops import popcount
+
+
+def _state_with_sender(dims, origin, value):
+    n = 1 << dims
+    v = np.zeros(n)
+    v[origin] = value
+    s = np.zeros(n, dtype=bool)
+    s[origin] = True
+    return make_state(dims, V=v, SENDER=s)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("dims", [1, 2, 4, 6])
+    def test_floods_from_pe0(self, dims):
+        st_ = _state_with_sender(dims, 0, 42.0)
+        stats = Hypercube(dims).run(st_, broadcast_program(dims), discipline="ascend")
+        assert (st_["V"] == 42.0).all()
+        assert st_["SENDER"].all()
+        assert stats.route_steps == dims
+
+    def test_broadcast_is_ascend(self):
+        prog = broadcast_program(5)
+        assert [op.dim for op in prog] == list(range(5))
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_nonzero_origin_reaches_upward_closure(self, dims):
+        """Starting the paper's schedule from PE x floods exactly the PEs
+        whose address contains x (the 1-END condition is one-directional)."""
+        origin = (1 << dims) - 1 if dims > 1 else 1
+        origin = 1  # PE 0b1
+        st_ = _state_with_sender(dims, origin, 9.0)
+        Hypercube(dims).run(st_, broadcast_program(dims))
+        addrs = np.arange(1 << dims)
+        expected = (addrs & origin) == origin
+        assert (st_["SENDER"] == expected).all()
+        assert (st_["V"][expected] == 9.0).all()
+
+
+class TestBroadcastSchedule:
+    def test_fig6_rounds(self):
+        """Paper Fig. 6: the 16-PE broadcast transmission list."""
+        rounds = broadcast_schedule(4)
+        assert rounds[0] == [(0b0000, 0b0001)]
+        assert rounds[1] == [(0b0000, 0b0010), (0b0001, 0b0011)]
+        assert rounds[2] == [
+            (0b0000, 0b0100),
+            (0b0001, 0b0101),
+            (0b0010, 0b0110),
+            (0b0011, 0b0111),
+        ]
+        assert rounds[3] == [(s, s | 8) for s in range(8)]
+
+    def test_total_transmissions(self):
+        # Doubling each round: 1 + 2 + 4 + 8 = 15 = n - 1 receivers.
+        rounds = broadcast_schedule(4)
+        assert sum(len(r) for r in rounds) == 15
+
+    def test_schedule_matches_machine(self):
+        """Every scheduled receiver ends up a sender; nobody else does."""
+        dims = 4
+        st_ = _state_with_sender(dims, 0, 1.0)
+        Hypercube(dims).run(st_, broadcast_program(dims))
+        receivers = {r for rnd in broadcast_schedule(dims) for _, r in rnd}
+        assert receivers == set(range(1, 16))
+
+
+class TestPropagation1:
+    def test_paper_example(self):
+        """N=2 example: PE 0111 receives from PEs 0110, 0101 and 0011."""
+        dims = 4
+        n = 16
+        addrs = np.arange(n)
+        sender = np.array([popcount(a) == 2 for a in addrs])
+        v = np.where(sender, 1 << addrs, 0).astype(np.int64)  # unique tags
+        st_ = make_state(dims, V=v, SENDER=sender)
+        prog = propagation1_program(dims, combine=np.bitwise_or)
+        Hypercube(dims).run(st_, prog, discipline="ascend")
+        got = int(st_["V"][0b0111])
+        expected = (1 << 0b0110) | (1 << 0b0101) | (1 << 0b0011)
+        assert got == expected
+
+    def test_senders_unchanged(self):
+        dims = 3
+        addrs = np.arange(8)
+        sender = np.array([popcount(a) == 1 for a in addrs])
+        st_ = make_state(dims, V=np.zeros(8), SENDER=sender)
+        Hypercube(dims).run(st_, propagation1_program(dims, np.maximum))
+        assert (st_["SENDER"] == sender).all()
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=4))
+    def test_group_to_next_group(self, dims, grp):
+        """Every (grp+1)-group PE combines exactly its grp-subsets."""
+        if grp >= dims:
+            grp = dims - 1
+        n = 1 << dims
+        addrs = np.arange(n)
+        pop = np.array([popcount(a) for a in addrs])
+        sender = pop == grp
+        v = np.where(sender, addrs + 1, 0).astype(np.int64)  # tag = addr+1
+        st_ = make_state(dims, V=v, SENDER=sender)
+        Hypercube(dims).run(st_, propagation1_program(dims, np.maximum))
+        for a in addrs[pop == grp + 1]:
+            # max over subsets of a with popcount grp, tagged addr+1
+            subs = [
+                (a & ~(1 << b)) + 1 for b in range(dims) if (a >> b) & 1
+            ]
+            assert st_["V"][a] == max(subs)
+
+
+class TestPropagation2:
+    def test_paper_example_1_to_4_group(self):
+        """n=4 dims example: data floods from the 1-PE group to 1111,
+        which must combine the data of all four singletons."""
+        dims = 4
+        addrs = np.arange(16)
+        sender = np.array([popcount(a) == 1 for a in addrs])
+        v = np.where(sender, addrs, 0).astype(np.int64)
+        st_ = make_state(dims, V=v, SENDER=sender)
+        Hypercube(dims).run(st_, propagation2_program(dims, np.bitwise_or))
+        assert int(st_["V"][0b1111]) == 0b1111
+        assert int(st_["V"][0b0111]) == 0b0111
+
+    def test_receivers_become_senders(self):
+        dims = 3
+        addrs = np.arange(8)
+        sender = np.array([popcount(a) == 1 for a in addrs])
+        st_ = make_state(dims, V=np.zeros(8), SENDER=sender)
+        Hypercube(dims).run(st_, propagation2_program(dims, np.maximum))
+        pop = np.array([popcount(a) for a in addrs])
+        assert (st_["SENDER"] == (pop >= 1)).all()
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=6))
+    def test_flood_from_singletons_gives_or_of_elements(self, dims):
+        """After flooding from the 1-group with OR, every PE S holds the
+        OR of its elements' tags, i.e. S itself."""
+        n = 1 << dims
+        addrs = np.arange(n)
+        sender = np.array([popcount(a) == 1 for a in addrs])
+        v = np.where(sender, addrs, 0).astype(np.int64)
+        st_ = make_state(dims, V=v, SENDER=sender)
+        Hypercube(dims).run(st_, propagation2_program(dims, np.bitwise_or))
+        nonzero = addrs != 0
+        assert (st_["V"][nonzero] == addrs[nonzero]).all()
+
+
+class TestMinReduce:
+    def test_fig7_flood(self):
+        """§6 example with p=3: all 8 PEs end with the column minimum."""
+        vals = np.array([31.0, 5.0, 17.0, 9.0, 22.0, 5.0, 40.0, 11.0])
+        st_ = make_state(3, M=vals)
+        stats = Hypercube(3).run(st_, min_reduce_program(0, 3), discipline="ascend")
+        assert (st_["M"] == 5.0).all()
+        assert stats.route_steps == 3
+
+    def test_grouped_reduction(self):
+        """Reducing dims 0..1 of a 3-cube gives per-quadruple minima."""
+        vals = np.arange(8.0)[::-1]  # 7..0
+        st_ = make_state(3, M=vals)
+        Hypercube(3).run(st_, min_reduce_program(0, 2))
+        assert st_["M"].tolist() == [4.0] * 4 + [0.0] * 4
+
+    def test_gated_reduction_leaves_others_alone(self):
+        vals = np.array([4.0, 3.0, 2.0, 1.0])
+        gate = np.array([True, True, False, False])
+        st_ = make_state(2, M=vals, GATE=gate)
+        Hypercube(2).run(st_, min_reduce_program(0, 2, gate="GATE"))
+        # Gated PEs reduce (they read partners regardless); ungated keep values.
+        assert st_["M"][2] == 2.0 and st_["M"][3] == 1.0
+        assert st_["M"][0] <= 3.0
+
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=99))
+    def test_full_min_flood_property(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.uniform(0, 1, 1 << dims)
+        st_ = make_state(dims, M=vals)
+        Hypercube(dims).run(st_, min_reduce_program(0, dims))
+        assert np.allclose(st_["M"], vals.min())
+
+    def test_general_reduce_with_sum(self):
+        vals = np.arange(1.0, 9.0)
+        st_ = make_state(3, M=vals)
+        Hypercube(3).run(st_, reduce_program(0, 3, np.add))
+        assert np.allclose(st_["M"], vals.sum())

@@ -1,0 +1,176 @@
+"""Ideal hypercube machine: state handling, exchanges, disciplines."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypercube.machine import (
+    DimOp,
+    Hypercube,
+    LocalOp,
+    ScheduleError,
+    State,
+    dims_for,
+    make_state,
+)
+
+
+class TestState:
+    def test_register_creation_and_shape(self):
+        st_ = State(3)
+        st_["X"] = np.arange(8)
+        assert st_["X"].tolist() == list(range(8))
+
+    def test_scalar_broadcasts(self):
+        st_ = State(2)
+        st_["X"] = 7.0
+        assert st_["X"].tolist() == [7.0] * 4
+
+    def test_wrong_shape_rejected(self):
+        st_ = State(2)
+        with pytest.raises(ValueError):
+            st_["X"] = np.arange(5)
+
+    def test_copy_is_deep(self):
+        a = make_state(2, X=np.arange(4))
+        b = a.copy()
+        b["X"] = np.zeros(4)
+        assert a["X"].tolist() == [0, 1, 2, 3]
+
+    def test_assignment_copies_input(self):
+        arr = np.arange(4)
+        st_ = make_state(2, X=arr)
+        arr[:] = 0
+        assert st_["X"].tolist() == [0, 1, 2, 3]
+
+    def test_contains_and_names(self):
+        st_ = make_state(1, A=[1, 2], B=[3, 4])
+        assert "A" in st_ and "C" not in st_
+        assert st_.names() == ["A", "B"]
+
+    def test_equal(self):
+        a = make_state(1, X=[1, 2])
+        b = make_state(1, X=[1, 2])
+        c = make_state(1, X=[1, 3])
+        assert a.equal(b)
+        assert not a.equal(c)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            State(-1)
+
+
+class TestPartnerIndex:
+    def test_partner_is_involution(self):
+        hc = Hypercube(4)
+        for d in range(4):
+            perm = hc.partner_index(d)
+            assert (perm[perm] == np.arange(16)).all()
+
+    def test_partner_differs_in_one_bit(self):
+        hc = Hypercube(4)
+        for d in range(4):
+            perm = hc.partner_index(d)
+            assert ((perm ^ np.arange(16)) == (1 << d)).all()
+
+    def test_out_of_range_dim(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).partner_index(3)
+
+
+class TestExecution:
+    def test_dimop_swap(self):
+        hc = Hypercube(2)
+        st_ = make_state(2, X=np.array([10.0, 20.0, 30.0, 40.0]))
+        op = DimOp(0, lambda own, other, addr: {"X": other["X"]})
+        hc.run(st_, [op])
+        assert st_["X"].tolist() == [20.0, 10.0, 40.0, 30.0]
+
+    def test_simultaneous_semantics(self):
+        """Both partners must see each other's *old* values."""
+        hc = Hypercube(1)
+        st_ = make_state(1, X=np.array([1.0, 2.0]))
+        op = DimOp(0, lambda own, other, addr: {"X": own["X"] + other["X"]})
+        hc.run(st_, [op])
+        assert st_["X"].tolist() == [3.0, 3.0]
+
+    def test_localop(self):
+        hc = Hypercube(2)
+        st_ = make_state(2, X=np.arange(4.0))
+        hc.run(st_, [LocalOp(lambda own, addr: {"X": own["X"] * 2})])
+        assert st_["X"].tolist() == [0.0, 2.0, 4.0, 6.0]
+
+    def test_stats_counting(self):
+        hc = Hypercube(3)
+        st_ = make_state(3, X=np.zeros(8))
+        prog = [
+            LocalOp(lambda own, addr: {}),
+            DimOp(0, lambda o, p, a: {}),
+            DimOp(2, lambda o, p, a: {}),
+        ]
+        stats = hc.run(st_, prog)
+        assert stats.route_steps == 2
+        assert stats.compute_steps == 1
+        assert stats.total_steps == 3
+        assert stats.dims_used == [0, 2]
+
+    def test_state_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).run(make_state(2, X=np.zeros(4)), [])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TypeError):
+            Hypercube(1).run(make_state(1, X=[0, 0]), ["bogus"])
+
+
+class TestDiscipline:
+    def _noop(self, d):
+        return DimOp(d, lambda o, p, a: {})
+
+    def test_ascend_accepts_nondecreasing(self):
+        hc = Hypercube(3)
+        hc.run(make_state(3, X=np.zeros(8)), [self._noop(d) for d in [0, 0, 1, 2]],
+               discipline="ascend")
+
+    def test_ascend_rejects_decrease(self):
+        hc = Hypercube(3)
+        with pytest.raises(ScheduleError):
+            hc.run(make_state(3, X=np.zeros(8)), [self._noop(d) for d in [1, 0]],
+                   discipline="ascend")
+
+    def test_descend_rejects_increase(self):
+        hc = Hypercube(3)
+        with pytest.raises(ScheduleError):
+            hc.run(make_state(3, X=np.zeros(8)), [self._noop(d) for d in [1, 2]],
+                   discipline="descend")
+
+    def test_descend_accepts_nonincreasing(self):
+        hc = Hypercube(3)
+        hc.run(make_state(3, X=np.zeros(8)), [self._noop(d) for d in [2, 1, 1, 0]],
+               discipline="descend")
+
+
+class TestDimsFor:
+    def test_round_numbers(self):
+        assert dims_for(8) == 3
+        assert dims_for(1024) == 10
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            dims_for(12)
+
+
+class TestReductionProperty:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=99))
+    def test_allreduce_sum_over_all_dims(self, dims, seed):
+        """Summing along every dimension gives every PE the global sum."""
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 100, size=1 << dims).astype(float)
+        hc = Hypercube(dims)
+        st_ = make_state(dims, X=vals)
+        prog = [
+            DimOp(d, lambda o, p, a: {"X": o["X"] + p["X"]}) for d in range(dims)
+        ]
+        hc.run(st_, prog, discipline="ascend")
+        assert np.allclose(st_["X"], vals.sum())

@@ -1,0 +1,57 @@
+"""Prefix-sum collective on hypercube and CCC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.ccc import CCC
+from repro.hypercube.collectives import prefix_sum_program
+from repro.hypercube.machine import Hypercube, make_state
+
+
+def _run_prefix(dims, vals, machine=None, schedule="pipelined"):
+    st_ = make_state(dims, PRE=vals, TOT=vals)
+    prog = prefix_sum_program(dims)
+    if machine is None:
+        Hypercube(dims).run(st_, prog, discipline="ascend")
+    else:
+        machine.run(st_, prog, schedule=schedule)
+    return st_
+
+
+class TestHypercubePrefix:
+    @pytest.mark.parametrize("dims", [1, 3, 6])
+    def test_matches_cumsum(self, dims):
+        rng = np.random.default_rng(dims)
+        vals = rng.integers(0, 10, 1 << dims).astype(float)
+        st_ = _run_prefix(dims, vals)
+        assert np.allclose(st_["PRE"], np.cumsum(vals))
+
+    def test_total_flooded(self):
+        vals = np.arange(8.0)
+        st_ = _run_prefix(3, vals)
+        assert (st_["TOT"] == vals.sum()).all()
+
+    def test_is_ascend(self):
+        dims = [op.dim for op in prefix_sum_program(5)]
+        assert dims == sorted(dims)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=16, max_size=16))
+    def test_property(self, vals):
+        arr = np.array(vals, dtype=float)
+        st_ = _run_prefix(4, arr)
+        assert np.allclose(st_["PRE"], np.cumsum(arr))
+
+
+class TestCCCPrefix:
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    def test_matches_hypercube(self, schedule):
+        ccc = CCC(2)
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 100, ccc.n).astype(float)
+        ideal = _run_prefix(ccc.dims, vals)
+        emu = _run_prefix(ccc.dims, vals, machine=ccc, schedule=schedule)
+        assert ideal.equal(emu)
+        assert np.allclose(emu["PRE"], np.cumsum(vals))

@@ -1,0 +1,120 @@
+"""Bitonic sorting: the canonical ASCEND/DESCEND workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.ccc import CCC
+from repro.hypercube.machine import Hypercube, make_state
+from repro.hypercube.sorting import (
+    bitonic_sort_program,
+    bitonic_stage_count,
+    compare_exchange_op,
+)
+
+
+def _sort_on_hypercube(vals, tag=None):
+    dims = int(np.log2(len(vals)))
+    regs = {"X": np.asarray(vals, dtype=float)}
+    if tag is not None:
+        regs["T"] = np.asarray(tag)
+    st_ = make_state(dims, **regs)
+    Hypercube(dims).run(st_, bitonic_sort_program(dims, tag="T" if tag is not None else None))
+    return st_
+
+
+class TestHypercubeSort:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 5, 7])
+    def test_sorts_random(self, dims):
+        rng = np.random.default_rng(dims)
+        vals = rng.uniform(0, 1, 1 << dims)
+        st_ = _sort_on_hypercube(vals)
+        assert (st_["X"] == np.sort(vals)).all()
+
+    def test_sorts_with_duplicates(self):
+        vals = np.array([3.0, 1.0, 3.0, 1.0, 2.0, 2.0, 0.0, 3.0])
+        st_ = _sort_on_hypercube(vals)
+        assert (st_["X"] == np.sort(vals)).all()
+
+    def test_already_sorted(self):
+        vals = np.arange(16.0)
+        assert (_sort_on_hypercube(vals)["X"] == vals).all()
+
+    def test_reverse_sorted(self):
+        vals = np.arange(16.0)[::-1]
+        assert (_sort_on_hypercube(vals)["X"] == np.sort(vals)).all()
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=8, max_size=8))
+    def test_property_multiset_preserved(self, vals):
+        st_ = _sort_on_hypercube(np.array(vals, dtype=float))
+        out = st_["X"]
+        assert sorted(out.tolist()) == sorted(float(v) for v in vals)
+        assert (np.diff(out) >= 0).all()
+
+    def test_tags_travel_with_keys(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 50, 32).astype(float)
+        tags = np.arange(32)
+        st_ = _sort_on_hypercube(vals, tag=tags)
+        # tags are a permutation and each tag still indexes its key
+        assert sorted(st_["T"].tolist()) == list(range(32))
+        assert (vals[st_["T"]] == st_["X"]).all()
+
+    def test_stage_count(self):
+        assert bitonic_stage_count(4) == 10
+        prog = bitonic_sort_program(4)
+        assert len(prog) == 10
+
+    def test_stages_are_descend_runs(self):
+        prog = bitonic_sort_program(4)
+        dims = [op.dim for op in prog]
+        assert dims == [0, 1, 0, 2, 1, 0, 3, 2, 1, 0]
+
+
+class TestCCCSort:
+    @pytest.mark.parametrize("schedule", ["pipelined", "naive"])
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_matches_numpy(self, schedule, r):
+        ccc = CCC(r)
+        rng = np.random.default_rng(r)
+        vals = rng.integers(0, 1000, ccc.n).astype(float)
+        st_ = make_state(ccc.dims, X=vals)
+        stats = ccc.run(st_, bitonic_sort_program(ccc.dims), schedule=schedule)
+        assert (st_["X"] == np.sort(vals)).all()
+        assert stats.ideal_dimops == bitonic_stage_count(ccc.dims)
+
+    def test_pipelined_uses_descend_sweeps(self):
+        ccc = CCC(2)
+        vals = np.random.default_rng(0).uniform(0, 1, ccc.n)
+        st_ = make_state(ccc.dims, X=vals)
+        stats = ccc.run(st_, bitonic_sort_program(ccc.dims), schedule="pipelined")
+        assert stats.sweeps >= 1  # descend runs were batched
+        assert (st_["X"] == np.sort(vals)).all()
+
+    def test_pipelined_beats_naive(self):
+        ccc = CCC(2)
+        vals = np.random.default_rng(3).uniform(0, 1, ccc.n)
+        steps = {}
+        for sched in ("pipelined", "naive"):
+            st_ = make_state(ccc.dims, X=vals)
+            steps[sched] = ccc.run(st_, bitonic_sort_program(ccc.dims), schedule=sched).route_steps
+        assert steps["pipelined"] < steps["naive"]
+
+    def test_big_machine(self):
+        ccc = CCC(3)  # 2048 PEs
+        rng = np.random.default_rng(9)
+        vals = rng.uniform(0, 1, ccc.n)
+        st_ = make_state(ccc.dims, X=vals)
+        stats = ccc.run(st_, bitonic_sort_program(ccc.dims))
+        assert (st_["X"] == np.sort(vals)).all()
+        assert stats.slowdown < 6.0
+
+
+class TestCompareExchangeOp:
+    def test_single_step(self):
+        # stage 0, dim 0 on 4 PEs: pairs (0,1) asc, (2,3) desc.
+        st_ = make_state(2, X=np.array([5.0, 2.0, 1.0, 4.0]))
+        Hypercube(2).run(st_, [compare_exchange_op(0, 0)])
+        assert st_["X"].tolist() == [2.0, 5.0, 4.0, 1.0]

@@ -1,0 +1,114 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import WORKLOADS
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSolve:
+    def test_workload_dp(self):
+        code, text = run_cli("solve", "--workload", "medical", "--k", "4", "--solver", "dp")
+        assert code == 0
+        assert "optimal_cost" in text
+
+    def test_workload_tree(self):
+        code, text = run_cli(
+            "solve", "--workload", "fault", "--k", "4", "--tree"
+        )
+        assert code == 0
+        assert "treatment" in text
+
+    @pytest.mark.parametrize("solver", ["hypercube", "ccc"])
+    def test_parallel_solvers(self, solver):
+        code, text = run_cli(
+            "solve", "--workload", "random", "--k", "4", "--solver", solver
+        )
+        assert code == 0
+        assert "steps" in text
+
+    def test_bvm_solver(self):
+        code, text = run_cli(
+            "solve", "--workload", "random", "--k", "3", "--solver", "bvm",
+            "--width", "16",
+        )
+        assert code == 0
+        assert "bvm_cycles" in text
+
+    def test_json_output(self):
+        code, text = run_cli(
+            "solve", "--workload", "lab", "--k", "4", "--json"
+        )
+        payload = json.loads(text)
+        assert payload["solver"] == "dp"
+        assert payload["k"] == 4
+        assert payload["optimal_cost"] > 0
+
+    def test_solvers_agree_through_cli(self):
+        costs = {}
+        for solver in ("dp", "hypercube", "ccc"):
+            _, text = run_cli(
+                "solve", "--workload", "taxonomy", "--k", "4",
+                "--solver", solver, "--json",
+            )
+            costs[solver] = json.loads(text)["optimal_cost"]
+        assert costs["dp"] == pytest.approx(costs["hypercube"])
+        assert costs["dp"] == pytest.approx(costs["ccc"])
+
+    def test_file_input(self, tmp_path, tiny_problem):
+        path = tmp_path / "problem.json"
+        path.write_text(tiny_problem.to_json())
+        code, text = run_cli("solve", "--file", str(path), "--json")
+        assert json.loads(text)["optimal_cost"] == pytest.approx(37.0)
+
+    def test_canonicalize_flag(self):
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5", "--canonicalize"
+        )
+        assert code == 0
+        assert "canonicalized" in text
+
+
+class TestOtherCommands:
+    def test_workloads_lists_all(self):
+        code, text = run_cli("workloads")
+        assert code == 0
+        for name in WORKLOADS:
+            assert name in text
+
+    def test_figures(self):
+        code, text = run_cli("figures")
+        assert code == 0
+        assert "cycle-ID" in text
+        assert "value reached all 64 PEs: True" in text
+
+    def test_claims(self):
+        code, text = run_cli("claims")
+        assert code == 0
+        assert "machine sizing" in text
+        assert "2^30" in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "workloads"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "medical" in proc.stdout

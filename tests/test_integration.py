@@ -1,0 +1,118 @@
+"""Cross-layer integration: every solver, one instance, one truth.
+
+These tests tie the whole reproduction together: a single integral
+instance is solved by the sequential DP, the hypercube dataflow, the CCC
+emulation (both schedules) and the bit-level BVM program; all tables
+must agree exactly, satisfy the Bellman verification, and extract
+structurally identical optimal procedures.  Preprocessing and the
+binary-testing anchors are folded through the same pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Action,
+    TTProblem,
+    canonicalize,
+    solve_dp,
+    trees_equal,
+)
+from repro.ttpar import (
+    solve_tt_bvm,
+    solve_tt_ccc,
+    solve_tt_hypercube,
+    verify_cost_table,
+)
+from tests.conftest import tt_problems
+
+
+def _integral(k, seed, n_tests=2, n_treats=2):
+    rng = np.random.default_rng(seed)
+    full = (1 << k) - 1
+    weights = rng.integers(1, 6, k).astype(float)
+    acts = []
+    for _ in range(n_tests):
+        acts.append(Action.test(int(rng.integers(1, full)), float(rng.integers(0, 6))))
+    cov = 0
+    for _ in range(n_treats):
+        s = int(rng.integers(1, full + 1))
+        acts.append(Action.treatment(s, float(rng.integers(1, 6))))
+        cov |= s
+    if cov != full:
+        acts.append(Action.treatment(full & ~cov, 3.0))
+    return TTProblem.build(weights, acts)
+
+
+class TestFourWayAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_solvers_one_truth(self, seed):
+        problem = _integral(3, seed)
+        dp = solve_dp(problem)
+        hyper = solve_tt_hypercube(problem)
+        ccc_p = solve_tt_ccc(problem, schedule="pipelined")
+        ccc_n = solve_tt_ccc(problem, schedule="naive")
+        bvm = solve_tt_bvm(problem, width=16)
+
+        for other in (hyper, ccc_p, ccc_n, bvm):
+            assert np.allclose(dp.cost, other.cost)
+            assert (dp.best_action == other.best_action).all()
+
+        # One verification certifies them all.
+        assert verify_cost_table(problem, dp.cost).ok
+
+        # Extracted procedures are structurally identical (same tiebreaks).
+        trees = [r.tree() for r in (dp, hyper, ccc_p, bvm)]
+        for t in trees:
+            t.validate()
+        assert all(trees_equal(trees[0], t) for t in trees[1:])
+
+    @settings(max_examples=6, deadline=None)
+    @given(tt_problems(min_k=2, max_k=3, max_actions=3, integral=True))
+    def test_property_three_machines(self, problem):
+        dp = solve_dp(problem)
+        hyper = solve_tt_hypercube(problem)
+        bvm = solve_tt_bvm(problem, width=20)
+        assert np.allclose(dp.cost, hyper.cost)
+        assert np.allclose(dp.cost, bvm.cost)
+        assert verify_cost_table(problem, bvm.cost).ok
+
+
+class TestPreprocessingPipeline:
+    def test_canonicalize_then_solve_agrees(self):
+        problem = _integral(4, 5, n_tests=3, n_treats=3)
+        # inject redundancy
+        bloated = problem.with_actions(
+            list(problem.actions)
+            + [Action(a.kind, a.subset, a.cost + 2.0, "dup") for a in problem.actions[:2]]
+        )
+        report = canonicalize(bloated)
+        a = solve_dp(bloated).optimal_cost
+        b = solve_dp(report.problem).optimal_cost
+        assert a == pytest.approx(b)
+        assert report.problem.n_actions <= bloated.n_actions
+
+    def test_canonical_instance_through_parallel_machine(self):
+        problem = _integral(4, 9)
+        report = canonicalize(problem)
+        par = solve_tt_hypercube(report.problem)
+        assert par.optimal_cost == pytest.approx(solve_dp(problem).optimal_cost)
+
+
+class TestScaleLimits:
+    def test_k8_hypercube_matches_dp(self):
+        """A 2^12-PE virtual machine, beyond any BVM test size."""
+        problem = _integral(8, 3, n_tests=6, n_treats=5)
+        dp = solve_dp(problem)
+        par = solve_tt_hypercube(problem)
+        assert np.allclose(dp.cost, par.cost)
+        assert verify_cost_table(problem, par.cost).ok
+
+    def test_k10_dp_self_consistent(self):
+        problem = _integral(10, 4, n_tests=8, n_treats=6)
+        dp = solve_dp(problem)
+        assert verify_cost_table(problem, dp.cost).ok
+        tree = dp.tree()
+        tree.validate()
+        assert tree.expected_cost() == pytest.approx(dp.optimal_cost)

@@ -1,0 +1,61 @@
+"""The one-shot reproduction report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.reports import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report()
+
+
+class TestReportContent:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Solver agreement",
+            "Speedup vs P/log P",
+            "CCC slowdown",
+            "Wiring",
+            "Machine sizing",
+            "ASCEND/DESCEND class",
+            "Heuristic gap",
+            "Bit-level footprint",
+        ):
+            assert heading in report_text
+
+    def test_no_failures_reported(self, report_text):
+        assert "NO" not in report_text
+        assert "FAIL" not in report_text
+
+    def test_solver_agreement_all_yes(self, report_text):
+        section = report_text.split("## Speedup")[0]
+        assert section.count("| yes |") == 4
+
+    def test_markdown_tables_wellformed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_paper_headline_in_speedup_table(self, report_text):
+        # k=15 row carries the 'roughly 10^6' speedup figure
+        assert "2,386,020" in report_text
+
+
+class TestReportCLI:
+    def test_stdout(self):
+        import io
+
+        out = io.StringIO()
+        assert main(["report"], out=out) == 0
+        assert "## Reproduction report" in out.getvalue()
+
+    def test_file_output(self, tmp_path):
+        import io
+
+        path = tmp_path / "report.md"
+        out = io.StringIO()
+        assert main(["report", "--out", str(path)], out=out) == 0
+        assert "## Machine sizing" in path.read_text()
+        assert str(path) in out.getvalue()

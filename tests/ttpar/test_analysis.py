@@ -1,0 +1,82 @@
+"""Complexity model and the paper's headline claims as checked numbers."""
+
+import math
+
+import pytest
+
+from repro.ttpar.analysis import (
+    machine_sizing_table,
+    max_k_for_budget,
+    model_bit_steps,
+    model_route_steps,
+    padded_p,
+    sequential_word_ops,
+    speedup_curve,
+    speedup_point,
+)
+
+
+class TestModels:
+    def test_padded_p(self):
+        assert padded_p(1) == 1
+        assert padded_p(2) == 1
+        assert padded_p(3) == 2
+        assert padded_p(8) == 3
+        assert padded_p(9) == 4
+
+    def test_route_steps(self):
+        assert model_route_steps(4, 8) == 4 * (4 + 3)
+
+    def test_bit_steps_scale_with_width(self):
+        assert model_bit_steps(4, 8, width=16) == 16 * model_route_steps(4, 8)
+
+    def test_sequential_ops(self):
+        assert sequential_word_ops(3, 5) == 7 * 5
+
+
+class TestSpeedup:
+    def test_point_fields(self):
+        sp = speedup_point(10, 1 << 10)
+        assert sp.pe_count == 1 << 20
+        assert sp.speedup == sp.seq_ops / sp.par_steps
+        assert 0 < sp.efficiency < 1
+
+    def test_speedup_grows_with_k(self):
+        s = [speedup_point(k, 1 << k).speedup for k in range(4, 14)]
+        assert all(b > a for a, b in zip(s, s[1:]))
+
+    def test_shape_is_p_over_logp(self):
+        """speedup / (P / log P) must stay within constant factors along
+        the exponential-actions curve — the paper's O(P/log P) claim."""
+        pts = speedup_curve(range(6, 16), lambda k: 2**k)
+        ratios = [p.speedup / p.p_over_logp for p in pts]
+        assert max(ratios) / min(ratios) < 3.0
+        assert all(0.01 < r < 10 for r in ratios)
+
+    def test_log_factor_really_present(self):
+        """Efficiency (speedup/P) decays like 1/log P, not 1/poly(P)."""
+        a = speedup_point(8, 2**8)
+        b = speedup_point(16, 2**16)
+        # P grows by 2^16; efficiency should shrink only ~ log ratio (2x).
+        assert a.efficiency / b.efficiency < 4.0
+
+
+class TestMachineSizing:
+    def test_paper_figures(self):
+        """2^30 PEs: ~15 candidates with N=O(2^k), ~20 with N=O(k^2)."""
+        table = {row["pe_budget"]: row for row in machine_sizing_table()}
+        big = table[2**30]
+        assert big["max_k_exponential_actions"] == 15
+        assert big["max_k_quadratic_actions"] in (20, 21, 22)
+
+    def test_implementable_machine(self):
+        table = {row["pe_budget"]: row for row in machine_sizing_table()}
+        small = table[2**20]
+        assert small["max_k_exponential_actions"] == 10
+
+    def test_max_k_monotone_in_budget(self):
+        ks = [max_k_for_budget(1 << b, lambda k: 2**k) for b in range(10, 40, 4)]
+        assert ks == sorted(ks)
+
+    def test_zero_budget(self):
+        assert max_k_for_budget(1, lambda k: 2**k) == 0

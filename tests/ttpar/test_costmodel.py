@@ -1,0 +1,71 @@
+"""The closed-form BVM cycle model vs the emitted program — exact."""
+
+import pytest
+
+from repro.core import random_instance
+from repro.ttpar.bvm_tt import build_bvm_tt
+from repro.ttpar.costmodel import (
+    dominant_term,
+    predict_loop_cycles,
+    predict_phase_cycles,
+)
+
+
+def _measured(problem, width=16):
+    plan = build_bvm_tt(problem, width=width)
+    return plan, plan.prog.phase_breakdown()
+
+
+class TestExactPhaseModel:
+    @pytest.mark.parametrize("k,seed", [(2, 0), (3, 1), (4, 2)])
+    def test_all_loop_phases_exact(self, k, seed):
+        problem = random_instance(k, 2, 2, seed=seed)
+        plan, measured = _measured(problem)
+        model = predict_phase_cycles(problem, 16, plan.r)
+        for phase, predicted in model.items():
+            assert measured[phase] == predicted, phase
+
+    @pytest.mark.parametrize("width", [8, 16, 24])
+    def test_exact_across_widths(self, width):
+        problem = random_instance(3, 2, 2, seed=5)
+        plan, measured = _measured(problem, width=width)
+        model = predict_phase_cycles(problem, width, plan.r)
+        for phase, predicted in model.items():
+            assert measured[phase] == predicted, (phase, width)
+
+    def test_loop_total(self):
+        problem = random_instance(3, 2, 2, seed=7)
+        plan, measured = _measured(problem)
+        loop_phases = ("copy-buffers", "e-loop", "finalize", "min-ascend")
+        assert predict_loop_cycles(problem, 16, plan.r) == sum(
+            measured[p] for p in loop_phases
+        )
+
+
+class TestModelStructure:
+    def test_eloop_dominates_model(self):
+        problem = random_instance(4, 3, 2, seed=1)
+        model = predict_phase_cycles(problem, 16, 3)
+        assert model["e-loop"] > model["min-ascend"]
+        assert model["e-loop"] > model["finalize"]
+
+    def test_linear_in_width(self):
+        problem = random_instance(3, 2, 2, seed=2)
+        narrow = predict_loop_cycles(problem, 8, 2)
+        wide = predict_loop_cycles(problem, 32, 2)
+        # Not exactly 4x (constant per-phase overheads), but close.
+        assert 3.0 < wide / narrow < 4.5
+
+    def test_dominant_term_bounds_loop(self):
+        """measured loop cycles / (k·W·(k+logN)·(2Q+1)) in a tight band."""
+        ratios = []
+        for k, seed in ((2, 0), (3, 1), (4, 2)):
+            problem = random_instance(k, 2, 2, seed=seed)
+            plan, measured = _measured(problem)
+            loop = sum(
+                measured[p]
+                for p in ("copy-buffers", "e-loop", "finalize", "min-ascend")
+            )
+            ratios.append(loop / dominant_term(problem, 16, plan.r))
+        assert max(ratios) / min(ratios) < 3.0
+        assert all(0.1 < r < 10 for r in ratios)

@@ -1,0 +1,101 @@
+"""PE layout and action padding for the parallel TT algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.generators import random_instance
+from repro.core.problem import Action, TTProblem
+from repro.ttpar.layout import TTLayout, choose_ccc_r, pad_actions
+
+
+class TestPadActions:
+    def test_pads_to_power_of_two_with_inf_universe_treatments(self):
+        p = TTProblem.build(
+            [1.0, 1.0],
+            [Action.test({0}, 1.0), Action.treatment({0, 1}, 2.0), Action.treatment({0}, 1.0)],
+        )
+        padded = pad_actions(p)
+        assert padded.n_actions == 4
+        pad = padded.actions[3]
+        assert pad.is_treatment
+        assert pad.subset == p.universe
+        assert math.isinf(pad.cost)
+
+    def test_no_padding_when_already_power_of_two(self):
+        p = random_instance(3, 2, 2, seed=0)
+        if p.n_actions in (4, 8):  # coverage may add actions
+            assert pad_actions(p).n_actions == p.n_actions
+
+    def test_padding_preserves_optimum(self):
+        from repro.core.sequential import solve_dp
+
+        p = random_instance(4, 3, 2, seed=5)
+        assert solve_dp(pad_actions(p)).optimal_cost == pytest.approx(
+            solve_dp(p).optimal_cost
+        )
+
+    def test_single_action_pads_to_two(self):
+        p = TTProblem.build([1.0], [Action.treatment({0}, 1.0)])
+        assert pad_actions(p).n_actions == 2
+
+
+class TestTTLayout:
+    def test_dims_and_counts(self):
+        lay = TTLayout(k=4, p=3)
+        assert lay.dims == 7
+        assert lay.n == 128
+        assert lay.n_actions == 8
+
+    def test_addr_roundtrip(self):
+        lay = TTLayout(k=3, p=2)
+        for s in range(8):
+            for i in range(4):
+                a = lay.addr(s, i)
+                assert lay.subset_of(np.array([a]))[0] == s
+                assert lay.action_of(np.array([a]))[0] == i
+
+    def test_replica_addresses_alias(self):
+        """Addresses above k+p bits map to the same (S, i) pair."""
+        lay = TTLayout(k=2, p=1)
+        base = lay.addr(0b10, 1)
+        replica = base + (1 << lay.dims) * 5
+        assert lay.subset_of(np.array([replica]))[0] == 0b10
+        assert lay.action_of(np.array([replica]))[0] == 1
+
+    def test_subset_dim(self):
+        lay = TTLayout(k=3, p=2)
+        assert [lay.subset_dim(e) for e in range(3)] == [2, 3, 4]
+        with pytest.raises(ValueError):
+            lay.subset_dim(3)
+
+    def test_layer_of(self):
+        lay = TTLayout(k=3, p=1)
+        addrs = np.array([lay.addr(s, 0) for s in range(8)])
+        assert lay.layer_of(addrs).tolist() == [0, 1, 1, 2, 1, 2, 2, 3]
+
+    def test_for_problem(self):
+        p = random_instance(4, 3, 2, seed=1)
+        lay = TTLayout.for_problem(p)
+        assert lay.k == 4
+        assert (1 << lay.p) >= p.n_actions
+
+    def test_pe_demand_matches_paper(self):
+        """PE count is N' * 2^k = O(N * 2^k)."""
+        lay = TTLayout(k=5, p=4)
+        assert lay.n == (1 << 4) * (1 << 5)
+
+
+class TestChooseCccR:
+    def test_known_thresholds(self):
+        assert choose_ccc_r(3) == 1   # r=1: 1+2=3 dims
+        assert choose_ccc_r(4) == 2   # r=2: 2+4=6 dims
+        assert choose_ccc_r(6) == 2
+        assert choose_ccc_r(7) == 3   # r=3: 3+8=11 dims
+        assert choose_ccc_r(11) == 3
+        assert choose_ccc_r(12) == 4  # r=4: 4+16=20 dims
+
+    def test_too_large(self):
+        with pytest.raises(ValueError):
+            choose_ccc_r(100, max_r=4)

@@ -1,0 +1,104 @@
+"""The DESCEND policy-marking pass vs the host-side tree extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.generators import WORKLOADS, random_instance
+from repro.hypercube.machine import DimOp
+from repro.ttpar.marking import (
+    build_marking_program,
+    mark_policy_subsets,
+    policy_subsets_reference,
+)
+from tests.conftest import tt_problems
+
+
+class TestMarkingCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        problem = random_instance(4, 3, 2, seed=seed)
+        assert (
+            mark_policy_subsets(problem) == policy_subsets_reference(problem)
+        ).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(tt_problems(min_k=2, max_k=5))
+    def test_property(self, problem):
+        got = mark_policy_subsets(problem)
+        want = policy_subsets_reference(problem)
+        assert (got == want).all()
+
+    def test_workloads(self):
+        for name, make in WORKLOADS.items():
+            problem = make(4, seed=2)
+            assert (
+                mark_policy_subsets(problem) == policy_subsets_reference(problem)
+            ).all(), name
+
+    def test_on_ccc(self):
+        problem = random_instance(3, 2, 2, seed=7)
+        got = mark_policy_subsets(problem, machine="ccc")
+        assert (got == policy_subsets_reference(problem)).all()
+
+    def test_universe_always_marked(self):
+        problem = random_instance(3, 2, 2, seed=1)
+        marked = mark_policy_subsets(problem)
+        assert marked[problem.universe]
+        assert not marked[0]
+
+
+class TestMarkingStructure:
+    def test_drop_ops_are_descend_runs(self):
+        problem = random_instance(3, 2, 2, seed=0)
+        _, program = build_marking_program(problem)
+        dims = [op.dim for op in program if isinstance(op, DimOp)]
+        k = 3
+        # every consecutive k-chunk is strictly decreasing
+        for i in range(0, len(dims), k):
+            chunk = dims[i : i + k]
+            assert chunk == sorted(chunk, reverse=True)
+
+    def test_marked_count_equals_tree_nodes(self):
+        """Each marked subset is one node's live set (live sets in a TT
+        tree are pairwise distinct: children are strict subsets and the
+        two test children are disjoint)."""
+        from repro.core.sequential import solve_dp
+
+        problem = WORKLOADS["fault"](5, seed=0)
+        tree = solve_dp(problem).tree()
+        marked = mark_policy_subsets(problem)
+        assert int(marked.sum()) == tree.node_count()
+
+    def test_marks_form_a_laminar_like_policy_closure(self):
+        """Every marked non-root set is a child of some marked set under
+        the argmin policy."""
+        from repro.core.sequential import solve_dp
+
+        problem = random_instance(4, 3, 3, seed=9)
+        dp = solve_dp(problem)
+        marked = np.nonzero(mark_policy_subsets(problem))[0]
+        marked_set = set(int(s) for s in marked)
+        for s in marked_set:
+            if s == problem.universe:
+                continue
+            parents = [
+                t
+                for t in marked_set
+                if t != s
+                and (
+                    (
+                        problem.actions[int(dp.best_action[t])].is_test
+                        and s
+                        in (
+                            t & problem.actions[int(dp.best_action[t])].subset,
+                            t & ~problem.actions[int(dp.best_action[t])].subset,
+                        )
+                    )
+                    or (
+                        problem.actions[int(dp.best_action[t])].is_treatment
+                        and s == t & ~problem.actions[int(dp.best_action[t])].subset
+                    )
+                )
+            ]
+            assert parents, f"marked subset {s:#x} has no policy parent"

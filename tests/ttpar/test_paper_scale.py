@@ -1,0 +1,43 @@
+"""Paper-scale machine-time estimates from the exact cycle model."""
+
+import pytest
+
+from repro.ttpar.costmodel import paper_scale_estimate, predict_phase_cycles_for
+
+
+class TestPaperScaleEstimate:
+    def test_implementable_machine(self):
+        """k=10, N=1024 fills the 2^20-PE machine exactly (the sizing
+        claim) and solves in well under a second at a mid-80s clock."""
+        est = paper_scale_estimate(10, 1024, r=4)
+        assert est["pe_count"] == 1 << 20
+        assert est["loop_cycles"] > 0
+        assert est["seconds_at_clock"] < 1.0
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            paper_scale_estimate(25, 2**10, r=4)
+
+    def test_scaling_with_k(self):
+        small = paper_scale_estimate(6, 64, r=4)["loop_cycles"]
+        big = paper_scale_estimate(12, 64, r=4)["loop_cycles"]
+        assert big > 2 * small  # ~k^2-ish growth in the e-loop
+
+    def test_phases_sum(self):
+        est = paper_scale_estimate(8, 256, r=4)
+        assert sum(est["phases"].values()) == est["loop_cycles"]
+
+    def test_matches_simulated_sizes(self):
+        """At simulable sizes the raw-size model equals the instance
+        model (which the test suite already pins to the emitted program)."""
+        from repro.core import random_instance
+        from repro.ttpar.bvm_tt import build_bvm_tt
+        from repro.ttpar.layout import TTLayout
+
+        problem = random_instance(3, 2, 2, seed=0)
+        plan = build_bvm_tt(problem, width=16)
+        layout = TTLayout.for_problem(problem)
+        raw = predict_phase_cycles_for(layout.k, layout.p, 16, plan.r)
+        measured = plan.prog.phase_breakdown()
+        for phase, val in raw.items():
+            assert measured[phase] == val

@@ -1,0 +1,112 @@
+"""Bellman verification of cost tables: the solver-independent check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp
+from repro.ttpar.dataflow import solve_tt_hypercube
+from repro.ttpar.verify import bellman_values, verify_cost_table
+from tests.conftest import tt_problems
+
+
+class TestAcceptsCorrectTables:
+    @settings(max_examples=30, deadline=None)
+    @given(tt_problems(max_k=5))
+    def test_dp_table_verifies(self, problem):
+        report = verify_cost_table(problem, solve_dp(problem).cost)
+        assert report.ok
+        assert report.n_violations == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(tt_problems(max_k=4))
+    def test_parallel_table_verifies(self, problem):
+        report = verify_cost_table(problem, solve_tt_hypercube(problem).cost)
+        assert report.ok
+
+    def test_bvm_table_verifies_on_integral_instance(self):
+        from repro.ttpar.bvm_tt import solve_tt_bvm
+
+        p = TTProblem.build(
+            [3.0, 1.0, 2.0],
+            [
+                Action.test({0, 1}, 1.0),
+                Action.treatment({0}, 4.0),
+                Action.treatment({1, 2}, 5.0),
+            ],
+        )
+        assert verify_cost_table(p, solve_tt_bvm(p).cost).ok
+
+    def test_inadequate_table_with_inf_verifies(self):
+        p = TTProblem.build(
+            [1.0, 1.0], [Action.test({0}, 1.0), Action.treatment({0}, 2.0)]
+        )
+        assert verify_cost_table(p, solve_dp(p).cost).ok
+
+
+class TestRejectsCorruptTables:
+    @pytest.fixture
+    def problem(self, tiny_problem):
+        return tiny_problem
+
+    @pytest.fixture
+    def good(self, problem):
+        return solve_dp(problem).cost
+
+    def test_perturbed_value_rejected(self, problem, good):
+        bad = good.copy()
+        bad[problem.universe] += 0.5
+        report = verify_cost_table(problem, bad)
+        assert not report.ok
+        assert report.n_violations >= 1
+
+    def test_too_cheap_rejected(self, problem, good):
+        bad = good.copy()
+        bad[problem.universe] -= 1.0  # claims better than optimal
+        assert not verify_cost_table(problem, bad).ok
+
+    def test_nonzero_empty_set_rejected(self, problem, good):
+        bad = good.copy()
+        bad[0] = 1.0
+        assert not verify_cost_table(problem, bad).ok
+
+    def test_spurious_inf_rejected(self, problem, good):
+        bad = good.copy()
+        bad[0b010] = np.inf  # feasible subset declared infeasible
+        assert not verify_cost_table(problem, bad).ok
+
+    def test_spurious_finite_rejected(self):
+        p = TTProblem.build(
+            [1.0, 1.0], [Action.test({0}, 1.0), Action.treatment({0}, 2.0)]
+        )
+        bad = solve_dp(p).cost.copy()
+        bad[0b10] = 7.0  # untreatable subset declared feasible
+        assert not verify_cost_table(p, bad).ok
+
+    def test_wrong_shape_rejected(self, problem):
+        with pytest.raises(ValueError):
+            verify_cost_table(problem, np.zeros(3))
+
+    def test_first_violation_reported(self, problem, good):
+        bad = good.copy()
+        bad[0b011] += 1.0
+        report = verify_cost_table(problem, bad)
+        assert report.first_violation is not None
+
+
+class TestBellmanOperator:
+    def test_fixed_point(self, tiny_problem):
+        cost = solve_dp(tiny_problem).cost
+        target = bellman_values(tiny_problem, cost)
+        assert np.allclose(cost[1:], target[1:])
+        assert target[0] == 0.0
+
+    def test_improves_overestimates(self, tiny_problem):
+        cost = solve_dp(tiny_problem).cost
+        over = cost + 1.0
+        over[0] = 0.0
+        target = bellman_values(tiny_problem, over)
+        # One Bellman application from an overestimate stays >= truth
+        # and <= the overestimate's own induced values.
+        assert (target[1:] >= cost[1:] - 1e-9).all()

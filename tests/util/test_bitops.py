@@ -1,0 +1,172 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    all_subsets,
+    bit,
+    bit_matrix,
+    bits_of,
+    from_bit_matrix,
+    ilog2,
+    is_power_of_two,
+    iter_submasks,
+    mask_of,
+    popcount,
+    popcount_array,
+    subset_str,
+    subsets_of_size,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount((1 << 12) - 1) == 12
+
+    def test_single_bits(self):
+        for j in range(30):
+            assert popcount(1 << j) == 1
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestPopcountArray:
+    def test_vector(self):
+        masks = np.array([0, 1, 3, 7, 8, 255])
+        assert popcount_array(masks).tolist() == [0, 1, 2, 3, 1, 8]
+
+    def test_explicit_width(self):
+        masks = np.arange(16)
+        assert popcount_array(masks, k=4).tolist() == [popcount(m) for m in range(16)]
+
+    def test_empty(self):
+        assert popcount_array(np.array([], dtype=np.int64)).shape == (0,)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=30))
+    def test_matches_scalar(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        assert popcount_array(arr).tolist() == [popcount(x) for x in xs]
+
+
+class TestBitsAndMasks:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_bits_of_roundtrip(self):
+        mask = 0b101101
+        assert mask_of(bits_of(mask)) == mask
+
+    def test_bits_of_order(self):
+        assert list(bits_of(0b10110)) == [1, 2, 4]
+
+    def test_mask_of_empty(self):
+        assert mask_of([]) == 0
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_mask_roundtrip(self, items):
+        assert set(bits_of(mask_of(items))) == items
+
+
+class TestSubsetEnumeration:
+    def test_sizes_partition_universe(self):
+        k = 6
+        seen = []
+        for j in range(k + 1):
+            seen.extend(subsets_of_size(k, j))
+        assert sorted(seen) == list(all_subsets(k))
+
+    def test_layer_has_correct_popcounts(self):
+        for j in range(5):
+            assert all(popcount(s) == j for s in subsets_of_size(4, j))
+
+    def test_layer_count_is_binomial(self):
+        import math
+
+        for k in range(1, 8):
+            for j in range(k + 1):
+                assert len(list(subsets_of_size(k, j))) == math.comb(k, j)
+
+    def test_ascending_order(self):
+        layer = list(subsets_of_size(6, 3))
+        assert layer == sorted(layer)
+
+    def test_out_of_range(self):
+        assert list(subsets_of_size(3, 4)) == []
+        assert list(subsets_of_size(3, -1)) == []
+
+    def test_submasks(self):
+        subs = set(iter_submasks(0b101))
+        assert subs == {0b000, 0b001, 0b100, 0b101}
+
+    @given(st.integers(min_value=0, max_value=2**10 - 1))
+    def test_submask_count(self, mask):
+        assert len(list(iter_submasks(mask))) == 1 << popcount(mask)
+
+
+class TestSubsetStr:
+    def test_empty(self):
+        assert subset_str(0) == "{}"
+
+    def test_nonempty(self):
+        assert subset_str(0b1011) == "{0,1,3}"
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(2**17) == 17
+
+    def test_ilog2_rejects(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+
+class TestBitMatrix:
+    def test_roundtrip(self):
+        vals = np.array([0, 1, 5, 255, 128])
+        rows = bit_matrix(vals, 8)
+        assert rows.shape == (8, 5)
+        assert from_bit_matrix(rows).tolist() == vals.tolist()
+
+    def test_lsb_first(self):
+        rows = bit_matrix(np.array([1]), 4)
+        assert rows[:, 0].tolist() == [True, False, False, False]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bit_matrix(np.array([256]), 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_matrix(np.array([-1]), 8)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            bit_matrix(np.zeros((2, 2)), 4)
+        with pytest.raises(ValueError):
+            from_bit_matrix(np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            bit_matrix(np.array([1]), 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20)
+    )
+    def test_roundtrip_property(self, vals):
+        arr = np.array(vals, dtype=np.int64)
+        assert from_bit_matrix(bit_matrix(arr, 16)).tolist() == vals

@@ -1,0 +1,90 @@
+"""Tests for the fixed-point cost encoding used by the BVM."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fixedpoint import INF_WORD, FixedPointScale, choose_scale
+
+
+class TestInfWord:
+    def test_values(self):
+        assert INF_WORD(8) == 255
+        assert INF_WORD(16) == 65535
+
+
+class TestFixedPointScale:
+    def test_encode_decode_exact_integers(self):
+        fps = FixedPointScale(width=16, scale=1.0)
+        for v in [0, 1, 37, 65534]:
+            assert fps.decode(fps.encode(v)) == v
+
+    def test_inf_sentinel_roundtrip(self):
+        fps = FixedPointScale(width=12, scale=2.0)
+        assert fps.encode(math.inf) == fps.inf
+        assert fps.decode(fps.inf) == math.inf
+
+    def test_max_value_excludes_sentinel(self):
+        fps = FixedPointScale(width=8, scale=1.0)
+        assert fps.max_value == 254
+        assert fps.encode(254) == 254
+        with pytest.raises(OverflowError):
+            fps.encode(255)
+
+    def test_negative_rejected(self):
+        fps = FixedPointScale(width=8, scale=1.0)
+        with pytest.raises(ValueError):
+            fps.encode(-1.0)
+
+    def test_scaling(self):
+        fps = FixedPointScale(width=16, scale=8.0)
+        assert fps.encode(2.5) == 20
+        assert fps.decode(20) == 2.5
+
+    def test_array_roundtrip(self):
+        fps = FixedPointScale(width=16, scale=4.0)
+        xs = np.array([0.0, 0.25, 10.5, math.inf])
+        enc = fps.encode_array(xs)
+        dec = fps.decode_array(enc)
+        assert dec.tolist() == xs.tolist()
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_roundtrip_error_bounded(self, x):
+        fps = FixedPointScale(width=32, scale=64.0)
+        assert abs(fps.decode(fps.encode(x)) - x) <= 0.5 / fps.scale
+
+
+class TestChooseScale:
+    def test_power_of_two_scale(self):
+        fps = choose_scale(costs=[1.0, 2.0], weights=[1.0, 1.0], k=2, width=24)
+        assert math.log2(fps.scale) == int(math.log2(fps.scale))
+
+    def test_dp_bound_encodable(self):
+        costs = [3.0, 7.0, 1.5]
+        weights = [2.0, 5.0]
+        fps = choose_scale(costs, weights, k=2, width=24)
+        bound = sum(costs) * sum(weights) * 4
+        assert fps.encode(bound) <= fps.max_value  # must not overflow
+
+    def test_integer_costs_exact_when_room(self):
+        fps = choose_scale(costs=[1.0, 2.0, 3.0], weights=[1.0, 1.0], k=2, width=24)
+        # scale >= 1 here, and power-of-two scaling keeps integers exact
+        assert fps.scale >= 1.0
+        assert fps.decode(fps.encode(5.0)) == 5.0
+
+    def test_too_narrow_width_raises(self):
+        with pytest.raises(OverflowError):
+            choose_scale(costs=[1e9], weights=[1e9], k=10, width=4)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50), min_size=1, max_size=6),
+        st.lists(st.floats(min_value=0.1, max_value=50), min_size=1, max_size=6),
+    )
+    def test_worst_case_value_fits(self, costs, weights):
+        k = len(weights)
+        fps = choose_scale(costs, weights, k, width=40)
+        worst = sum(costs) * sum(weights) * max(4, k)
+        assert round(worst * fps.scale) <= fps.max_value

@@ -1,0 +1,66 @@
+"""Tests for vertical integer packing and word-level reference semantics."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intcodec import (
+    pack_vertical,
+    saturating_add,
+    unpack_vertical,
+    unsigned_less_than,
+)
+
+
+class TestVerticalPacking:
+    def test_roundtrip(self):
+        vals = [0, 1, 2, 100, 255]
+        rows = pack_vertical(vals, 8)
+        assert unpack_vertical(rows).tolist() == vals
+
+    def test_row_is_bit_slice(self):
+        rows = pack_vertical([0b1010, 0b0101], 4)
+        assert rows[0].tolist() == [False, True]
+        assert rows[1].tolist() == [True, False]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**12 - 1), min_size=1, max_size=16))
+    def test_roundtrip_property(self, vals):
+        assert unpack_vertical(pack_vertical(vals, 12)).tolist() == vals
+
+
+class TestSaturatingAdd:
+    def test_plain_add(self):
+        out = saturating_add([1, 2], [3, 4], width=8)
+        assert out.tolist() == [4, 6]
+
+    def test_saturates_at_all_ones(self):
+        out = saturating_add([250, 255], [10, 1], width=8)
+        assert out.tolist() == [255, 255]
+
+    def test_inf_absorbing(self):
+        inf = 255
+        out = saturating_add([inf], [0], width=8)
+        assert out.tolist() == [inf]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_never_exceeds_top(self, xs, y):
+        ys = [y] * len(xs)
+        out = saturating_add(xs, ys, width=16)
+        assert (out <= 2**16 - 1).all()
+        expected = [min(a + y, 2**16 - 1) for a in xs]
+        assert out.tolist() == expected
+
+
+class TestUnsignedLessThan:
+    def test_basic(self):
+        assert unsigned_less_than([1, 5, 5], [2, 5, 4]).tolist() == [True, False, False]
+
+    @given(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    def test_matches_python(self, a, b):
+        assert bool(unsigned_less_than([a], [b])[0]) == (a < b)
