@@ -1,0 +1,90 @@
+"""PAR-SCALE — wall-clock scaling of the multi-core layer-parallel engine.
+
+The paper's speedup story is "one PE per (S, i) pair, layers are the only
+barriers"; `repro.core.parallel` maps the same layer-barrier dataflow onto
+OS processes over a `multiprocessing.shared_memory` cost table.  This
+bench runs the worker ladder (1/2/4/8 by default; `REPRO_BENCH_WORKERS`
+overrides) against the single-process `solve_dp` baseline and emits one
+machine-readable `BENCH_JSON` line per run:
+
+    BENCH_JSON {"bench": "PAR-SCALE", "k": ..., "baseline_s": ...,
+                "series": [{"workers": w, "seconds": t, "speedup": s}, ...]}
+
+Instance size comes from `REPRO_BENCH_K` (default 16; the paper-scale
+demonstration is k >= 18, which needs a few GiB-seconds).  Speedup is
+asserted only when the host actually has spare cores — on a single-core
+machine the ladder still runs (correctness is always checked bit-for-bit)
+but the wall-clock assertion would be meaningless.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_workers, print_table
+from repro.core import random_instance, solve_dp
+from repro.core.parallel import solve_dp_parallel
+
+pytestmark = pytest.mark.slow
+
+
+def _bench_k() -> int:
+    return int(os.environ.get("REPRO_BENCH_K", "16"))
+
+
+def test_parallel_scaling_table():
+    k = _bench_k()
+    problem = random_instance(k, n_tests=12, n_treatments=8, seed=k)
+
+    t0 = time.perf_counter()
+    base = solve_dp(problem)
+    baseline = time.perf_counter() - t0
+
+    rows = []
+    series = []
+    for w in bench_workers():
+        t0 = time.perf_counter()
+        result = solve_dp_parallel(problem, workers=w)
+        dt = time.perf_counter() - t0
+        # Scaling must never cost correctness: bit-for-bit, every worker count.
+        assert np.array_equal(result.cost, base.cost)
+        assert np.array_equal(result.best_action, base.best_action)
+        speedup = baseline / dt
+        series.append(
+            {"workers": w, "seconds": round(dt, 4), "speedup": round(speedup, 3)}
+        )
+        rows.append([w, f"{dt * 1e3:.0f}", f"{speedup:.2f}x"])
+
+    print_table(
+        f"PAR-SCALE: layer-parallel engine vs solve_dp (k={k}, "
+        f"N={problem.n_actions}, baseline {baseline * 1e3:.0f} ms)",
+        ["workers", "ms", "speedup"],
+        rows,
+    )
+    payload = {
+        "bench": "PAR-SCALE",
+        "k": k,
+        "n_actions": problem.n_actions,
+        "cpu_count": os.cpu_count(),
+        "baseline_s": round(baseline, 4),
+        "series": series,
+    }
+    print("BENCH_JSON " + json.dumps(payload))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and k >= 18:
+        best = max(s["speedup"] for s in series if s["workers"] >= 4)
+        assert best > 1.5, f"expected >1.5x at k={k} with 4+ workers, got {best}"
+
+
+def test_parallel_matches_baseline_small():
+    """Cheap always-on sanity: the ladder agrees with solve_dp at k=10."""
+    problem = random_instance(10, n_tests=8, n_treatments=5, seed=7)
+    base = solve_dp(problem)
+    for w in (1, 2, 4):
+        result = solve_dp_parallel(problem, workers=w, min_shard=64)
+        assert np.array_equal(result.cost, base.cost)
+        assert np.array_equal(result.best_action, base.best_action)

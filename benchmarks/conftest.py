@@ -7,6 +7,8 @@ series the paper presents; run with ``pytest benchmarks/ --benchmark-only
 rather than silently drift.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,19 @@ import pytest
 @pytest.fixture
 def rng():
     return np.random.default_rng(2026)
+
+
+def bench_workers(default=(1, 2, 4, 8)):
+    """Worker counts for the parallel-scaling benches.
+
+    Overridable with ``REPRO_BENCH_WORKERS`` (comma- or space-separated,
+    e.g. ``REPRO_BENCH_WORKERS="1,2,16"``) so CI and bigger hosts can pick
+    their own ladder without editing the bench.
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if env:
+        return tuple(int(tok) for tok in env.replace(",", " ").split())
+    return tuple(default)
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -39,7 +39,9 @@ from .core import (
     TTProblem,
     TTTree,
     optimal_cost,
+    solve,
     solve_dp,
+    solve_dp_parallel,
 )
 
 __version__ = "1.0.0"
@@ -51,7 +53,9 @@ __all__ = [
     "TTNode",
     "TTTree",
     "DPResult",
+    "solve",
     "solve_dp",
+    "solve_dp_parallel",
     "optimal_cost",
     "__version__",
 ]

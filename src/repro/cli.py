@@ -7,7 +7,9 @@ Commands
     Solve a TT instance — from a JSON file (the :meth:`TTProblem.to_json`
     format) or a named synthetic workload — with any of the four solvers
     (``dp``, ``hypercube``, ``ccc``, ``bvm``), optionally printing the
-    optimal procedure and machine counters.
+    optimal procedure and machine counters.  For ``--solver dp`` the host
+    engine is selectable with ``--backend {auto,numpy,parallel,reference}``
+    and ``--workers N`` (the multi-core shared-memory engine).
 
 ``workloads``
     List the available synthetic workload generators.
@@ -28,7 +30,7 @@ import sys
 
 import numpy as np
 
-from .core import WORKLOADS, TTProblem, canonicalize, solve_dp
+from .core import BACKENDS, WORKLOADS, TTProblem, canonicalize, resolve_backend, solve
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +54,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dp", "hypercube", "ccc", "bvm"),
         default="dp",
         help="which implementation to run",
+    )
+    p_solve.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help="host DP engine for --solver dp: auto-select, single-process "
+        "numpy, multi-core shared-memory parallel, or the plain-Python "
+        "reference oracle",
+    )
+    p_solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend "
+        "(default: one per core, capped at 8; env REPRO_WORKERS)",
     )
     p_solve.add_argument("--tree", action="store_true", help="print the optimal procedure")
     p_solve.add_argument("--canonicalize", action="store_true",
@@ -90,8 +107,12 @@ def _solve(args, out) -> int:
 
     counters: dict = {}
     if args.solver == "dp":
-        result = solve_dp(problem)
+        backend, workers = resolve_backend(problem, args.backend, args.workers)
+        result = solve(problem, backend=args.backend, workers=args.workers)
         counters["sequential_ops"] = result.op_count
+        counters["backend"] = backend
+        if backend == "parallel":
+            counters["workers"] = workers
     elif args.solver == "hypercube":
         from .ttpar import solve_tt_hypercube
 

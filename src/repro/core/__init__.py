@@ -31,6 +31,8 @@ from .heuristics import (
     information_gain,
     treatment_only,
 )
+from .dispatch import BACKENDS, cached_subset_weights, resolve_backend, solve
+from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
 from .problem import Action, ActionKind, TTProblem
 from .transforms import (
     CanonicalizationReport,
@@ -46,6 +48,7 @@ from .sequential import (
     optimal_cost,
     solve_dp,
     solve_dp_reference,
+    solve_layer_kernel,
     subset_weights,
 )
 from .topdown import TopDownResult, solve_dp_topdown, solve_minimax
@@ -68,8 +71,16 @@ __all__ = [
     "TTTree",
     "SimulationStep",
     "DPResult",
+    "solve",
+    "resolve_backend",
+    "BACKENDS",
     "solve_dp",
     "solve_dp_reference",
+    "solve_dp_parallel",
+    "solve_layer_kernel",
+    "default_workers",
+    "PARALLEL_MIN_K",
+    "cached_subset_weights",
     "solve_dp_topdown",
     "solve_minimax",
     "TopDownResult",

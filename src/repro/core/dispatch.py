@@ -1,0 +1,94 @@
+"""Unified ``solve()`` entry point over the host-side DP backends.
+
+``repro.core.solve(problem)`` is the one call sites should use: it picks
+the right engine for the instance size, reuses the per-problem
+``subset_weights`` vector across repeated solves, and always returns the
+same :class:`~repro.core.sequential.DPResult` regardless of backend.
+
+Backends
+--------
+
+``"numpy"``
+    :func:`~repro.core.sequential.solve_dp` — single-process, vectorized
+    per popcount layer.  The right choice for small/medium ``k``.
+``"parallel"``
+    :func:`~repro.core.parallel.solve_dp_parallel` — multi-core
+    shared-memory layer-parallel engine.  Worth the fork/IPC overhead
+    once the middle layers hold tens of thousands of subsets.
+``"reference"``
+    :func:`~repro.core.sequential.solve_dp_reference` — the plain-Python
+    oracle; exposed here so differential tests and debugging sessions go
+    through the same front door.
+``"auto"``
+    ``"parallel"`` iff the instance is large enough
+    (``k >= PARALLEL_MIN_K``) *and* more than one worker is actually
+    available; otherwise ``"numpy"``.
+
+All backends honour the same determinism contract (see
+:mod:`repro.core.sequential`), so switching backends never changes
+``cost`` or ``best_action`` — not even in the last bit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
+from .problem import TTProblem
+from .sequential import DPResult, solve_dp, solve_dp_reference, subset_weights
+
+__all__ = ["solve", "resolve_backend", "cached_subset_weights", "BACKENDS"]
+
+BACKENDS = ("auto", "numpy", "parallel", "reference")
+
+
+@lru_cache(maxsize=8)
+def _subset_weights_cached(problem: TTProblem) -> np.ndarray:
+    # Cache bounded: at k=20 one entry is an 8 MiB vector.  The array is
+    # shared between callers, so freeze it against accidental mutation.
+    p = subset_weights(problem)
+    p.setflags(write=False)
+    return p
+
+
+def cached_subset_weights(problem: TTProblem) -> np.ndarray:
+    """Memoized :func:`subset_weights` (read-only view, keyed by problem).
+
+    ``TTProblem`` is a frozen, hashable dataclass, so structurally equal
+    instances share one cached vector across repeated solves.
+    """
+    return _subset_weights_cached(problem)
+
+
+def resolve_backend(
+    problem: TTProblem, backend: str = "auto", workers: int | None = None
+) -> tuple[str, int]:
+    """Resolve ``(backend, workers)`` the way :func:`solve` will run them.
+
+    Exposed so callers (CLI, benchmarks) can report what actually
+    executed when they asked for ``"auto"``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    eff_workers = workers if workers is not None else default_workers()
+    if backend == "auto":
+        big = problem.k >= PARALLEL_MIN_K
+        backend = "parallel" if (big and eff_workers > 1) else "numpy"
+    if backend != "parallel":
+        eff_workers = 1
+    return backend, max(1, eff_workers)
+
+
+def solve(
+    problem: TTProblem, backend: str = "auto", workers: int | None = None
+) -> DPResult:
+    """Solve a TT instance with the selected (or auto-selected) backend."""
+    backend, eff_workers = resolve_backend(problem, backend, workers)
+    if backend == "reference":
+        return solve_dp_reference(problem)
+    p = cached_subset_weights(problem)
+    if backend == "parallel":
+        return solve_dp_parallel(problem, workers=eff_workers, p=p)
+    return solve_dp(problem, p=p)

@@ -1,0 +1,240 @@
+"""Multi-core layer-parallel DP engine over shared memory.
+
+This is the host-side realization of the paper's parallel structure: the
+backward-induction recurrence has *no* dependencies inside a popcount
+layer — ``C(S)`` for ``#S = j`` reads only ``C(S ∩ T_i)`` and
+``C(S - T_i)``, both of strictly smaller popcount whenever the candidate
+is valid.  The paper maps every ``(S, i)`` pair onto its own PE and runs
+the layers as ASCEND phases (§6); here the same dataflow is mapped onto a
+handful of OS processes:
+
+* the ``C`` table (plus ``best_action``, the subset weights ``p`` and the
+  layer-sorted mask order) lives in ``multiprocessing.shared_memory``;
+* each layer is sharded into contiguous runs of masks, one task per
+  worker; workers gather ``C`` from completed layers read-only and
+  scatter their shard's results back into the shared table;
+* the only synchronization is the per-layer barrier (the ``map`` return),
+  exactly where the paper's ASCEND phases place theirs.
+
+Determinism: each subset's argmin is computed *entirely inside one
+worker* by scanning actions in index order through
+:func:`repro.core.sequential.solve_layer_kernel` — sharding is over
+subsets, never over actions — so the tie-break rule (lowest action index
+wins) and the float evaluation order are bit-for-bit those of
+:func:`solve_dp` and :func:`solve_dp_reference`, regardless of worker
+count or scheduling order.
+
+Same-layer reads cannot race: a gather index in the *current* layer only
+occurs for candidates the kernel marks invalid (``inter == 0`` implies
+``rest == S`` and vice versa), and those lanes are overwritten with
+``INF`` before the argmin — whatever bytes were read never influence the
+result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..util.bitops import popcount_array
+from .problem import TTProblem
+from .sequential import INF, DPResult, solve_layer_kernel, subset_weights
+
+__all__ = [
+    "solve_dp_parallel",
+    "default_workers",
+    "PARALLEL_MIN_K",
+    "MIN_SHARD",
+]
+
+# Below this universe size the fork/IPC overhead dwarfs the layer work;
+# the "auto" backend in repro.core.dispatch keeps such instances on the
+# single-process solver.
+PARALLEL_MIN_K = 16
+
+# A layer slice must contain at least this many subsets to be worth
+# shipping to a worker; smaller layers are solved in the parent process
+# (same kernel, same shared table, zero IPC).
+MIN_SHARD = 2048
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: one per core, capped."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_WORKER: dict | None = None
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block (the parent owns creation and unlink).
+
+    Pool workers share the parent's resource-tracker process (both fork
+    and spawn inherit it), so the attach-side ``register`` call that
+    CPython issues is a set-level no-op and the parent's single ``unlink``
+    leaves the tracker clean — no extra bookkeeping needed here.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _init_worker(shm_names, n_sub, subsets, costs, is_test):
+    """Pool initializer: map the shared tables and stash static arrays."""
+    global _WORKER
+    blocks = {key: _attach(name) for key, name in shm_names.items()}
+    _WORKER = {
+        "blocks": blocks,
+        "cost": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["cost"].buf),
+        "best": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf),
+        "p": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf),
+        "order": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf),
+        "subsets": np.asarray(subsets, dtype=np.int64),
+        "costs": np.asarray(costs, dtype=np.float64),
+        "is_test": np.asarray(is_test, dtype=bool),
+    }
+
+
+def _solve_shard(bounds: tuple[int, int]) -> int:
+    """Solve masks ``order[lo:hi]`` (a contiguous slice of one layer)."""
+    lo, hi = bounds
+    w = _WORKER
+    layer = w["order"][lo:hi]
+    layer_best, layer_arg = solve_layer_kernel(
+        layer, w["p"][layer], w["cost"], w["subsets"], w["costs"], w["is_test"]
+    )
+    w["cost"][layer] = layer_best
+    w["best"][layer] = layer_arg
+    return hi - lo
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _shard_bounds(lo: int, hi: int, workers: int, min_shard: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi)`` into at most ``workers`` contiguous near-equal runs."""
+    size = hi - lo
+    n = max(1, min(workers, size // min_shard))
+    if n == 1:
+        return [(lo, hi)]
+    cuts = np.linspace(lo, hi, n + 1).astype(int)
+    return [(int(cuts[t]), int(cuts[t + 1])) for t in range(n) if cuts[t] < cuts[t + 1]]
+
+
+def _mp_context():
+    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def solve_dp_parallel(
+    problem: TTProblem,
+    workers: int | None = None,
+    *,
+    p: np.ndarray | None = None,
+    min_shard: int = MIN_SHARD,
+) -> DPResult:
+    """Layer-parallel backward induction across ``workers`` processes.
+
+    Produces bit-for-bit the same ``cost`` / ``best_action`` tables as
+    :func:`solve_dp` and :func:`solve_dp_reference` (see the module
+    docstring for why), with wall-clock scaling over the large middle
+    layers of the subset lattice.  ``p`` may carry precomputed
+    :func:`subset_weights`.
+    """
+    k, n_act = problem.k, problem.n_actions
+    n_sub = 1 << k
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    if p is None:
+        p = subset_weights(problem)
+
+    if k == 0:  # degenerate empty universe: nothing to diagnose
+        cost = np.array([0.0])
+        return DPResult(problem=problem, cost=cost,
+                        best_action=np.array([-1], dtype=np.int64), op_count=0)
+
+    masks = np.arange(n_sub, dtype=np.int64)
+    layer_of = popcount_array(masks, k)
+    # Stable sort => masks ascending inside each layer, layer 0 first.
+    order = np.argsort(layer_of, kind="stable").astype(np.int64)
+    layer_starts = np.searchsorted(layer_of[order], np.arange(k + 2))
+
+    subsets = problem.subset_array
+    costs = problem.cost_array
+    is_test = problem.test_mask_array
+
+    blocks: dict[str, shared_memory.SharedMemory] = {}
+    pool = None
+    cost = best = None
+    try:
+        for key, nbytes in (
+            ("cost", n_sub * 8),
+            ("best", n_sub * 8),
+            ("p", n_sub * 8),
+            ("order", n_sub * 8),
+        ):
+            blocks[key] = shared_memory.SharedMemory(create=True, size=nbytes)
+        cost = np.ndarray(n_sub, dtype=np.float64, buffer=blocks["cost"].buf)
+        best = np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf)
+        cost[:] = INF
+        cost[0] = 0.0
+        best[:] = -1
+        np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf)[:] = p
+        np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf)[:] = order
+
+        shm_names = {key: blk.name for key, blk in blocks.items()}
+
+        def get_pool():
+            # Lazy: fork only once a layer is actually big enough to
+            # shard, so small instances never pay process start-up.
+            nonlocal pool
+            if pool is None:
+                pool = _mp_context().Pool(
+                    workers,
+                    initializer=_init_worker,
+                    initargs=(shm_names, n_sub, subsets, costs, is_test),
+                )
+            return pool
+
+        for j in range(1, k + 1):
+            lo, hi = int(layer_starts[j]), int(layer_starts[j + 1])
+            shards = _shard_bounds(lo, hi, workers, min_shard)
+            if workers == 1 or len(shards) == 1:
+                # Layer too small to amortize IPC: solve in-process on the
+                # same shared table (identical kernel, still a barrier).
+                layer = order[lo:hi]
+                layer_best, layer_arg = solve_layer_kernel(
+                    layer, p[layer], cost, subsets, costs, is_test
+                )
+                cost[layer] = layer_best
+                best[layer] = layer_arg
+            else:
+                done = sum(get_pool().map(_solve_shard, shards, chunksize=1))
+                assert done == hi - lo  # every mask of the layer solved
+        out_cost = cost.copy()
+        out_best = best.copy()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        cost = best = None  # drop the buffer views before close()
+        for blk in blocks.values():
+            blk.close()
+            blk.unlink()
+
+    op_count = (n_sub - 1) * n_act
+    return DPResult(problem=problem, cost=out_cost, best_action=out_best, op_count=op_count)

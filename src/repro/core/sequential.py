@@ -18,6 +18,24 @@ Two implementations are provided:
   baseline used by the speedup benchmarks.
 * :func:`solve_dp_reference` — a deliberately plain, loop-based rendition of
   the same recurrence used as an internal cross-check in the test suite.
+
+Determinism contract (relied upon by every backend, including the
+multiprocess engine in :mod:`repro.core.parallel`):
+
+* **Tie-break rule.**  ``best_action[S]`` is the *lowest* action index
+  attaining ``C(S)``: candidates are scanned in index order and only a
+  strictly smaller value (``<``) replaces the incumbent.  Backends shard
+  over *subsets*, never over actions, so sharding order can never flip a
+  tie.
+* **Float evaluation order.**  Every backend evaluates
+  ``((c_i * p(S)) + C(S ∩ T_i)) + C(S - T_i)`` for tests and
+  ``(c_i * p(S)) + C(S - T_i)`` for treatments, in exactly that
+  association; float addition is not associative, so a fixed order is what
+  makes ``cost`` and ``best_action`` match bit-for-bit across backends.
+* **op_count semantics.**  ``op_count`` counts every ``M[S,i]``
+  candidate evaluation, *including* the ones rejected by the
+  non-splitting / non-progressing sentinels — i.e. exactly
+  ``(2^k - 1) * N`` — matching the paper's sequential work measure.
 """
 
 from __future__ import annotations
@@ -34,6 +52,7 @@ __all__ = [
     "DPResult",
     "solve_dp",
     "solve_dp_reference",
+    "solve_layer_kernel",
     "subset_weights",
     "optimal_cost",
     "layer_sizes",
@@ -43,13 +62,20 @@ INF = np.inf
 
 
 def subset_weights(problem: TTProblem) -> np.ndarray:
-    """Vector ``p`` with ``p[S]`` = total weight of subset ``S`` (all ``2^k``)."""
+    """Vector ``p`` with ``p[S]`` = total weight of subset ``S`` (all ``2^k``).
+
+    Uses the in-place butterfly accumulation: viewing ``p`` as blocks of
+    ``2^(j+1)``, the upper half of each block is exactly the masks with bit
+    ``j`` set, so one strided ``+= w_j`` per object suffices — no ``2^k``
+    temporaries.  Per entry the additions happen in ascending object order
+    over the *set* bits only, which is bit-for-bit the order of
+    :meth:`TTProblem.weight_of` (skipped zero-additions are exact no-ops).
+    """
     k = problem.k
-    n_sub = 1 << k
-    p = np.zeros(n_sub, dtype=np.float64)
-    masks = np.arange(n_sub, dtype=np.int64)
+    p = np.zeros(1 << k, dtype=np.float64)
     for j, w in enumerate(problem.weights):
-        p += w * ((masks >> j) & 1)
+        half = 1 << j
+        p.reshape(-1, 2 * half)[:, half:] += w
     return p
 
 
@@ -110,16 +136,59 @@ class DPResult:
         return node
 
 
-def solve_dp(problem: TTProblem) -> DPResult:
+def solve_layer_kernel(
+    layer: np.ndarray,
+    p_layer: np.ndarray,
+    cost: np.ndarray,
+    subsets: np.ndarray,
+    costs: np.ndarray,
+    is_test: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one (slice of a) popcount layer of the recurrence.
+
+    ``layer`` holds the subset masks to solve, ``p_layer`` their weights,
+    ``cost`` the (partially filled) global ``C`` table — every gather index
+    with a *valid* candidate lands in an already-completed smaller layer.
+    Returns ``(layer_cost, layer_arg)`` for exactly those masks.
+
+    This is the single source of truth for the per-subset argmin: every
+    backend (sequential, multiprocess shards) funnels through it, so the
+    tie-break rule (lowest action index wins) and the float evaluation
+    order ``((c_i * p) + C(inter)) + C(rest)`` are identical everywhere.
+    """
+    layer_best = np.full(layer.size, INF, dtype=np.float64)
+    layer_arg = np.full(layer.size, -1, dtype=np.int64)
+    for i in range(len(costs)):
+        t = int(subsets[i])
+        inter = layer & t
+        rest = layer & ~t
+        value = costs[i] * p_layer
+        if is_test[i]:
+            value = value + cost[inter] + cost[rest]
+            invalid = (inter == 0) | (rest == 0)
+        else:
+            value = value + cost[rest]
+            invalid = inter == 0
+        value = np.where(invalid, INF, value)
+        better = value < layer_best
+        layer_best = np.where(better, value, layer_best)
+        layer_arg = np.where(better, i, layer_arg)
+    return layer_best, layer_arg
+
+
+def solve_dp(problem: TTProblem, *, p: np.ndarray | None = None) -> DPResult:
     """Vectorized backward-induction solve of the TT recurrence.
 
     Processes subsets one popcount layer at a time; inside a layer every
     ``(S, i)`` pair is evaluated with array gathers, so the Python-level
-    loop count is only ``k * N``.
+    loop count is only ``k * N``.  Pass a precomputed ``p`` (from
+    :func:`subset_weights`) to skip recomputing it, e.g. when solving the
+    same instance repeatedly.
     """
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
-    p = subset_weights(problem)
+    if p is None:
+        p = subset_weights(problem)
     subsets = problem.subset_array
     costs = problem.cost_array
     is_test = problem.test_mask_array
@@ -128,30 +197,17 @@ def solve_dp(problem: TTProblem) -> DPResult:
     cost[0] = 0.0
     best = np.full(n_sub, -1, dtype=np.int64)
 
+    if k == 0:  # degenerate empty universe: nothing to diagnose
+        return DPResult(problem=problem, cost=cost, best_action=best, op_count=0)
+
     masks = np.arange(n_sub, dtype=np.int64)
     layer_of = popcount_array(masks, k)
 
     for j in range(1, k + 1):
         layer = masks[layer_of == j]
-        if layer.size == 0:
-            continue
-        layer_best = np.full(layer.size, INF, dtype=np.float64)
-        layer_arg = np.full(layer.size, -1, dtype=np.int64)
-        base = p[layer]
-        for i in range(n_act):
-            t = int(subsets[i])
-            inter = layer & t
-            rest = layer & ~t
-            value = costs[i] * base + cost[rest]
-            if is_test[i]:
-                value = value + cost[inter]
-                invalid = (inter == 0) | (rest == 0)
-            else:
-                invalid = inter == 0
-            value = np.where(invalid, INF, value)
-            better = value < layer_best
-            layer_best = np.where(better, value, layer_best)
-            layer_arg = np.where(better, i, layer_arg)
+        layer_best, layer_arg = solve_layer_kernel(
+            layer, p[layer], cost, subsets, costs, is_test
+        )
         cost[layer] = layer_best
         best[layer] = layer_arg
 
@@ -161,7 +217,15 @@ def solve_dp(problem: TTProblem) -> DPResult:
 
 def solve_dp_reference(problem: TTProblem) -> DPResult:
     """Plain-Python rendition of the recurrence (test oracle for
-    :func:`solve_dp`; identical semantics, no vectorization)."""
+    :func:`solve_dp`; identical semantics, no vectorization).
+
+    Follows the same determinism contract as the vectorized/parallel
+    backends — candidates scanned in action-index order, strict ``<``
+    replacement (lowest index wins ties), and the float evaluation order
+    ``((c_i * p(S)) + C(inter)) + C(rest)`` — so ``cost`` and
+    ``best_action`` agree with the other backends bit-for-bit, not just
+    within tolerance.
+    """
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
     cost = np.full(n_sub, INF, dtype=np.float64)

@@ -82,12 +82,22 @@ class FixedPointScale:
 
 
 def _pow2_at_most(x: float) -> float:
-    """Largest power of two ``<= x`` (for x >= 1), else 1.0-scaled fractions."""
+    """Largest power of two ``<= x`` (negative exponents allowed for x < 1).
+
+    ``math.log2`` rounds to nearest, so for ``x`` a hair *below* a power of
+    two (e.g. ``nextafter(2**20, 0)``) the naive ``2**floor(log2(x))``
+    lands one power too high — the classic off-by-one that would let
+    ``choose_scale`` hand out a scale whose encoded bound overflows the
+    word.  Clamp down explicitly.
+    """
     if x <= 0:
         raise ValueError("bound must be positive")
     import math
 
-    return 2.0 ** math.floor(math.log2(x))
+    cand = 2.0 ** math.floor(math.log2(x))
+    if cand > x:
+        cand /= 2.0
+    return cand
 
 
 def choose_scale(costs, weights, k: int, width: int) -> FixedPointScale:
@@ -104,10 +114,17 @@ def choose_scale(costs, weights, k: int, width: int) -> FixedPointScale:
     weights = np.asarray(weights, dtype=np.float64)
     total_w = float(weights.sum())
     bound = max(1.0, float(costs.sum()) * total_w * max(4, k))
-    max_enc = (1 << width) - 2
-    if max_enc < 1 or max_enc / bound <= 0:
+    max_enc = (1 << width) - 2  # == FixedPointScale.max_value == INF_WORD - 1
+    if max_enc < 1:
         raise OverflowError(f"width {width} too small for this instance")
     scale = _pow2_at_most(max_enc / bound)
+    # Boundary safety at max_value = INF_WORD - 1: ``max_enc / bound``
+    # rounds to nearest, so the quotient itself may sit a fraction above
+    # the true ratio; an instance whose optimum lands exactly on ``bound``
+    # must still encode without tripping the sentinel.  Multiplication by
+    # a power of two is exact, so this check is decisive, not heuristic.
+    while round(bound * scale) > max_enc:  # pragma: no cover - belt and braces
+        scale /= 2.0
     if scale < 2.0**-20:
         # A scale this small quantizes every cost to zero bits of
         # precision; the instance genuinely needs a wider word.

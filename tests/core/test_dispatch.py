@@ -1,0 +1,92 @@
+"""The unified `solve()` dispatch: backend selection, memoization, parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    PARALLEL_MIN_K,
+    cached_subset_weights,
+    resolve_backend,
+    solve,
+    solve_dp,
+    solve_dp_reference,
+    subset_weights,
+)
+from repro.core.generators import random_instance
+from repro.core.problem import Action, TTProblem
+
+
+def _big_problem(k=PARALLEL_MIN_K):
+    """A k >= PARALLEL_MIN_K spec (cheap to *build*; never solved here)."""
+    return TTProblem.build([1.0] * k, [Action.treatment(set(range(k)), 1.0)])
+
+
+class TestResolveBackend:
+    def test_small_auto_stays_numpy(self):
+        problem = random_instance(5, 3, 2, seed=1)
+        assert resolve_backend(problem, "auto", workers=8) == ("numpy", 1)
+
+    def test_big_auto_goes_parallel_with_workers(self):
+        assert resolve_backend(_big_problem(), "auto", workers=4) == ("parallel", 4)
+
+    def test_big_auto_single_worker_stays_numpy(self):
+        assert resolve_backend(_big_problem(), "auto", workers=1) == ("numpy", 1)
+
+    def test_explicit_backends_pass_through(self):
+        problem = random_instance(4, 3, 2, seed=2)
+        assert resolve_backend(problem, "numpy")[0] == "numpy"
+        assert resolve_backend(problem, "reference")[0] == "reference"
+        assert resolve_backend(problem, "parallel", workers=3) == ("parallel", 3)
+
+    def test_unknown_backend_rejected(self):
+        problem = random_instance(3, 2, 2, seed=3)
+        with pytest.raises(ValueError):
+            resolve_backend(problem, "cuda")
+
+    def test_backend_names_exported(self):
+        assert set(BACKENDS) == {"auto", "numpy", "parallel", "reference"}
+
+
+class TestSolveParity:
+    @pytest.mark.parametrize("backend", ["numpy", "parallel", "reference"])
+    def test_all_backends_bit_for_bit(self, backend):
+        problem = random_instance(6, 5, 3, seed=4)
+        ref = solve_dp_reference(problem)
+        result = solve(problem, backend=backend, workers=2)
+        assert np.array_equal(result.cost, ref.cost)
+        assert np.array_equal(result.best_action, ref.best_action)
+
+    def test_auto_matches_explicit(self):
+        problem = random_instance(5, 4, 3, seed=5)
+        assert solve(problem).optimal_cost == solve_dp(problem).optimal_cost
+
+    def test_tree_roundtrip_through_dispatch(self):
+        problem = random_instance(5, 4, 3, seed=6)
+        result = solve(problem, backend="parallel", workers=2)
+        tree = result.tree()
+        tree.validate()
+        assert tree.expected_cost() == pytest.approx(result.optimal_cost)
+
+
+class TestMemoization:
+    def test_same_problem_shares_vector(self):
+        problem = random_instance(6, 4, 3, seed=7)
+        a = cached_subset_weights(problem)
+        b = cached_subset_weights(problem)
+        assert a is b
+
+    def test_structurally_equal_problems_share(self):
+        p1 = random_instance(4, 3, 2, seed=8)
+        p2 = TTProblem.build(p1.weights, p1.actions, name=p1.name)
+        assert cached_subset_weights(p1) is cached_subset_weights(p2)
+
+    def test_cached_vector_is_frozen(self):
+        problem = random_instance(4, 3, 2, seed=9)
+        p = cached_subset_weights(problem)
+        with pytest.raises(ValueError):
+            p[0] = 1.0
+
+    def test_cached_matches_fresh(self):
+        problem = random_instance(6, 4, 3, seed=10)
+        assert np.array_equal(cached_subset_weights(problem), subset_weights(problem))

@@ -1,0 +1,225 @@
+"""Differential tests for the multi-core layer-parallel DP engine.
+
+The contract under test is strict: `solve_dp_parallel` must reproduce
+`solve_dp_reference` (and `solve_dp`) **bit-for-bit** — `cost` and
+`best_action` exactly equal, not merely close — for any worker count and
+any shard size, including degenerate (infeasible, single-object, empty)
+specifications.  See the determinism contract in
+`repro.core.sequential`'s module docstring.
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.core.generators import random_instance
+from repro.core.parallel import (
+    _shard_bounds,
+    default_workers,
+    solve_dp_parallel,
+)
+from repro.core.problem import Action, TTProblem
+from repro.core.sequential import solve_dp, solve_dp_reference
+
+
+def assert_backends_identical(problem, workers=2, min_shard=16):
+    """All three backends: identical tables, op_count, and trees."""
+    ref = solve_dp_reference(problem)
+    vec = solve_dp(problem)
+    par = solve_dp_parallel(problem, workers=workers, min_shard=min_shard)
+    for result, label in ((vec, "numpy"), (par, "parallel")):
+        assert np.array_equal(result.cost, ref.cost), label
+        assert np.array_equal(result.best_action, ref.best_action), label
+        assert result.op_count == ref.op_count, label
+    if ref.feasible:
+        t_ref = ref.tree()
+        t_par = par.tree()
+        assert t_par.expected_cost() == pytest.approx(t_ref.expected_cost())
+        assert t_par.expected_cost() == pytest.approx(ref.optimal_cost)
+    else:
+        with pytest.raises(ValueError):
+            par.tree()
+    return ref, par
+
+
+def _instances():
+    """>= 50 randomized instances: varying k, action mixes, degenerate specs."""
+    cases = []
+    seed = 0
+    for rep in (0, 1):
+        for k in (1, 2, 3, 4, 5, 6, 7, 8):
+            for n_tests, n_treatments in ((1, 1), (k, max(1, k // 2)), (2 * k, k)):
+                seed += 1
+                cases.append(
+                    random_instance(k, n_tests, n_treatments, seed=1000 * rep + seed)
+                )
+    # treatment-only and test-heavy corners
+    for k in (2, 4, 6):
+        cases.append(random_instance(k, 0, k, seed=100 + k))
+        cases.append(random_instance(k, 3 * k, 1, seed=200 + k))
+    # degenerate infeasible specs: some objects have no covering treatment
+    for k in (2, 3, 5):
+        cases.append(
+            TTProblem.build(
+                [1.0 + j for j in range(k)],
+                [
+                    Action.test({0}, 1.0) if k > 1 else Action.treatment({0}, 1.0),
+                    Action.treatment({0}, 2.0),
+                ],
+                name=f"uncovered(k={k})",
+            )
+        )
+    # exact-tie landscape: unit weights, duplicated unit-cost actions
+    cases.append(
+        TTProblem.build(
+            [1.0, 1.0, 1.0],
+            [
+                Action.test({0, 1}, 1.0),
+                Action.test({0, 1}, 1.0),  # exact duplicate -> forced tie
+                Action.treatment({0, 1, 2}, 1.0),
+                Action.treatment({0, 1, 2}, 1.0),
+            ],
+            name="ties",
+        )
+    )
+    assert len(cases) >= 50
+    return cases
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "problem", _instances(), ids=lambda p: p.name or "anon"
+    )
+    def test_backends_bit_for_bit(self, problem):
+        assert_backends_identical(problem, workers=2, min_shard=8)
+
+    @pytest.mark.slow
+    def test_worker_count_invariance(self):
+        """Same tables whatever the worker count or shard granularity."""
+        problem = random_instance(9, n_tests=9, n_treatments=4, seed=42)
+        ref = solve_dp_reference(problem)
+        for workers, min_shard in ((1, 2048), (2, 4), (3, 16), (5, 1)):
+            par = solve_dp_parallel(problem, workers=workers, min_shard=min_shard)
+            assert np.array_equal(par.cost, ref.cost), (workers, min_shard)
+            assert np.array_equal(par.best_action, ref.best_action), (
+                workers,
+                min_shard,
+            )
+
+    @pytest.mark.slow
+    def test_medium_instance_matches_numpy(self):
+        problem = random_instance(11, n_tests=10, n_treatments=6, seed=11)
+        vec = solve_dp(problem)
+        par = solve_dp_parallel(problem, workers=2)
+        assert np.array_equal(par.cost, vec.cost)
+        assert np.array_equal(par.best_action, vec.best_action)
+
+
+class TestTieBreaking:
+    def test_duplicate_actions_lowest_index_wins(self):
+        """Exact ties must resolve to the lowest action index in every
+        backend — the rule the dispatch/parallel layers lock in."""
+        dup_test = Action.test({0, 2}, 1.5)
+        dup_treat = Action.treatment({0, 1, 2, 3}, 2.0)
+        problem = TTProblem.build(
+            [1.0, 2.0, 1.0, 2.0],
+            [dup_test, dup_test, dup_treat, dup_treat, dup_treat],
+        )
+        ref, par = assert_backends_identical(problem, workers=2, min_shard=1)
+        full = problem.universe
+        for s in range(1, full + 1):
+            i = int(ref.best_action[s])
+            if i < 0:
+                continue
+            act = problem.actions[i]
+            # no earlier action with the same (kind, subset, cost) — i.e.
+            # the same M[S,i] value by construction — may exist
+            for earlier in range(i):
+                ea = problem.actions[earlier]
+                assert (ea.kind, ea.subset, ea.cost) != (
+                    act.kind,
+                    act.subset,
+                    act.cost,
+                ), f"tie at subset {s:#x} not broken toward lowest index"
+
+    def test_shard_boundaries_cannot_flip_ties(self):
+        """Force shard cuts through the tie-heavy middle layer."""
+        dup = Action.test({0, 1, 2}, 1.0)
+        problem = TTProblem.build(
+            [1.0] * 6,
+            [dup, dup, dup, Action.treatment(set(range(6)), 1.0)],
+        )
+        ref = solve_dp_reference(problem)
+        for min_shard in (1, 2, 3, 5, 7):
+            par = solve_dp_parallel(problem, workers=3, min_shard=min_shard)
+            assert np.array_equal(par.best_action, ref.best_action), min_shard
+
+
+class TestDegenerate:
+    def test_single_object_universe(self):
+        problem = TTProblem.build([2.5], [Action.treatment({0}, 3.0)])
+        ref, par = assert_backends_identical(problem)
+        assert par.optimal_cost == pytest.approx(3.0 * 2.5)
+        assert par.best_action[1] == 0
+
+    def test_single_object_untreatable(self):
+        problem = TTProblem.build([1.0], [Action.test({0}, 1.0)])
+        # a full-universe test is rejected by Action semantics only for
+        # adequacy, not construction; the DP must mark it infeasible
+        ref, par = assert_backends_identical(problem)
+        assert not par.feasible
+
+    def test_k_zero_guard(self):
+        """`TTProblem` refuses k=0, but the engines guard it anyway (the
+        layer loop would otherwise silently fall through untested)."""
+        stub = types.SimpleNamespace(
+            k=0,
+            n_actions=1,
+            weights=(),
+            universe=0,
+            subset_array=np.array([0], dtype=np.int64),
+            cost_array=np.array([1.0]),
+            test_mask_array=np.array([False]),
+        )
+        for solver in (solve_dp, solve_dp_parallel):
+            result = solver(stub)
+            assert result.cost.tolist() == [0.0]
+            assert result.best_action.tolist() == [-1]
+            assert result.op_count == 0
+
+    def test_workers_validation(self):
+        problem = TTProblem.build([1.0], [Action.treatment({0}, 1.0)])
+        with pytest.raises(ValueError):
+            solve_dp_parallel(problem, workers=0)
+
+
+class TestSharding:
+    def test_shard_bounds_cover_exactly(self):
+        for lo, hi, workers, min_shard in (
+            (0, 100, 4, 10),
+            (5, 6, 8, 1),
+            (0, 1000, 3, 1),
+            (7, 7 + 4096, 8, 2048),
+        ):
+            shards = _shard_bounds(lo, hi, workers, min_shard)
+            assert shards[0][0] == lo and shards[-1][1] == hi
+            for (a, b), (c, d) in zip(shards, shards[1:]):
+                assert b == c and a < b  # contiguous, non-empty
+            assert len(shards) <= max(1, workers)
+
+    def test_tiny_layers_stay_in_parent(self):
+        # min_shard larger than any layer => single-shard path everywhere;
+        # must still match the reference exactly
+        problem = random_instance(5, 4, 3, seed=3)
+        ref = solve_dp_reference(problem)
+        par = solve_dp_parallel(problem, workers=4, min_shard=10_000)
+        assert np.array_equal(par.cost, ref.cost)
+        assert np.array_equal(par.best_action, ref.best_action)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3

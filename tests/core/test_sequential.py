@@ -35,6 +35,20 @@ class TestSubsetWeights:
         for s in range(0, full + 1, max(1, full // 7)):
             assert p[s] + p[full & ~s] == pytest.approx(p[full])
 
+    @settings(max_examples=40)
+    @given(tt_problems(max_k=5))
+    def test_matches_weight_of_bitwise(self, problem):
+        """The in-place butterfly accumulation must agree with the scalar
+        `weight_of` *exactly* (same float addition order), not just
+        approximately — the bit-for-bit backend contract depends on it."""
+        p = subset_weights(problem)
+        for s in range(problem.universe + 1):
+            assert p[s] == problem.weight_of(s)
+
+    def test_single_object(self):
+        problem = TTProblem.build([2.5], [Action.treatment({0}, 1.0)])
+        assert subset_weights(problem).tolist() == [0.0, 2.5]
+
 
 class TestAgainstReference:
     @settings(max_examples=60)
@@ -45,10 +59,58 @@ class TestAgainstReference:
         assert np.allclose(a.cost, b.cost, equal_nan=False)
         assert (a.best_action == b.best_action).all()
 
+    @settings(max_examples=60)
+    @given(tt_problems(max_k=5))
+    def test_vectorized_equals_reference_bit_for_bit(self, problem):
+        """Strict equality, not allclose: both backends evaluate
+        ((c*p) + C(inter)) + C(rest) in the same association, so even the
+        last mantissa bit must agree (locked by the determinism
+        contract; see the sequential module docstring)."""
+        a = solve_dp(problem)
+        b = solve_dp_reference(problem)
+        assert np.array_equal(a.cost, b.cost)
+        assert np.array_equal(a.best_action, b.best_action)
+
     def test_op_counts_agree(self, tiny_problem):
         a = solve_dp(tiny_problem)
         b = solve_dp_reference(tiny_problem)
         assert a.op_count == b.op_count == 7 * 3
+
+    @settings(max_examples=30)
+    @given(tt_problems(max_k=4))
+    def test_op_count_counts_rejected_candidates_too(self, problem):
+        """op_count is the paper's sequential work measure: every M[S,i]
+        candidate, including sentinel-rejected ones = (2^k - 1) * N."""
+        expected = ((1 << problem.k) - 1) * problem.n_actions
+        assert solve_dp(problem).op_count == expected
+        assert solve_dp_reference(problem).op_count == expected
+
+
+class TestTieBreak:
+    def test_duplicate_actions_pick_lowest_index(self):
+        dup = Action.test({0, 1}, 1.0)
+        cover = Action.treatment({0, 1, 2}, 2.0)
+        problem = TTProblem.build([1.0, 1.0, 1.0], [dup, dup, cover, cover])
+        for result in (solve_dp(problem), solve_dp_reference(problem)):
+            # every chosen test is index 0, never its clone at index 1;
+            # every chosen treatment is index 2, never index 3
+            chosen = set(int(i) for i in result.best_action if i >= 0)
+            assert 1 not in chosen
+            assert 3 not in chosen
+
+    @settings(max_examples=30)
+    @given(tt_problems(max_k=4))
+    def test_randomized_duplication_never_flips_argmin(self, problem):
+        """Appending exact duplicates of every action must leave
+        best_action untouched — lowest index wins all the new ties."""
+        doubled = problem.with_actions(list(problem.actions) * 2)
+        base = solve_dp(problem)
+        dup = solve_dp(doubled)
+        assert np.array_equal(dup.best_action, base.best_action)
+        assert np.array_equal(dup.cost, base.cost)
+        assert np.array_equal(
+            solve_dp_reference(doubled).best_action, base.best_action
+        )
 
 
 class TestAgainstBruteForce:
@@ -158,6 +220,34 @@ class TestTreeExtraction:
             tree = r.tree()
             tree.validate()
             assert tree.expected_cost() == pytest.approx(r.optimal_cost)
+
+
+class TestSmallUniverses:
+    def test_single_object_treated(self):
+        problem = TTProblem.build([3.0], [Action.treatment({0}, 2.0)])
+        r = solve_dp(problem)
+        assert r.optimal_cost == pytest.approx(6.0)
+        assert r.best_action.tolist() == [-1, 0]
+        tree = r.tree()
+        tree.validate()
+        assert tree.expected_cost() == pytest.approx(6.0)
+
+    def test_single_object_choice_of_treatments(self):
+        problem = TTProblem.build(
+            [2.0],
+            [Action.treatment({0}, 5.0), Action.treatment({0}, 1.0)],
+        )
+        r = solve_dp(problem)
+        assert r.optimal_cost == pytest.approx(2.0)
+        assert r.best_action[1] == 1  # strictly cheaper, not a tie
+
+    def test_single_object_matches_reference(self):
+        problem = TTProblem.build(
+            [1.5], [Action.test({0}, 0.5), Action.treatment({0}, 2.0)]
+        )
+        a, b = solve_dp(problem), solve_dp_reference(problem)
+        assert np.array_equal(a.cost, b.cost)
+        assert np.array_equal(a.best_action, b.best_action)
 
 
 class TestHelpers:

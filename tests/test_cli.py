@@ -77,6 +77,34 @@ class TestSolve:
         assert code == 0
         assert "canonicalized" in text
 
+    @pytest.mark.parametrize("backend", ["auto", "numpy", "parallel", "reference"])
+    def test_backend_flag(self, backend):
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--backend", backend, "--workers", "2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["backend"] in ("numpy", "parallel", "reference")
+        if backend != "auto":
+            assert payload["backend"] == backend
+        if payload["backend"] == "parallel":
+            assert payload["workers"] == 2
+
+    def test_backends_agree_through_cli(self):
+        costs = set()
+        for backend in ("numpy", "parallel", "reference"):
+            _, text = run_cli(
+                "solve", "--workload", "fault", "--k", "5",
+                "--backend", backend, "--workers", "2", "--json",
+            )
+            costs.add(json.loads(text)["optimal_cost"])
+        assert len(costs) == 1  # bit-for-bit identical across backends
+
+    def test_auto_backend_small_k_reports_numpy(self):
+        _, text = run_cli("solve", "--workload", "lab", "--k", "4", "--json")
+        assert json.loads(text)["backend"] == "numpy"
+
 
 class TestOtherCommands:
     def test_workloads_lists_all(self):

@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.fixedpoint import INF_WORD, FixedPointScale, choose_scale
+from repro.util.fixedpoint import (
+    INF_WORD,
+    FixedPointScale,
+    _pow2_at_most,
+    choose_scale,
+)
 
 
 class TestInfWord:
@@ -88,3 +93,46 @@ class TestChooseScale:
         fps = choose_scale(costs, weights, k, width=40)
         worst = sum(costs) * sum(weights) * max(4, k)
         assert round(worst * fps.scale) <= fps.max_value
+
+
+class TestBoundary:
+    """Regression tests for the ``max_value = INF_WORD - 1`` edge.
+
+    ``2**floor(log2(x))`` overshoots when ``x`` sits one ULP below a power
+    of two (``log2`` rounds to nearest); an overshooting scale would make
+    an optimum that lands exactly on the DP bound overflow into the INF
+    sentinel.
+    """
+
+    def test_pow2_at_most_never_exceeds(self):
+        just_below = float(np.nextafter(2.0**20, 0))
+        assert _pow2_at_most(just_below) == 2.0**19
+        assert _pow2_at_most(2.0**20) == 2.0**20
+        assert _pow2_at_most(float(np.nextafter(0.25, 0))) == 0.125
+
+    @given(st.integers(min_value=-30, max_value=30))
+    def test_pow2_at_most_property(self, e):
+        for x in (2.0**e, float(np.nextafter(2.0**e, 0)), 1.5 * 2.0**e):
+            got = _pow2_at_most(x)
+            assert got <= x
+            assert x < 2 * got  # still the *largest* such power
+
+    @pytest.mark.parametrize("width", [4, 8, 12, 16, 24, 32])
+    def test_bound_value_encodes_at_every_width(self, width):
+        """An optimum exactly on the DP bound must encode, never hit INF."""
+        for csum, wsum, k in [(1.0, 1.0, 4), (3.0, 7.0, 5), (1e6, 1e-3, 12)]:
+            fps = choose_scale([csum], [wsum], k, width=width)
+            bound = max(1.0, csum * wsum * max(4, k))
+            v = fps.encode(bound)
+            assert v <= fps.max_value == INF_WORD(width) - 1
+            assert v != fps.inf
+
+    def test_bound_one_ulp_below_power_of_two(self):
+        """Craft ``max_enc / bound`` a hair below a power of two."""
+        width = 21  # max_enc = 2**21 - 2
+        bound_target = (2**width - 2) / 2.0**10
+        # choose_scale computes bound = costs.sum() * weights.sum() * k
+        fps = choose_scale([bound_target / 4.0], [1.0], k=4, width=width)
+        bound = bound_target
+        assert round(bound * fps.scale) <= fps.max_value
+        fps.encode(bound)  # must not raise OverflowError
