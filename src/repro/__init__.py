@@ -35,6 +35,8 @@ from .core import (
     Action,
     ActionKind,
     DPResult,
+    ResiliencePolicy,
+    SolverError,
     TTNode,
     TTProblem,
     TTTree,
@@ -57,5 +59,7 @@ __all__ = [
     "solve_dp",
     "solve_dp_parallel",
     "optimal_cost",
+    "SolverError",
+    "ResiliencePolicy",
     "__version__",
 ]

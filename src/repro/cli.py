@@ -25,12 +25,23 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
 import numpy as np
 
-from .core import BACKENDS, WORKLOADS, TTProblem, canonicalize, resolve_backend, solve
+from .core import (
+    BACKENDS,
+    WORKLOADS,
+    InvalidProblem,
+    ResiliencePolicy,
+    SolverError,
+    TTProblem,
+    canonicalize,
+    resolve_backend,
+    solve,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +81,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel backend "
         "(default: one per core, capped at 8; env REPRO_WORKERS)",
     )
+    p_solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-shard deadline in seconds for the parallel backend "
+        "(default: none; hung shards are re-dispatched after this)",
+    )
+    p_solve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="re-dispatches allowed per failed shard before fallback "
+        "(parallel backend; default 2)",
+    )
+    p_solve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="layer-granular checkpoint file: written after every layer "
+        "barrier, resumed from (after a problem content-hash check) when "
+        "it already exists",
+    )
+    p_solve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="raise instead of finishing failed shards on the in-process "
+        "kernel once retries are exhausted",
+    )
     p_solve.add_argument("--tree", action="store_true", help="print the optimal procedure")
     p_solve.add_argument("--canonicalize", action="store_true",
                          help="apply optimum-preserving reductions first")
@@ -88,9 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load_problem(args) -> TTProblem:
     if args.file:
-        with open(args.file) as fh:
-            return TTProblem.from_json(fh.read())
+        try:
+            with open(args.file) as fh:
+                return TTProblem.from_json(fh.read())
+        except InvalidProblem:
+            raise
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise InvalidProblem(f"invalid problem file {args.file!r}: {exc}") from exc
     return WORKLOADS[args.workload](args.k, seed=args.seed)
+
+
+def _policy(args) -> ResiliencePolicy | None:
+    """Build the ResiliencePolicy the solve flags ask for (None = defaults)."""
+    if (
+        args.timeout is None
+        and args.retries is None
+        and args.checkpoint is None
+        and not args.no_fallback
+    ):
+        return None
+    policy = ResiliencePolicy()
+    overrides: dict = {"checkpoint": args.checkpoint, "fallback": not args.no_fallback}
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    return dataclasses.replace(policy, **overrides)
 
 
 def _solve(args, out) -> int:
@@ -108,11 +170,26 @@ def _solve(args, out) -> int:
     counters: dict = {}
     if args.solver == "dp":
         backend, workers = resolve_backend(problem, args.backend, args.workers)
-        result = solve(problem, backend=args.backend, workers=args.workers)
+        result = solve(
+            problem, backend=args.backend, workers=args.workers, policy=_policy(args)
+        )
         counters["sequential_ops"] = result.op_count
         counters["backend"] = backend
         if backend == "parallel":
             counters["workers"] = workers
+            if result.recovery is not None:
+                counters["recovery"] = {
+                    key: result.recovery[key]
+                    for key in (
+                        "retries",
+                        "timeouts",
+                        "crashes",
+                        "respawns",
+                        "fallback_shards",
+                        "degraded",
+                        "resumed_from_layer",
+                    )
+                }
     elif args.solver == "hypercube":
         from .ttpar import solve_tt_hypercube
 
@@ -239,6 +316,16 @@ def _claims(out) -> int:
 def main(argv=None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except SolverError as exc:
+        # One line, exit code 2 — the taxonomy means no raw tracebacks
+        # for user errors (bad spec files, bad env knobs, failed solves).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args, out) -> int:
     if args.command == "solve":
         return _solve(args, out)
     if args.command == "workloads":

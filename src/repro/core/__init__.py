@@ -32,7 +32,23 @@ from .heuristics import (
     treatment_only,
 )
 from .dispatch import BACKENDS, cached_subset_weights, resolve_backend, solve
+from .errors import (
+    CheckpointMismatch,
+    InvalidProblem,
+    ShardTimeout,
+    SolverError,
+    WorkerCrash,
+)
+from .faults import Fault, parse_fault_spec
 from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
+from .supervisor import (
+    RecoveryLog,
+    ResiliencePolicy,
+    SharedTables,
+    load_checkpoint,
+    problem_content_hash,
+    save_checkpoint,
+)
 from .problem import Action, ActionKind, TTProblem
 from .transforms import (
     CanonicalizationReport,
@@ -74,6 +90,19 @@ __all__ = [
     "solve",
     "resolve_backend",
     "BACKENDS",
+    "SolverError",
+    "WorkerCrash",
+    "ShardTimeout",
+    "CheckpointMismatch",
+    "InvalidProblem",
+    "ResiliencePolicy",
+    "RecoveryLog",
+    "SharedTables",
+    "Fault",
+    "parse_fault_spec",
+    "problem_content_hash",
+    "save_checkpoint",
+    "load_checkpoint",
     "solve_dp",
     "solve_dp_reference",
     "solve_dp_parallel",

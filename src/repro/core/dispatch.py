@@ -31,13 +31,16 @@ All backends honour the same determinism contract (see
 
 from __future__ import annotations
 
+import dataclasses
 from functools import lru_cache
 
 import numpy as np
 
+from .errors import InvalidProblem
 from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
 from .problem import TTProblem
 from .sequential import DPResult, solve_dp, solve_dp_reference, subset_weights
+from .supervisor import ResiliencePolicy
 
 __all__ = ["solve", "resolve_backend", "cached_subset_weights", "BACKENDS"]
 
@@ -71,7 +74,7 @@ def resolve_backend(
     executed when they asked for ``"auto"``.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        raise InvalidProblem(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     eff_workers = workers if workers is not None else default_workers()
     if backend == "auto":
         big = problem.k >= PARALLEL_MIN_K
@@ -82,13 +85,32 @@ def resolve_backend(
 
 
 def solve(
-    problem: TTProblem, backend: str = "auto", workers: int | None = None
+    problem: TTProblem,
+    backend: str = "auto",
+    workers: int | None = None,
+    *,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: str | None = None,
 ) -> DPResult:
-    """Solve a TT instance with the selected (or auto-selected) backend."""
+    """Solve a TT instance with the selected (or auto-selected) backend.
+
+    ``policy`` (a :class:`~repro.core.supervisor.ResiliencePolicy`)
+    configures the parallel backend's fault handling — per-shard timeout,
+    bounded retries, in-process fallback — and ``checkpoint`` is a
+    shorthand for ``policy.checkpoint``: the path of a ``.ckpt`` file
+    written after every layer barrier and resumed from (after a content-
+    hash check) when the file already exists.  Both are ignored by the
+    single-process backends, which have no failure domain: there is
+    nothing to retry and nothing to leak.
+    """
     backend, eff_workers = resolve_backend(problem, backend, workers)
+    if checkpoint is not None:
+        policy = dataclasses.replace(
+            policy or ResiliencePolicy(), checkpoint=checkpoint
+        )
     if backend == "reference":
         return solve_dp_reference(problem)
     p = cached_subset_weights(problem)
     if backend == "parallel":
-        return solve_dp_parallel(problem, workers=eff_workers, p=p)
+        return solve_dp_parallel(problem, workers=eff_workers, p=p, policy=policy)
     return solve_dp(problem, p=p)

@@ -1,0 +1,59 @@
+"""Structured exception taxonomy for the host-side solvers.
+
+Every failure the supervised parallel engine can surface is a
+:class:`SolverError`, so callers (and the CLI) need exactly one
+``except`` clause to distinguish "the solve failed" from a bug:
+
+* :class:`WorkerCrash` — a pool worker died (OOM-killed, segfaulted,
+  ``os._exit``) and the shard exhausted its retries;
+* :class:`ShardTimeout` — a shard exceeded the per-shard deadline of the
+  active :class:`~repro.core.supervisor.ResiliencePolicy` too many times;
+* :class:`CheckpointMismatch` — a ``.ckpt`` file exists but was written
+  for a different problem (content hash differs) or is unreadable;
+* :class:`InvalidProblem` — the request itself is malformed: a bad spec
+  file, an unknown backend, or an invalid environment knob
+  (``REPRO_WORKERS``, ``REPRO_FAULT_SPEC``, ``REPRO_START_METHOD``).
+
+:class:`InvalidProblem` also subclasses :class:`ValueError` so
+pre-taxonomy call sites written against ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SolverError",
+    "WorkerCrash",
+    "ShardTimeout",
+    "CheckpointMismatch",
+    "InvalidProblem",
+]
+
+
+class SolverError(RuntimeError):
+    """Base class for every failure raised by the solve pipeline."""
+
+
+class WorkerCrash(SolverError):
+    """A worker process died and the shard exhausted its retry budget."""
+
+    def __init__(self, message: str, *, layer: int | None = None, shard: int | None = None):
+        super().__init__(message)
+        self.layer = layer
+        self.shard = shard
+
+
+class ShardTimeout(SolverError):
+    """A shard repeatedly exceeded the per-shard deadline."""
+
+    def __init__(self, message: str, *, layer: int | None = None, shard: int | None = None):
+        super().__init__(message)
+        self.layer = layer
+        self.shard = shard
+
+
+class CheckpointMismatch(SolverError):
+    """A checkpoint file does not belong to the problem being solved."""
+
+
+class InvalidProblem(SolverError, ValueError):
+    """A malformed problem spec, backend name, or environment knob."""

@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the supervised parallel engine.
+
+Every recovery path in :mod:`repro.core.supervisor` — shard retry, pool
+respawn, timeout, in-process fallback — is exercised by *injected*
+faults, not by waiting for production to produce them.  A fault spec is a
+string (usually from the ``REPRO_FAULT_SPEC`` environment variable, so it
+reaches pool workers under both ``fork`` and ``spawn``)::
+
+    kill:layer=12:shard=1        # os._exit inside that shard (SIGKILL-alike)
+    hang:layer=9                 # sleep far past any sane deadline
+    slow:ms=200                  # sleep 200 ms in every matching shard
+    exc:layer=3:shard=0          # raise inside the shard (picklable error)
+    kill:layer=2;slow:ms=50      # multiple faults, ';'- or ','-separated
+
+Selectors ``layer=``/``shard=`` restrict where a fault fires (omitted =
+matches everywhere) and ``times=N`` caps *which dispatch attempts* fire
+(default 1: only the first attempt).  Because a fault is a pure function
+of ``(layer, shard, attempt)`` — no randomness, no cross-process state —
+an injected failure is bit-reproducible, and a retried shard (attempt
+bumped by the supervisor) deterministically escapes a ``times=1`` fault.
+
+Workers call :func:`inject` at the top of every shard; it is a no-op
+unless a spec is active, so the production path pays one dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .errors import InvalidProblem
+
+__all__ = ["Fault", "parse_fault_spec", "inject", "env_fault_spec", "FAULT_SPEC_ENV"]
+
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+_KINDS = ("kill", "hang", "slow", "exc")
+
+# `hang` must outlive any plausible per-shard deadline but still end, so a
+# supervisor run *without* a timeout policy is not wedged forever by a test.
+_HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what happens, where, and on which attempts."""
+
+    kind: str  # "kill" | "hang" | "slow" | "exc"
+    layer: int | None = None  # popcount layer selector (None = any)
+    shard: int | None = None  # shard-index selector (None = any)
+    ms: float = 0.0  # sleep duration for "slow"
+    times: int = 1  # attempts [0, times) fire
+
+    def matches(self, layer: int, shard: int, attempt: int) -> bool:
+        if self.layer is not None and layer != self.layer:
+            return False
+        if self.shard is not None and shard != self.shard:
+            return False
+        return attempt < self.times
+
+
+def _parse_one(token: str) -> Fault:
+    parts = token.split(":")
+    kind = parts[0].strip().lower()
+    if kind not in _KINDS:
+        raise InvalidProblem(
+            f"invalid fault spec {token!r}: unknown kind {kind!r} "
+            f"(expected one of {', '.join(_KINDS)})"
+        )
+    fields: dict = {"kind": kind}
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in ("layer", "shard", "ms", "times"):
+            raise InvalidProblem(
+                f"invalid fault spec {token!r}: bad field {part!r} "
+                "(expected layer=, shard=, ms= or times=)"
+            )
+        try:
+            fields[key] = float(value) if key == "ms" else int(value)
+        except ValueError:
+            raise InvalidProblem(
+                f"invalid fault spec {token!r}: {key}={value!r} is not a number"
+            ) from None
+    if fields.get("times", 1) < 1:
+        raise InvalidProblem(f"invalid fault spec {token!r}: times must be >= 1")
+    if fields.get("ms", 0.0) < 0:
+        raise InvalidProblem(f"invalid fault spec {token!r}: ms must be >= 0")
+    return Fault(**fields)
+
+
+@lru_cache(maxsize=32)
+def parse_fault_spec(spec: str) -> tuple[Fault, ...]:
+    """Parse a fault-spec string into :class:`Fault` tuples.
+
+    Raises :class:`InvalidProblem` with a one-line message on any
+    malformed token — the supervisor parses the environment spec in the
+    *parent* before dispatching, so a typo fails the solve loudly up
+    front instead of silently never firing in a worker.
+    """
+    faults = []
+    for token in spec.replace(";", ",").split(","):
+        token = token.strip()
+        if token:
+            faults.append(_parse_one(token))
+    return tuple(faults)
+
+
+def env_fault_spec() -> tuple[Fault, ...]:
+    """Parse (and validate) ``REPRO_FAULT_SPEC``; empty/unset = no faults."""
+    spec = os.environ.get(FAULT_SPEC_ENV, "").strip()
+    return parse_fault_spec(spec) if spec else ()
+
+
+def inject(layer: int, shard: int, attempt: int = 0, *, spec: str | None = None) -> None:
+    """Fire any matching injected fault for this ``(layer, shard, attempt)``.
+
+    Called by pool workers at the top of every shard.  ``spec`` overrides
+    the environment for direct testing; normally the worker reads
+    ``REPRO_FAULT_SPEC`` (inherited under both fork and spawn).
+    """
+    faults = parse_fault_spec(spec) if spec is not None else env_fault_spec()
+    for fault in faults:
+        if not fault.matches(layer, shard, attempt):
+            continue
+        if fault.kind == "kill":
+            # Bypass all cleanup, exactly like SIGKILL/OOM: the parent must
+            # recover from a worker that never got to say goodbye.
+            os._exit(13)
+        elif fault.kind == "hang":
+            time.sleep((fault.ms / 1000.0) if fault.ms else _HANG_SECONDS)
+        elif fault.kind == "slow":
+            time.sleep(fault.ms / 1000.0)
+        elif fault.kind == "exc":
+            raise RuntimeError(
+                f"injected worker exception (layer={layer}, shard={shard}, "
+                f"attempt={attempt})"
+            )

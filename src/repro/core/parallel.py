@@ -9,12 +9,18 @@ the layers as ASCEND phases (§6); here the same dataflow is mapped onto a
 handful of OS processes:
 
 * the ``C`` table (plus ``best_action``, the subset weights ``p`` and the
-  layer-sorted mask order) lives in ``multiprocessing.shared_memory``;
+  layer-sorted mask order) lives in ``multiprocessing.shared_memory``,
+  owned by a leak-proof :class:`~repro.core.supervisor.SharedTables`;
 * each layer is sharded into contiguous runs of masks, one task per
   worker; workers gather ``C`` from completed layers read-only and
   scatter their shard's results back into the shared table;
-* the only synchronization is the per-layer barrier (the ``map`` return),
-  exactly where the paper's ASCEND phases place theirs.
+* the only synchronization is the per-layer barrier, exactly where the
+  paper's ASCEND phases place theirs — but the barrier is *supervised*
+  (:class:`~repro.core.supervisor.Supervisor`): shards are dispatched
+  via ``apply_async`` with per-shard deadlines, dead workers are
+  detected and their shards re-dispatched with bounded retries, a
+  wedged pool is respawned, and past the retry budget the layer is
+  finished on the in-process kernel instead of hanging or raising.
 
 Determinism: each subset's argmin is computed *entirely inside one
 worker* by scanning actions in index order through
@@ -22,7 +28,10 @@ worker* by scanning actions in index order through
 subsets, never over actions — so the tie-break rule (lowest action index
 wins) and the float evaluation order are bit-for-bit those of
 :func:`solve_dp` and :func:`solve_dp_reference`, regardless of worker
-count or scheduling order.
+count, scheduling order, retries, pool respawns or fallbacks.  A shard
+is a pure function of the completed layers writing a slice nothing else
+touches, which is what makes replaying one (even a half-written or
+duplicated one) provably safe — see the failure model in DESIGN.md.
 
 Same-layer reads cannot race: a gather index in the *current* layer only
 occurs for candidates the kernel marks invalid (``inter == 0`` implies
@@ -35,19 +44,32 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..util.bitops import popcount_array
+from . import faults
+from .errors import InvalidProblem, SolverError
 from .problem import TTProblem
 from .sequential import INF, DPResult, solve_layer_kernel, subset_weights
+from .supervisor import (
+    RecoveryLog,
+    ResiliencePolicy,
+    SharedTables,
+    Supervisor,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "solve_dp_parallel",
     "default_workers",
     "PARALLEL_MIN_K",
     "MIN_SHARD",
+    "START_METHOD_ENV",
 ]
 
 # Below this universe size the fork/IPC overhead dwarfs the layer work;
@@ -60,13 +82,31 @@ PARALLEL_MIN_K = 16
 # (same kernel, same shared table, zero IPC).
 MIN_SHARD = 2048
 
+# Override the multiprocessing start method ("fork" / "spawn" /
+# "forkserver"); unset picks fork where available.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
 
 def default_workers() -> int:
-    """Worker count used when none is requested: one per core, capped."""
+    """Worker count used when none is requested: one per core, capped.
+
+    ``REPRO_WORKERS`` overrides; it must be a positive integer — a typo'd
+    or negative value fails loudly (:class:`InvalidProblem`) instead of
+    surfacing as a bare ``ValueError`` from ``int()`` or being silently
+    clamped.
+    """
     env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
-    return max(1, min(os.cpu_count() or 1, 8))
+    if env is None or not env.strip():
+        return max(1, min(os.cpu_count() or 1, 8))
+    try:
+        value = int(env)
+    except ValueError:
+        raise InvalidProblem(
+            f"REPRO_WORKERS must be a positive integer, got {env!r}"
+        ) from None
+    if value < 1:
+        raise InvalidProblem(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -103,17 +143,44 @@ def _init_worker(shm_names, n_sub, subsets, costs, is_test):
     }
 
 
-def _solve_shard(bounds: tuple[int, int]) -> int:
-    """Solve masks ``order[lo:hi]`` (a contiguous slice of one layer)."""
-    lo, hi = bounds
-    w = _WORKER
-    layer = w["order"][lo:hi]
-    layer_best, layer_arg = solve_layer_kernel(
-        layer, w["p"][layer], w["cost"], w["subsets"], w["costs"], w["is_test"]
-    )
-    w["cost"][layer] = layer_best
-    w["best"][layer] = layer_arg
-    return hi - lo
+def _solve_shard(task: tuple[int, int, int, int, int]) -> tuple[int, int]:
+    """Solve masks ``order[lo:hi]`` (a contiguous slice of one layer).
+
+    ``task`` is ``(lo, hi, layer_index, shard_index, attempt)``; the
+    extra coordinates drive deterministic fault injection and let the
+    supervisor attribute completions.  Returns ``(shard_index, count)``.
+
+    Termination signals are blocked for the duration of the compute.
+    This serves two supervision needs at once: the shard's table writes
+    are atomic with respect to SIGTERM/SIGINT, and — more subtly — any
+    helper threads numpy's BLAS spawns during the compute inherit the
+    blocked mask *permanently*.  Without that, the kernel is free to hand
+    a process-directed SIGTERM to a BLAS thread, where CPython's C
+    trampoline merely sets a flag that an idle main thread parked in the
+    task-queue ``sem_wait`` never wakes to service — the worker silently
+    outlives ``Pool.terminate()`` and the join wedges until the
+    supervisor's SIGKILL escalation.  With every helper thread masked,
+    the main thread is the only eligible recipient, its ``sem_wait`` is
+    interrupted, and the handler runs promptly.
+    """
+    lo, hi, layer_idx, shard_idx, attempt = task
+    # Injected faults run unmasked: a simulated hang is a Python-level
+    # sleep and should stay SIGTERM-interruptible (a real hang inside the
+    # C kernel below would not run Python handlers either way).
+    faults.inject(layer_idx, shard_idx, attempt)
+    blockable = {signal.SIGTERM, signal.SIGINT}
+    old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
+    try:
+        w = _WORKER
+        layer = w["order"][lo:hi]
+        layer_best, layer_arg = solve_layer_kernel(
+            layer, w["p"][layer], w["cost"], w["subsets"], w["costs"], w["is_test"]
+        )
+        w["cost"][layer] = layer_best
+        w["best"][layer] = layer_arg
+        return shard_idx, hi - lo
+    finally:
+        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
 
 
 # ----------------------------------------------------------------------
@@ -132,8 +199,19 @@ def _shard_bounds(lo: int, hi: int, workers: int, min_shard: int) -> list[tuple[
 
 
 def _mp_context():
-    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
+    """Pick the start method: env override, else fork (cheap, Linux).
+
+    ``REPRO_START_METHOD`` forces a specific method (the spawn fallback
+    path is exercised in CI this way); an unknown name fails loudly.
+    """
     methods = mp.get_all_start_methods()
+    env = os.environ.get(START_METHOD_ENV, "").strip()
+    if env:
+        if env not in methods:
+            raise InvalidProblem(
+                f"{START_METHOD_ENV} must be one of {methods}, got {env!r}"
+            )
+        return mp.get_context(env)
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
@@ -143,29 +221,47 @@ def solve_dp_parallel(
     *,
     p: np.ndarray | None = None,
     min_shard: int = MIN_SHARD,
+    policy: ResiliencePolicy | None = None,
 ) -> DPResult:
-    """Layer-parallel backward induction across ``workers`` processes.
+    """Supervised layer-parallel backward induction across ``workers`` processes.
 
     Produces bit-for-bit the same ``cost`` / ``best_action`` tables as
     :func:`solve_dp` and :func:`solve_dp_reference` (see the module
     docstring for why), with wall-clock scaling over the large middle
     layers of the subset lattice.  ``p`` may carry precomputed
     :func:`subset_weights`.
+
+    ``policy`` configures fault handling (per-shard timeout, bounded
+    retries, in-process fallback) and layer-granular checkpointing; the
+    default :class:`ResiliencePolicy` retries crashed shards and falls
+    back to the in-process kernel rather than failing the solve.  The
+    recovery log lands on ``DPResult.recovery``.
     """
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
     if workers is None:
         workers = default_workers()
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise InvalidProblem("workers must be >= 1")
+    if policy is None:
+        policy = ResiliencePolicy()
+
+    # Validate any fault spec in the *parent*, before work is dispatched:
+    # a typo'd REPRO_FAULT_SPEC must fail the solve, not silently never
+    # fire inside a worker.
+    faults.env_fault_spec()
 
     if p is None:
         p = subset_weights(problem)
 
+    log = RecoveryLog()
+    log.checkpoint = os.fspath(policy.checkpoint) if policy.checkpoint else None
+
     if k == 0:  # degenerate empty universe: nothing to diagnose
         cost = np.array([0.0])
         return DPResult(problem=problem, cost=cost,
-                        best_action=np.array([-1], dtype=np.int64), op_count=0)
+                        best_action=np.array([-1], dtype=np.int64), op_count=0,
+                        recovery=log.as_dict())
 
     masks = np.arange(n_sub, dtype=np.int64)
     layer_of = popcount_array(masks, k)
@@ -177,64 +273,86 @@ def solve_dp_parallel(
     costs = problem.cost_array
     is_test = problem.test_mask_array
 
-    blocks: dict[str, shared_memory.SharedMemory] = {}
-    pool = None
-    cost = best = None
-    try:
-        for key, nbytes in (
-            ("cost", n_sub * 8),
-            ("best", n_sub * 8),
-            ("p", n_sub * 8),
-            ("order", n_sub * 8),
-        ):
-            blocks[key] = shared_memory.SharedMemory(create=True, size=nbytes)
-        cost = np.ndarray(n_sub, dtype=np.float64, buffer=blocks["cost"].buf)
-        best = np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf)
-        cost[:] = INF
-        cost[0] = 0.0
-        best[:] = -1
-        np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf)[:] = p
-        np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf)[:] = order
+    start_layer = 1
+    resume = load_checkpoint(policy.checkpoint, problem) if policy.checkpoint else None
 
-        shm_names = {key: blk.name for key, blk in blocks.items()}
+    with SharedTables(n_sub) as tables:
+        supervisor = None
+        try:
+            cost, best = tables.cost, tables.best
+            if resume is not None:
+                ckpt_cost, ckpt_best, completed = resume
+                cost[:] = ckpt_cost
+                best[:] = ckpt_best
+                start_layer = completed + 1
+                log.resumed_from_layer = completed
+                log.event("resume", completed_layer=completed)
+            else:
+                cost[:] = INF
+                cost[0] = 0.0
+                best[:] = -1
+            tables.p[:] = p
+            tables.order[:] = order
 
-        def get_pool():
-            # Lazy: fork only once a layer is actually big enough to
-            # shard, so small instances never pay process start-up.
-            nonlocal pool
-            if pool is None:
-                pool = _mp_context().Pool(
+            shm_names = dict(tables.names)
+
+            def pool_factory():
+                return _mp_context().Pool(
                     workers,
                     initializer=_init_worker,
                     initargs=(shm_names, n_sub, subsets, costs, is_test),
                 )
-            return pool
 
-        for j in range(1, k + 1):
-            lo, hi = int(layer_starts[j]), int(layer_starts[j + 1])
-            shards = _shard_bounds(lo, hi, workers, min_shard)
-            if workers == 1 or len(shards) == 1:
-                # Layer too small to amortize IPC: solve in-process on the
-                # same shared table (identical kernel, still a barrier).
+            def solve_in_parent(lo: int, hi: int) -> int:
+                """The degraded/fallback path: same kernel, same bytes."""
                 layer = order[lo:hi]
                 layer_best, layer_arg = solve_layer_kernel(
                     layer, p[layer], cost, subsets, costs, is_test
                 )
                 cost[layer] = layer_best
                 best[layer] = layer_arg
-            else:
-                done = sum(get_pool().map(_solve_shard, shards, chunksize=1))
-                assert done == hi - lo  # every mask of the layer solved
-        out_cost = cost.copy()
-        out_best = best.copy()
-    finally:
-        if pool is not None:
-            pool.terminate()
-            pool.join()
-        cost = best = None  # drop the buffer views before close()
-        for blk in blocks.values():
-            blk.close()
-            blk.unlink()
+                return hi - lo
+
+            supervisor = Supervisor(policy, pool_factory, _solve_shard, log)
+
+            for j in range(start_layer, k + 1):
+                t0 = time.monotonic()
+                lo, hi = int(layer_starts[j]), int(layer_starts[j + 1])
+                shards = _shard_bounds(lo, hi, workers, min_shard)
+                if workers == 1 or len(shards) == 1 or supervisor.degraded:
+                    # Layer too small to amortize IPC (or the pool is
+                    # gone): solve in-process on the same shared table —
+                    # identical kernel, still a barrier.
+                    done = solve_in_parent(lo, hi)
+                    mode = "degraded" if supervisor.degraded else "parent"
+                else:
+                    done = supervisor.run_layer(j, shards, solve_in_parent)
+                    mode = "pool"
+                if done != hi - lo:
+                    # Must survive `python -O`: a lost shard is silent
+                    # corruption, the one failure that may never be quiet.
+                    raise SolverError(
+                        f"layer {j} incomplete: {done} of {hi - lo} masks solved"
+                    )
+                log.layer(j, time.monotonic() - t0, len(shards), mode)
+                if policy.checkpoint and (
+                    j == k or (j - start_layer) % policy.checkpoint_every == 0
+                ):
+                    save_checkpoint(policy.checkpoint, problem, cost, best, j)
+            out_cost = cost.copy()
+            out_best = best.copy()
+        finally:
+            # Terminate the pool *before* the tables unlink, so a worker
+            # being repopulated can never try to attach a vanished block.
+            if supervisor is not None:
+                supervisor.shutdown()
+            cost = best = None  # drop our buffer views before close()
 
     op_count = (n_sub - 1) * n_act
-    return DPResult(problem=problem, cost=out_cost, best_action=out_best, op_count=op_count)
+    return DPResult(
+        problem=problem,
+        cost=out_cost,
+        best_action=out_best,
+        op_count=op_count,
+        recovery=log.as_dict(),
+    )

@@ -96,12 +96,18 @@ class DPResult:
     op_count:
         Number of ``M[S,i]`` evaluations performed — the sequential work
         measure ``(2^k - 1) * N`` used by the speedup analysis.
+    recovery:
+        Machine-readable recovery log from the supervised parallel engine
+        (retries, respawns, fallbacks, per-layer wall clock; see
+        :class:`repro.core.supervisor.RecoveryLog`).  ``None`` for the
+        single-process backends — they have no failure domain to report.
     """
 
     problem: TTProblem
     cost: np.ndarray
     best_action: np.ndarray
     op_count: int
+    recovery: dict | None = None
 
     @property
     def optimal_cost(self) -> float:

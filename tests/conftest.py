@@ -1,9 +1,62 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Also hosts the suite-wide watchdog: no test may hang on a dead pool.
+When the ``pytest-timeout`` plugin is installed it takes over (the
+``timeout`` marker has the same shape); otherwise a SIGALRM-based
+fallback enforces a per-test wall-clock budget (``REPRO_TEST_TIMEOUT``
+seconds, default 600) so a regression in the supervised parallel engine
+fails fast instead of wedging CI.
+"""
+
+import os
+import signal
+import threading
 
 import pytest
 from hypothesis import strategies as st
 
 from repro.core.problem import Action, TTProblem
+
+_DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "600"))
+
+if os.environ.get("REPRO_MP_DEBUG"):
+    # Surface multiprocessing's own lifecycle narration (fork, sentinel,
+    # terminate, join) — invaluable when a pool teardown misbehaves.
+    from multiprocessing import util as _mputil
+
+    _mputil.log_to_stderr(5)
+
+
+def _marker_timeout(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        return float(marker.args[0])
+    return _DEFAULT_TEST_TIMEOUT
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    use_fallback = (
+        not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_fallback:
+        return (yield)
+    seconds = _marker_timeout(item)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {seconds:g}s watchdog (hung pool / lost barrier?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @st.composite

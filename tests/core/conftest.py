@@ -1,0 +1,31 @@
+"""Core-suite fixtures: shared-memory leak detection.
+
+Every test in ``tests/core`` runs under an autouse fixture that snapshots
+``/dev/shm`` before and after; any ``psm_*`` segment (CPython's
+``shared_memory`` name prefix) created but not unlinked by the test —
+including by injected-crash tests, where workers die without cleanup —
+fails the test.  This is the acceptance guard for the leak-proof
+:class:`repro.core.supervisor.SharedTables` owner.
+"""
+
+import os
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+
+
+def _psm_segments() -> set[str]:
+    try:
+        return {n for n in os.listdir(_SHM_DIR) if n.startswith("psm_")}
+    except OSError:  # platform without /dev/shm — nothing to guard
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_guard():
+    """Fail any test that strands a POSIX shared-memory segment."""
+    before = _psm_segments()
+    yield
+    leaked = _psm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

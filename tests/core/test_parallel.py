@@ -223,3 +223,28 @@ class TestSharding:
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
+
+
+class TestStartMethod:
+    """`REPRO_START_METHOD` must swap the pool's start method without
+    perturbing results: spawn re-imports worker modules instead of
+    forking, so this is the differential test for state that fork
+    silently inherits (globals, fault specs, shm names)."""
+
+    @pytest.mark.slow
+    def test_spawn_matches_reference_bit_for_bit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        problem = random_instance(6, 6, 4, seed=11)
+        ref = solve_dp_reference(problem)
+        par = solve_dp_parallel(problem, workers=2, min_shard=1)
+        assert np.array_equal(par.cost, ref.cost)
+        assert np.array_equal(par.best_action, ref.best_action)
+        assert par.op_count == ref.op_count
+
+    def test_unknown_start_method_fails_loudly(self, monkeypatch):
+        from repro.core.errors import InvalidProblem
+
+        monkeypatch.setenv("REPRO_START_METHOD", "osactors")
+        problem = random_instance(4, 3, 2, seed=5)
+        with pytest.raises(InvalidProblem, match="REPRO_START_METHOD"):
+            solve_dp_parallel(problem, workers=2, min_shard=1)

@@ -1,0 +1,454 @@
+"""Fault-tolerance suite for the supervised parallel engine.
+
+The contract: with ``kill``, ``hang``, ``slow`` and ``exc`` faults
+injected at arbitrary layers/shards, ``solve(backend="parallel")`` still
+returns ``cost``/``best_action`` tables **bit-for-bit** identical to
+``solve_dp_reference``; a solve interrupted after layer ``j`` resumes
+from its checkpoint without recomputing layers ``<= j``; and no failure
+mode — including injected crashes — leaks a shared-memory segment (the
+autouse ``shm_leak_guard`` in ``tests/core/conftest.py`` asserts that
+for every test here).
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.errors import (
+    CheckpointMismatch,
+    InvalidProblem,
+    ShardTimeout,
+    SolverError,
+    WorkerCrash,
+)
+from repro.core.faults import Fault, inject, parse_fault_spec
+from repro.core.generators import random_instance
+from repro.core.parallel import solve_dp_parallel
+from repro.core.sequential import solve_dp_reference
+from repro.core.supervisor import (
+    ResiliencePolicy,
+    SharedTables,
+    load_checkpoint,
+    problem_content_hash,
+    save_checkpoint,
+)
+
+PROBLEM = random_instance(6, n_tests=6, n_treatments=4, seed=3)
+REF = solve_dp_reference(PROBLEM)
+
+# Fast-failure knobs so the recovery paths run in milliseconds.
+QUICK = ResiliencePolicy(timeout=5.0, max_retries=2, backoff=0.01, backoff_max=0.05)
+
+
+def solve_with_fault(spec, policy=QUICK, problem=PROBLEM, workers=2):
+    os.environ["REPRO_FAULT_SPEC"] = spec
+    try:
+        return solve_dp_parallel(problem, workers=workers, min_shard=1, policy=policy)
+    finally:
+        os.environ.pop("REPRO_FAULT_SPEC", None)
+
+
+def assert_bit_for_bit(result, ref=REF):
+    assert np.array_equal(result.cost, ref.cost)
+    assert np.array_equal(result.best_action, ref.best_action)
+
+
+class TestExceptionTaxonomy:
+    def test_hierarchy(self):
+        for cls in (WorkerCrash, ShardTimeout, CheckpointMismatch, InvalidProblem):
+            assert issubclass(cls, SolverError)
+        # pre-taxonomy call sites wrote `except ValueError`
+        assert issubclass(InvalidProblem, ValueError)
+
+    def test_crash_context(self):
+        exc = WorkerCrash("boom", layer=3, shard=1)
+        assert (exc.layer, exc.shard) == (3, 1)
+
+
+class TestFaultSpecParsing:
+    def test_single(self):
+        (fault,) = parse_fault_spec("kill:layer=12:shard=1")
+        assert fault == Fault("kill", layer=12, shard=1)
+
+    def test_multiple_and_separators(self):
+        faults = parse_fault_spec("kill:layer=2; slow:ms=200, hang")
+        assert [f.kind for f in faults] == ["kill", "slow", "hang"]
+        assert faults[1].ms == 200.0
+
+    def test_times_and_matching(self):
+        (fault,) = parse_fault_spec("exc:layer=4:times=2")
+        assert fault.matches(4, 0, 0) and fault.matches(4, 7, 1)
+        assert not fault.matches(4, 0, 2)  # attempt past `times`
+        assert not fault.matches(5, 0, 0)  # wrong layer
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:layer=1",  # unknown kind
+            "kill:depth=3",  # unknown field
+            "kill:layer=abc",  # not a number
+            "slow:ms=-5",  # negative sleep
+            "kill:times=0",  # zero attempts
+            "kill layer=1",  # missing '='
+        ],
+    )
+    def test_invalid_specs_fail_loudly(self, bad):
+        with pytest.raises(InvalidProblem):
+            parse_fault_spec(bad)
+
+    def test_bad_env_spec_fails_in_parent(self, monkeypatch):
+        """A typo'd REPRO_FAULT_SPEC fails the solve up front, not silently."""
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "oops:layer=1")
+        with pytest.raises(InvalidProblem):
+            solve_dp_parallel(PROBLEM, workers=2, min_shard=1)
+
+    def test_inject_noop_without_spec(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+        inject(3, 0, 0)  # must not raise, sleep, or exit
+
+    def test_inject_exc_via_argument(self):
+        with pytest.raises(RuntimeError, match="injected"):
+            inject(3, 0, 0, spec="exc:layer=3")
+        inject(4, 0, 0, spec="exc:layer=3")  # non-matching layer: no-op
+
+
+class TestFaultRecovery:
+    """kill/hang/slow at arbitrary layers and shards: still bit-for-bit."""
+
+    @pytest.mark.parametrize("layer", [2, 3, 5])
+    @pytest.mark.parametrize("shard", [0, 1])
+    def test_kill_recovers(self, layer, shard):
+        result = solve_with_fault(f"kill:layer={layer}:shard={shard}")
+        assert_bit_for_bit(result)
+        assert result.recovery["crashes"] >= 1
+        assert result.recovery["retries"] >= 1
+
+    @pytest.mark.parametrize("layer", [2, 4])
+    def test_kill_every_shard_of_a_layer(self, layer):
+        result = solve_with_fault(f"kill:layer={layer}")
+        assert_bit_for_bit(result)
+        assert result.recovery["crashes"] >= 1
+
+    @pytest.mark.parametrize("layer", [2, 3])
+    def test_hang_recovers_via_timeout_and_respawn(self, layer):
+        policy = dataclasses.replace(QUICK, timeout=0.3)
+        result = solve_with_fault(f"hang:layer={layer}", policy)
+        assert_bit_for_bit(result)
+        assert result.recovery["timeouts"] >= 1
+        assert result.recovery["respawns"] >= 1
+
+    def test_slow_shards_just_finish(self):
+        result = solve_with_fault("slow:ms=50")
+        assert_bit_for_bit(result)
+        assert result.recovery["retries"] == 0
+
+    def test_worker_exception_retried(self):
+        result = solve_with_fault("exc:layer=4")
+        assert_bit_for_bit(result)
+        assert result.recovery["crashes"] >= 1
+
+    def test_combined_faults(self):
+        policy = dataclasses.replace(QUICK, timeout=0.4)
+        result = solve_with_fault(
+            "kill:layer=2:shard=0; slow:ms=20; hang:layer=5:shard=1", policy
+        )
+        assert_bit_for_bit(result)
+        assert result.recovery["crashes"] >= 1
+        assert result.recovery["timeouts"] >= 1
+
+    def test_retries_exhausted_falls_back_in_process(self):
+        """A persistent fault (times > max_retries) degrades gracefully."""
+        result = solve_with_fault("kill:layer=3:times=10")
+        assert_bit_for_bit(result)
+        assert result.recovery["fallback_shards"] >= 1
+
+    def test_no_fallback_raises_worker_crash(self):
+        policy = dataclasses.replace(QUICK, max_retries=0, fallback=False)
+        with pytest.raises(WorkerCrash) as excinfo:
+            solve_with_fault("kill:layer=3:shard=0", policy)
+        assert excinfo.value.layer == 3
+
+    def test_no_fallback_raises_shard_timeout(self):
+        policy = dataclasses.replace(
+            QUICK, timeout=0.3, max_retries=0, fallback=False
+        )
+        with pytest.raises(ShardTimeout):
+            solve_with_fault("hang:layer=2", policy)
+
+    def test_through_solve_dispatch(self):
+        """The acceptance path: solve(backend='parallel') under faults."""
+        os.environ["REPRO_FAULT_SPEC"] = "kill:layer=2:shard=0"
+        try:
+            result = solve(PROBLEM, backend="parallel", workers=2, policy=QUICK)
+        finally:
+            os.environ.pop("REPRO_FAULT_SPEC", None)
+        # dispatch routes small k through min_shard=MIN_SHARD (single
+        # shard => parent path), so the fault may simply never fire — the
+        # contract is the tables, not the recovery counters.
+        assert_bit_for_bit(result)
+
+    def test_recovery_log_shape(self):
+        result = solve_with_fault("kill:layer=3:shard=1")
+        rec = result.recovery
+        for key in ("retries", "timeouts", "crashes", "respawns",
+                    "fallback_shards", "degraded", "layers", "events"):
+            assert key in rec
+        assert [entry["layer"] for entry in rec["layers"]] == list(range(1, PROBLEM.k + 1))
+        for entry in rec["layers"]:
+            assert entry["mode"] in ("pool", "parent", "degraded")
+            assert entry["seconds"] >= 0
+
+    def test_fault_free_solve_has_clean_log(self):
+        result = solve_dp_parallel(PROBLEM, workers=2, min_shard=1, policy=QUICK)
+        assert_bit_for_bit(result)
+        rec = result.recovery
+        assert rec["retries"] == rec["crashes"] == rec["timeouts"] == 0
+        assert rec["respawns"] == rec["fallback_shards"] == 0
+        assert not rec["degraded"]
+
+
+class TestLostShardIsLoud:
+    def test_undercounted_layer_raises_solver_error(self, monkeypatch):
+        """A layer completing with fewer masks than dispatched must raise
+        even under `python -O` (this used to be a stripped `assert`)."""
+        from repro.core import supervisor as sup
+
+        real = sup.Supervisor.run_layer
+
+        def undercount(self, layer_idx, shards, fallback):
+            return real(self, layer_idx, shards, fallback) - 1
+
+        monkeypatch.setattr(sup.Supervisor, "run_layer", undercount)
+        with pytest.raises(SolverError, match="incomplete"):
+            solve_dp_parallel(PROBLEM, workers=2, min_shard=1, policy=QUICK)
+
+
+class TestCheckpointing:
+    def test_hash_ignores_cosmetic_name(self):
+        renamed = dataclasses.replace(PROBLEM, name="other-name")
+        assert problem_content_hash(renamed) == problem_content_hash(PROBLEM)
+        other = random_instance(6, 6, 4, seed=4)
+        assert problem_content_hash(other) != problem_content_hash(PROBLEM)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        save_checkpoint(path, PROBLEM, REF.cost, REF.best_action, 4)
+        cost, best, completed = load_checkpoint(path, PROBLEM)
+        assert completed == 4
+        assert np.array_equal(cost, REF.cost)
+        assert np.array_equal(best, REF.best_action)
+
+    def test_missing_file_means_fresh_start(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.ckpt", PROBLEM) is None
+
+    def test_wrong_problem_rejected(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        save_checkpoint(path, PROBLEM, REF.cost, REF.best_action, 4)
+        other = random_instance(6, 6, 4, seed=4)
+        with pytest.raises(CheckpointMismatch, match="different problem"):
+            load_checkpoint(path, other)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointMismatch, match="unreadable"):
+            load_checkpoint(path, PROBLEM)
+
+    def test_interrupted_solve_resumes_without_recomputing(self, tmp_path):
+        """Interrupt after layer j; the resume starts at j+1, not layer 1."""
+        path = tmp_path / "solve.ckpt"
+        policy = dataclasses.replace(
+            QUICK, timeout=0.3, max_retries=0, fallback=False, checkpoint=path
+        )
+        with pytest.raises(ShardTimeout):
+            solve_with_fault("hang:layer=4", policy)
+        _, _, completed = load_checkpoint(path, PROBLEM)
+        assert completed == 3  # layers 1..3 done, 4 was interrupted
+
+        resumed = solve_dp_parallel(
+            PROBLEM, workers=2, min_shard=1,
+            policy=dataclasses.replace(QUICK, checkpoint=path),
+        )
+        assert_bit_for_bit(resumed)
+        assert resumed.recovery["resumed_from_layer"] == 3
+        # layers <= 3 were NOT recomputed
+        assert [e["layer"] for e in resumed.recovery["layers"]] == [4, 5, 6]
+
+    def test_completed_checkpoint_resumes_instantly(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        first = solve_dp_parallel(
+            PROBLEM, workers=2, min_shard=1,
+            policy=dataclasses.replace(QUICK, checkpoint=path),
+        )
+        assert_bit_for_bit(first)
+        again = solve_dp_parallel(
+            PROBLEM, workers=2, min_shard=1,
+            policy=dataclasses.replace(QUICK, checkpoint=path),
+        )
+        assert_bit_for_bit(again)
+        assert again.recovery["resumed_from_layer"] == PROBLEM.k
+        assert again.recovery["layers"] == []  # nothing recomputed
+
+    def test_checkpoint_through_solve_kwarg(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        result = solve(PROBLEM, backend="parallel", workers=2, checkpoint=str(path))
+        assert_bit_for_bit(result)
+        assert path.exists()
+        resumed = solve(PROBLEM, backend="parallel", workers=2, checkpoint=str(path))
+        assert resumed.recovery["resumed_from_layer"] == PROBLEM.k
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        save_checkpoint(path, PROBLEM, REF.cost, REF.best_action, 2)
+        assert not (tmp_path / "solve.ckpt.tmp").exists()
+
+
+class TestSharedTablesLifecycle:
+    def test_context_manager_unlinks(self):
+        with SharedTables(1 << 8) as tables:
+            names = list(tables.names.values())
+            for name in names:
+                assert os.path.exists(f"/dev/shm/{name}")
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_close_is_idempotent(self):
+        tables = SharedTables(1 << 8)
+        tables.close()
+        tables.close()  # second close must be a no-op, not a crash
+
+    def test_exception_path_unlinks(self):
+        try:
+            with SharedTables(1 << 8) as tables:
+                names = list(tables.names.values())
+                raise RuntimeError("mid-solve crash")
+        except RuntimeError:
+            pass
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_sigterm_unlinks_segments(self, tmp_path):
+        """A SIGTERM'd parent must not strand /dev/shm segments."""
+        script = textwrap.dedent(
+            """
+            import sys, time
+            sys.path.insert(0, %r)
+            from repro.core.supervisor import SharedTables
+            tables = SharedTables(1 << 10)
+            print(" ".join(tables.names.values()), flush=True)
+            time.sleep(60)
+            """
+        ) % os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], stdout=subprocess.PIPE, text=True
+        )
+        try:
+            names = proc.stdout.readline().split()
+            assert names and all(os.path.exists(f"/dev/shm/{n}") for n in names)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            proc.kill()
+        assert proc.returncode == -signal.SIGTERM  # exit status stays honest
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+
+
+def _ignore_sigterm():
+    """Pool initializer: simulate a worker whose SIGTERM is lost.
+
+    CPython drops signals that land between ``fork()`` and the child's
+    ``PyOS_AfterFork_Child`` signal-state reset, so a repopulated worker
+    can shrug off ``Pool.terminate()``'s SIGTERM and wedge the
+    unconditional join.  SIG_IGN reproduces that end state on demand.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
+class TestShutdownEscalation:
+    def test_shutdown_sigkills_workers_that_ignore_sigterm(self, monkeypatch):
+        import multiprocessing as mp
+        import time
+
+        from repro.core import supervisor as sup
+
+        monkeypatch.setattr(sup, "_SHUTDOWN_GRACE", 0.5)
+        log = sup.RecoveryLog()
+        s = sup.Supervisor(
+            QUICK,
+            lambda: mp.get_context("fork").Pool(2, initializer=_ignore_sigterm),
+            None,
+            log,
+        )
+        pool = s._ensure_pool()
+        # Park both workers in a long task so they cannot exit via the
+        # task-queue sentinel and only SIGTERM (ignored) could free them.
+        for _ in range(2):
+            pool.apply_async(time.sleep, (60,))
+        time.sleep(0.3)  # let the workers pick the tasks up
+        t0 = time.monotonic()
+        s.shutdown()
+        assert time.monotonic() - t0 < 30.0  # bounded, not wedged
+        assert any(e["kind"] == "shutdown_escalation" for e in log.events)
+        assert s._pool is None
+
+    def test_clean_shutdown_does_not_escalate(self):
+        import multiprocessing as mp
+
+        from repro.core import supervisor as sup
+
+        log = sup.RecoveryLog()
+        s = sup.Supervisor(QUICK, lambda: mp.get_context("fork").Pool(2), None, log)
+        s._ensure_pool()
+        s.shutdown()
+        assert not any(e["kind"].startswith("shutdown") for e in log.events)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"max_retries": -1},
+            {"backoff": -0.1},
+            {"checkpoint_every": 0},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(SolverError):
+            ResiliencePolicy(**kwargs)
+
+    def test_defaults_are_resilient(self):
+        policy = ResiliencePolicy()
+        assert policy.fallback
+        assert policy.max_retries >= 1
+
+
+class TestEnvKnobValidation:
+    def test_repro_workers_non_integer(self, monkeypatch):
+        from repro.core.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(InvalidProblem, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_repro_workers_negative(self, monkeypatch):
+        from repro.core.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(InvalidProblem, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_repro_start_method_unknown(self, monkeypatch):
+        from repro.core.parallel import _mp_context
+
+        monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+        with pytest.raises(InvalidProblem, match="REPRO_START_METHOD"):
+            _mp_context()

@@ -106,6 +106,81 @@ class TestSolve:
         assert json.loads(text)["backend"] == "numpy"
 
 
+class TestResilienceFlags:
+    def test_checkpoint_and_knobs_through_cli(self, tmp_path):
+        ckpt = tmp_path / "solve.ckpt"
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--backend", "parallel", "--workers", "2",
+            "--timeout", "30", "--retries", "3",
+            "--checkpoint", str(ckpt), "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["backend"] == "parallel"
+        assert payload["recovery"]["retries"] == 0
+        assert payload["recovery"]["degraded"] is False
+        assert ckpt.exists()
+        # Re-running against the finished checkpoint resumes instantly
+        # and reports where it picked up from.
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--backend", "parallel", "--workers", "2",
+            "--checkpoint", str(ckpt), "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["recovery"]["resumed_from_layer"] == 5
+
+    def test_no_fallback_flag_parses(self):
+        code, text = run_cli(
+            "solve", "--workload", "lab", "--k", "5",
+            "--backend", "parallel", "--workers", "2",
+            "--no-fallback", "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["recovery"]["fallback_shards"] == 0
+
+
+class TestErrorPaths:
+    def test_invalid_problem_file_exits_2_with_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json")
+        code, _ = run_cli("solve", "--file", str(bad))
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid problem file")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_missing_problem_file_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli("solve", "--file", str(tmp_path / "nope.json"))
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("solve", "--workload", "lab", "--backend", "bogus")
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_fault_spec_env_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "explode:layer=1")
+        code, _ = run_cli(
+            "solve", "--workload", "lab", "--k", "5",
+            "--backend", "parallel", "--workers", "2",
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "explode" in err
+
+    def test_bad_workers_env_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        code, _ = run_cli(
+            "solve", "--workload", "lab", "--k", "5", "--backend", "parallel"
+        )
+        assert code == 2
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_workloads_lists_all(self):
         code, text = run_cli("workloads")
