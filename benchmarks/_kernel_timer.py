@@ -1,0 +1,132 @@
+"""Subprocess body for the kernel-fusion benchmark.
+
+Run as ``python -m benchmarks._kernel_timer --order {legacy-first,
+fused-first} ...``; times BOTH kernel variants over the middle layers
+of a reference instance and prints a JSON summary on stdout.
+
+Methodology notes:
+
+* **Fresh process per rep** keeps the comparison honest: the legacy
+  kernel's dominant cost is allocator traffic (eight-plus full-layer
+  temporaries per action), and a warmed-up allocator from previous
+  timed reps would understate it — while the fused kernel's arena
+  reuse needs no such warm-up.  Single-shot per layer is exactly the
+  production profile (one kernel call per layer per solve).
+* **Per-layer adjacency**: within one process the two variants are
+  timed back-to-back *per layer*, so a host-wide slow burst lands on
+  both sides of the ratio instead of one — the drift window is the
+  ~10 ms of one layer, not the seconds between two processes.
+* **Alternating order** (``--order``, flipped per rep by the caller)
+  cancels the residual bias of the second variant finding the cost
+  table cache-warm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.generators import random_instance
+from repro.core.kernels import LayerArena, layer_plan, solve_layer_kernel_fused
+from repro.core.sequential import solve_layer_kernel, subset_weights
+
+
+def build_tables(problem, plan, p):
+    """Replay a full solve with the *legacy* kernel, snapshotting the cost
+    table as it stood before each layer — both variants then time against
+    byte-identical inputs."""
+    subsets, costs, is_test = (
+        problem.subset_array,
+        problem.cost_array,
+        problem.test_mask_array,
+    )
+    cost = np.full(1 << problem.k, np.inf)
+    cost[0] = 0.0
+    tables = {}
+    for j in range(1, problem.k + 1):
+        layer = plan.layer(j)
+        layer_best, _ = solve_layer_kernel(
+            layer, p[layer], cost, subsets, costs, is_test
+        )
+        tables[j] = cost.copy()
+        cost[layer] = layer_best
+    return tables
+
+
+def middle_layers(plan, k):
+    cutoff = plan.max_layer_size // 2
+    return [j for j in range(1, k + 1) if plan.layer(j).size >= cutoff]
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument(
+        "--order", choices=("legacy-first", "fused-first"), default="legacy-first"
+    )
+    ap.add_argument("--k", type=int, default=18)
+    ap.add_argument("--n-tests", type=int, default=20)
+    ap.add_argument("--n-treatments", type=int, default=12)
+    args = ap.parse_args()
+
+    problem = random_instance(
+        args.k, args.n_tests, args.n_treatments, seed=args.k
+    )
+    p = subset_weights(problem)
+    plan = layer_plan(args.k)
+    subsets, costs, is_test = (
+        problem.subset_array,
+        problem.cost_array,
+        problem.test_mask_array,
+    )
+    tables = build_tables(problem, plan, p)
+    layers = middle_layers(plan, args.k)
+    arena = LayerArena()
+
+    def run_legacy(layer, p_layer, cost):
+        t0 = time.perf_counter()
+        solve_layer_kernel(layer, p_layer, cost, subsets, costs, is_test)
+        return time.perf_counter() - t0
+
+    def run_fused(layer, p_layer, cost):
+        t0 = time.perf_counter()
+        solve_layer_kernel_fused(
+            layer, p_layer, cost, subsets, costs, is_test, arena=arena
+        )
+        return time.perf_counter() - t0
+
+    first, second = (
+        (("legacy", run_legacy), ("fused", run_fused))
+        if args.order == "legacy-first"
+        else (("fused", run_fused), ("legacy", run_legacy))
+    )
+
+    totals = {"legacy": 0.0, "fused": 0.0}
+    per_layer = []
+    for j in layers:
+        layer = plan.layer(j)
+        p_layer = p[layer]
+        cost = tables[j]
+        entry = {"layer": j}
+        for name, fn in (first, second):
+            dt = fn(layer, p_layer, cost)
+            totals[name] += dt
+            entry[name] = dt
+        per_layer.append(entry)
+
+    print(
+        json.dumps(
+            {
+                "order": args.order,
+                "legacy_s": totals["legacy"],
+                "fused_s": totals["fused"],
+                "layers": per_layer,
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

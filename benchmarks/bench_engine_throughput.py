@@ -1,0 +1,115 @@
+"""ENGINE-THROUGHPUT — warm ``SolverEngine.solve_many`` vs cold per-call solves.
+
+The ROADMAP's serving regime is a *stream* of instances, where the
+one-shot ``solve(backend="parallel")`` path pays pool fork + shared-
+segment setup + teardown on every call.  The warm engine creates that
+state once per ``k`` and amortizes it across the stream, pipelining each
+next instance's ``subset_weights`` against the in-flight solve.  This
+bench solves the same stream both ways, proves every result bit-for-bit
+identical, and reports the throughput ratio.
+
+Knobs: ``REPRO_BENCH_ENGINE_K`` (default 16), ``REPRO_BENCH_ENGINE_COUNT``
+(default 8), ``REPRO_BENCH_ENGINE_WORKERS`` (default 2 — both paths use
+the same worker count, so only the *lifetime* of the pool differs),
+``REPRO_BENCH_ENGINE_MIN`` (minimum acceptable warm/cold ratio, default
+1.0 — CI's regression floor; the committed ``BENCH_THROUGHPUT.json``
+from the full run shows the >= 1.5x result).
+
+Output: a ``BENCH_JSON`` line, a table, and ``BENCH_THROUGHPUT.json``
+written next to the repo root:
+
+    BENCH_JSON {"bench": "ENGINE-THROUGHPUT", "k": ..., "count": ...,
+                "cold_s": ..., "warm_s": ..., "speedup": ...}
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import SolverEngine, solve
+from repro.core.dispatch import _clear_weights_cache
+from repro.core.generators import random_instance
+
+pytestmark = pytest.mark.slow
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, str(default)))
+
+
+def test_engine_throughput():
+    k = _env_int("REPRO_BENCH_ENGINE_K", 16)
+    count = _env_int("REPRO_BENCH_ENGINE_COUNT", 8)
+    workers = _env_int("REPRO_BENCH_ENGINE_WORKERS", 2)
+    min_speedup = float(os.environ.get("REPRO_BENCH_ENGINE_MIN", "1.0"))
+
+    stream = [
+        random_instance(k, n_tests=10, n_treatments=6, seed=seed)
+        for seed in range(count)
+    ]
+
+    # Cold: the pre-engine serving story — every call forks a pool,
+    # allocates shared segments, tears both down.  The weights cache is
+    # cleared so neither path inherits the other's precompute.
+    _clear_weights_cache()
+    cold_results = []
+    t0 = time.perf_counter()
+    for problem in stream:
+        cold_results.append(solve(problem, backend="parallel", workers=workers))
+    cold_s = time.perf_counter() - t0
+
+    # Warm: one engine for the whole stream.
+    _clear_weights_cache()
+    t0 = time.perf_counter()
+    with SolverEngine(workers=workers, backend="parallel") as engine:
+        warm_results = engine.solve_many(stream)
+    warm_s = time.perf_counter() - t0
+
+    # Amortization must never cost correctness.
+    for cold, warm in zip(cold_results, warm_results):
+        assert np.array_equal(cold.cost, warm.cost)
+        assert np.array_equal(cold.best_action, warm.best_action)
+        assert cold.op_count == warm.op_count
+
+    speedup = cold_s / warm_s
+    payload = {
+        "bench": "ENGINE-THROUGHPUT",
+        "k": k,
+        "count": count,
+        "workers": workers,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 3),
+        "cold_per_solve_s": round(cold_s / count, 4),
+        "warm_per_solve_s": round(warm_s / count, 4),
+        "bit_identical": True,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    print(f"\nBENCH_JSON {json.dumps(payload)}")
+    print_table(
+        f"engine throughput, k={k}, {count} instances, {workers} workers",
+        ["path", "total", "per solve", "speedup"],
+        [
+            ["cold solve()", f"{cold_s:.2f} s", f"{cold_s / count:.3f} s", "1.00x"],
+            [
+                "warm solve_many()",
+                f"{warm_s:.2f} s",
+                f"{warm_s / count:.3f} s",
+                f"{speedup:.2f}x",
+            ],
+        ],
+    )
+    (_REPO_ROOT / "BENCH_THROUGHPUT.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert speedup >= min_speedup, (
+        f"warm engine speedup {speedup:.2f}x below the {min_speedup:.2f}x floor"
+    )

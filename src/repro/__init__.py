@@ -16,7 +16,7 @@ Test-and-Treatment Procedures Using Parallel Computation* (Duke CS TR,
 
 Quickstart::
 
-    from repro import Action, TTProblem, solve_dp
+    from repro import Action, TTProblem, solve
 
     problem = TTProblem.build(
         weights=[3.0, 1.0, 2.0],
@@ -26,7 +26,7 @@ Quickstart::
             Action.treatment({1, 2}, cost=5.0, name="drugB"),
         ],
     )
-    result = solve_dp(problem)
+    result = solve(problem)
     print(result.optimal_cost)
     print(result.tree().render())
 """

@@ -11,6 +11,12 @@ Commands
     engine is selectable with ``--backend {auto,numpy,parallel,reference}``
     and ``--workers N`` (the multi-core shared-memory engine).
 
+``solve-batch``
+    Solve a stream of instances (one ``TTProblem`` JSON document per
+    line) on a single warm :class:`~repro.core.engine.SolverEngine` —
+    shared tables and worker pool amortized across the stream — writing
+    one JSON result per line in input order.
+
 ``workloads``
     List the available synthetic workload generators.
 
@@ -114,6 +120,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="apply optimum-preserving reductions first")
     p_solve.add_argument("--width", type=int, default=16, help="BVM word width")
     p_solve.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_batch = sub.add_parser(
+        "solve-batch",
+        help="solve a JSONL stream of instances on one warm engine",
+        description="Read one TTProblem JSON document per line, solve the "
+        "stream on a single warm SolverEngine (shared tables, persistent "
+        "worker pool, pipelined weight precompute), and write one JSON "
+        "result per line in input order.",
+    )
+    p_batch.add_argument(
+        "--in",
+        dest="infile",
+        default="-",
+        metavar="PATH",
+        help="input JSONL file ('-' = stdin, the default)",
+    )
+    p_batch.add_argument(
+        "--out",
+        dest="outfile",
+        default="-",
+        metavar="PATH",
+        help="output JSONL file ('-' = stdout, the default)",
+    )
+    p_batch.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "parallel"),
+        default="auto",
+        help="engine backend per instance (no reference oracle in batch mode)",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the engine's parallel path",
+    )
 
     sub.add_parser("workloads", help="list synthetic workload generators")
     sub.add_parser("figures", help="regenerate the paper's Figs. 3/4/6 patterns")
@@ -229,6 +270,54 @@ def _solve(args, out) -> int:
     return 0
 
 
+def _solve_batch(args, out) -> int:
+    """JSONL in, JSONL out, one warm engine for the whole stream."""
+    from .core import SolverEngine
+
+    def parse_line(number: int, line: str) -> TTProblem:
+        try:
+            return TTProblem.from_json(line)
+        except InvalidProblem:
+            raise
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise InvalidProblem(f"invalid problem on line {number}: {exc}") from exc
+
+    if args.infile == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.infile) as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise InvalidProblem(f"cannot read {args.infile!r}: {exc}") from exc
+    problems = [
+        parse_line(number, line)
+        for number, line in enumerate(lines, start=1)
+        if line.strip()
+    ]
+
+    with SolverEngine(workers=args.workers, backend=args.backend) as engine:
+        results = engine.solve_many(problems)
+
+    sink = out if args.outfile == "-" else open(args.outfile, "w")
+    try:
+        for problem, result in zip(problems, results):
+            payload = {
+                "problem": problem.name or "(unnamed)",
+                "k": problem.k,
+                "n_actions": problem.n_actions,
+                # inf is not valid JSON; an infeasible instance reports null.
+                "optimal_cost": result.optimal_cost if result.feasible else None,
+                "feasible": bool(result.feasible),
+                "sequential_ops": result.op_count,
+            }
+            print(json.dumps(payload), file=sink)
+    finally:
+        if sink is not out:
+            sink.close()
+    return 0
+
+
 def _workloads(out) -> int:
     for name in sorted(WORKLOADS):
         doc = (WORKLOADS[name].__doc__ or "").strip().splitlines()
@@ -328,6 +417,8 @@ def main(argv=None, out=None) -> int:
 def _dispatch(args, out) -> int:
     if args.command == "solve":
         return _solve(args, out)
+    if args.command == "solve-batch":
+        return _solve_batch(args, out)
     if args.command == "workloads":
         return _workloads(out)
     if args.command == "figures":

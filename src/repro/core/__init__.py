@@ -31,7 +31,20 @@ from .heuristics import (
     information_gain,
     treatment_only,
 )
-from .dispatch import BACKENDS, cached_subset_weights, resolve_backend, solve
+from .dispatch import (
+    BACKENDS,
+    cached_subset_weights,
+    resolve_backend,
+    solve,
+    weights_cache_nbytes,
+)
+from .engine import SolverEngine
+from .kernels import (
+    LayerArena,
+    LayerPlan,
+    layer_plan,
+    solve_layer_kernel_fused,
+)
 from .errors import (
     CheckpointMismatch,
     InvalidProblem,
@@ -107,9 +120,15 @@ __all__ = [
     "solve_dp_reference",
     "solve_dp_parallel",
     "solve_layer_kernel",
+    "solve_layer_kernel_fused",
+    "LayerArena",
+    "LayerPlan",
+    "layer_plan",
+    "SolverEngine",
     "default_workers",
     "PARALLEL_MIN_K",
     "cached_subset_weights",
+    "weights_cache_nbytes",
     "solve_dp_topdown",
     "solve_minimax",
     "TopDownResult",

@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass
 
 from .problem import Action, TTProblem
-from .sequential import solve_dp
+from .dispatch import solve
 from .tree import TTTree
 
 __all__ = [
@@ -111,7 +111,7 @@ def solve_binary_testing(btp: BinaryTestingProblem) -> tuple[float, TTTree]:
     """
     c_treat = safe_treatment_cost(btp)
     tt = to_tt_problem(btp, treatment_cost=c_treat)
-    result = solve_dp(tt)
+    result = solve(tt)
     if not result.feasible:
         raise ValueError("instance admits no identification procedure")
     ident_cost = result.optimal_cost - c_treat * btp.total_weight

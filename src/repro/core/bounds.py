@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 
 from .problem import TTProblem
-from .sequential import solve_dp
+from .dispatch import solve
 
 __all__ = [
     "treatment_floor",
@@ -102,7 +102,7 @@ def action_criticality(problem: TTProblem) -> list[ActionCriticality]:
     instance sizes.  Removing an action can never help (tested), so
     every regret is non-negative.
     """
-    base = solve_dp(problem).optimal_cost
+    base = solve(problem).optimal_cost
     out = []
     for i in range(problem.n_actions):
         remaining = [a for j, a in enumerate(problem.actions) if j != i]
@@ -113,7 +113,7 @@ def action_criticality(problem: TTProblem) -> list[ActionCriticality]:
             if not reduced.is_adequate():
                 without = math.inf
             else:
-                without = solve_dp(reduced).optimal_cost
+                without = solve(reduced).optimal_cost
         out.append(
             ActionCriticality(action_index=i, base_cost=base, cost_without=without)
         )

@@ -32,7 +32,9 @@ All backends honour the same determinism contract (see
 from __future__ import annotations
 
 import dataclasses
-from functools import lru_cache
+import os
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -42,27 +44,92 @@ from .problem import TTProblem
 from .sequential import DPResult, solve_dp, solve_dp_reference, subset_weights
 from .supervisor import ResiliencePolicy
 
-__all__ = ["solve", "resolve_backend", "cached_subset_weights", "BACKENDS"]
+__all__ = [
+    "solve",
+    "resolve_backend",
+    "cached_subset_weights",
+    "weights_cache_nbytes",
+    "BACKENDS",
+    "WEIGHTS_CACHE_ENV",
+    "DEFAULT_WEIGHTS_CACHE_BYTES",
+]
 
 BACKENDS = ("auto", "numpy", "parallel", "reference")
 
+# Byte budget for the subset-weights cache; override via the env var.
+# At k = 20 one vector is 8 MiB, so the default keeps roughly eight of
+# the largest instances (or hundreds of small ones).
+DEFAULT_WEIGHTS_CACHE_BYTES = 64 * 2**20
+WEIGHTS_CACHE_ENV = "REPRO_WEIGHTS_CACHE_BYTES"
 
-@lru_cache(maxsize=8)
-def _subset_weights_cached(problem: TTProblem) -> np.ndarray:
-    # Cache bounded: at k=20 one entry is an 8 MiB vector.  The array is
-    # shared between callers, so freeze it against accidental mutation.
-    p = subset_weights(problem)
-    p.setflags(write=False)
-    return p
+_WEIGHTS_LOCK = threading.Lock()
+_WEIGHTS_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+
+
+def _weights_budget() -> int:
+    """Cache budget in bytes, validated loudly (read per call: testable)."""
+    env = os.environ.get(WEIGHTS_CACHE_ENV, "").strip()
+    if not env:
+        return DEFAULT_WEIGHTS_CACHE_BYTES
+    try:
+        value = int(env)
+    except ValueError:
+        raise InvalidProblem(
+            f"{WEIGHTS_CACHE_ENV} must be a non-negative integer, got {env!r}"
+        ) from None
+    if value < 0:
+        raise InvalidProblem(f"{WEIGHTS_CACHE_ENV} must be >= 0, got {value}")
+    return value
+
+
+def weights_cache_nbytes() -> int:
+    """Bytes currently pinned by the subset-weights cache."""
+    with _WEIGHTS_LOCK:
+        return sum(arr.nbytes for arr in _WEIGHTS_CACHE.values())
+
+
+def _clear_weights_cache() -> None:
+    """Test hook: drop every cached weights vector."""
+    with _WEIGHTS_LOCK:
+        _WEIGHTS_CACHE.clear()
 
 
 def cached_subset_weights(problem: TTProblem) -> np.ndarray:
-    """Memoized :func:`subset_weights` (read-only view, keyed by problem).
+    """Memoized :func:`subset_weights` (read-only, keyed by the weights).
 
-    ``TTProblem`` is a frozen, hashable dataclass, so structurally equal
-    instances share one cached vector across repeated solves.
+    The key is ``problem.weights`` alone — the vector depends on nothing
+    else — so near-identical instances (e.g. the action-removal loop in
+    :mod:`repro.core.bounds`, which re-solves the same universe with one
+    action deleted) share a single cached vector.
+
+    The cache is LRU with a *byte* budget (``REPRO_WEIGHTS_CACHE_BYTES``,
+    default 64 MiB): entries are evicted oldest-first once the resident
+    vectors exceed the budget, and a vector larger than the whole budget
+    is returned uncached, so the cache can never pin more than the
+    budget plus nothing.
     """
-    return _subset_weights_cached(problem)
+    key = problem.weights
+    with _WEIGHTS_LOCK:
+        cached = _WEIGHTS_CACHE.get(key)
+        if cached is not None:
+            _WEIGHTS_CACHE.move_to_end(key)
+            return cached
+    p = subset_weights(problem)
+    p.setflags(write=False)
+    budget = _weights_budget()
+    if p.nbytes > budget:
+        return p
+    with _WEIGHTS_LOCK:
+        existing = _WEIGHTS_CACHE.get(key)
+        if existing is not None:  # raced another thread: keep one copy
+            _WEIGHTS_CACHE.move_to_end(key)
+            return existing
+        _WEIGHTS_CACHE[key] = p
+        total = sum(arr.nbytes for arr in _WEIGHTS_CACHE.values())
+        while total > budget and _WEIGHTS_CACHE:
+            _, evicted = _WEIGHTS_CACHE.popitem(last=False)
+            total -= evicted.nbytes
+    return p
 
 
 def resolve_backend(
@@ -91,6 +158,7 @@ def solve(
     *,
     policy: ResiliencePolicy | None = None,
     checkpoint: str | None = None,
+    engine=None,
 ) -> DPResult:
     """Solve a TT instance with the selected (or auto-selected) backend.
 
@@ -102,7 +170,16 @@ def solve(
     hash check) when the file already exists.  Both are ignored by the
     single-process backends, which have no failure domain: there is
     nothing to retry and nothing to leak.
+
+    ``engine`` — a warm :class:`~repro.core.engine.SolverEngine` — routes
+    the solve through the engine's amortized pool and tables (its own
+    backend/worker configuration wins over the arguments here).  The
+    engine path is bit-for-bit identical to a cold solve.  Checkpointed
+    or custom-policy solves carry per-solve failure-domain state the
+    warm engine cannot share, so they fall through to the cold path.
     """
+    if engine is not None and policy is None and checkpoint is None:
+        return engine.solve(problem)
     backend, eff_workers = resolve_backend(problem, backend, workers)
     if checkpoint is not None:
         policy = dataclasses.replace(

@@ -1,0 +1,298 @@
+"""Reusable solver engine: warm pools, shared tables, batched solves.
+
+``solve()`` (PR 1) and ``solve_dp_parallel`` (PR 2) are *one-shot*: every
+call forks a fresh worker pool, allocates fresh ``/dev/shm`` segments,
+and tears both down again — fine for a single solve, ruinous for the
+throughput regime the ROADMAP targets (streams of instances arriving
+faster than the pool spin-up cost).  :class:`SolverEngine` amortizes all
+of that per-``k`` state across solves:
+
+* the :class:`~repro.core.supervisor.SharedTables` segments and the
+  initialized worker pool (with its per-worker
+  :class:`~repro.core.kernels.LayerArena`) are created once and reused
+  for every solve of the same ``k``;
+* the per-problem statics (action subsets, costs, test mask — a few
+  hundred bytes) ride along with each shard task instead of the pool
+  initializer, so the pool never needs rebuilding between problems;
+* the supervisor survives across solves too
+  (:meth:`~repro.core.supervisor.Supervisor.rebind`), keeping its
+  fault-handling state machine warm while each solve gets its own
+  recovery log;
+* :meth:`SolverEngine.solve_many` pipelines the ``subset_weights``
+  precompute of the *next* instance against the in-flight solve on a
+  background thread (the butterfly accumulation is numpy work that
+  releases the GIL).
+
+Small instances (below the parallel threshold, or a one-worker engine)
+skip the pool entirely and run the fused single-process path with the
+engine's persistent scratch arena — still allocation-free and still
+bit-for-bit identical to a cold :func:`repro.core.solve`.
+
+The engine is a context manager; use it as one (or call :meth:`close`)
+so the shared segments and the pool are released deterministically.
+Checkpointed or custom-policy solves have per-solve failure-domain
+state that a warm engine cannot share — route those through the cold
+:func:`repro.core.solve` path (``solve(engine=...)`` does this
+automatically).
+"""
+
+from __future__ import annotations
+
+import functools
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from . import faults
+from . import parallel as _par
+from .dispatch import cached_subset_weights, resolve_backend
+from .errors import SolverError
+from .kernels import LayerArena, LayerPlan, layer_plan, solve_layer_kernel_fused
+from .parallel import MIN_SHARD, _init_worker, _mp_context, _shard_bounds
+from .problem import TTProblem
+from .sequential import INF, DPResult, solve_dp
+from .supervisor import RecoveryLog, ResiliencePolicy, SharedTables, Supervisor
+
+__all__ = ["SolverEngine"]
+
+
+def _engine_shard(subsets, costs, is_test, task):
+    """Worker-side shard entry for engine pools.
+
+    Identical to :func:`repro.core.parallel._solve_shard` except the
+    per-problem statics arrive *with the task* (bound via
+    ``functools.partial`` in the parent) rather than from the pool
+    initializer — the pool outlives any one problem.  Signal masking and
+    fault injection follow the one-shot path exactly.
+    """
+    lo, hi, layer_idx, shard_idx, attempt = task
+    faults.inject(layer_idx, shard_idx, attempt)
+    blockable = {signal.SIGTERM, signal.SIGINT}
+    old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
+    try:
+        done = _par._shard_compute(
+            _par._WORKER,
+            lo,
+            hi,
+            np.asarray(subsets, dtype=np.int64),
+            np.asarray(costs, dtype=np.float64),
+            np.asarray(is_test, dtype=bool),
+        )
+        return shard_idx, done
+    finally:
+        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
+
+
+class SolverEngine:
+    """Warm, reusable DP solver for streams of TT instances.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the parallel path (default:
+        :func:`~repro.core.parallel.default_workers`).  ``1`` keeps every
+        solve single-process (arena reuse only).
+    backend:
+        ``"auto"`` (default), ``"numpy"`` or ``"parallel"`` — resolved
+        per instance exactly like :func:`repro.core.solve`.
+    policy:
+        :class:`~repro.core.supervisor.ResiliencePolicy` for the warm
+        pool's fault handling.  Checkpointing is not supported on the
+        warm path (``policy.checkpoint`` must be ``None``).
+    min_shard:
+        Minimum masks per worker shard (see :mod:`repro.core.parallel`).
+
+    Results are bit-for-bit identical to the cold paths: the engine runs
+    the same fused kernel, the same sharding and the same supervisor
+    machinery — only the *lifetime* of the pool and tables differs.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        backend: str = "auto",
+        policy: ResiliencePolicy | None = None,
+        min_shard: int = MIN_SHARD,
+    ):
+        if policy is not None and policy.checkpoint is not None:
+            raise SolverError(
+                "SolverEngine does not support checkpointing; use "
+                "repro.core.solve(checkpoint=...) for resumable solves"
+            )
+        self.workers = workers if workers is not None else _par.default_workers()
+        self.backend = backend
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.min_shard = min_shard
+        self.solves = 0
+        self._closed = False
+        self._arena = LayerArena()
+        self._k: int | None = None
+        self._plan: LayerPlan | None = None
+        self._tables: SharedTables | None = None
+        self._supervisor: Supervisor | None = None
+        self._pool_factory = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "SolverEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the pool and the shared segments (idempotent)."""
+        self._closed = True
+        self._teardown()
+
+    def _teardown(self) -> None:
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.shutdown()
+        tables, self._tables = self._tables, None
+        if tables is not None:
+            tables.close()
+        self._k = None
+        self._plan = None
+        self._pool_factory = None
+
+    def _ensure_tables(self, k: int) -> None:
+        """(Re)build the per-``k`` shared state; a ``k`` switch tears down."""
+        if self._k == k:
+            return
+        self._teardown()
+        n_sub = 1 << k
+        self._plan = layer_plan(k)
+        tables = SharedTables(n_sub)
+        tables.order[:] = self._plan.order
+        shm_names = dict(tables.names)
+        workers = self.workers
+
+        def pool_factory():
+            # Statics ship with each task (see _engine_shard), so the
+            # initializer only maps the shared tables.
+            return _mp_context().Pool(
+                workers,
+                initializer=_init_worker,
+                initargs=(shm_names, n_sub, None, None, None),
+            )
+
+        self._tables = tables
+        self._pool_factory = pool_factory
+        self._k = k
+
+    # -- solving -------------------------------------------------------
+
+    def solve(self, problem: TTProblem, *, p: np.ndarray | None = None) -> DPResult:
+        """Solve one instance on the warm engine.
+
+        ``p`` may carry precomputed :func:`~repro.core.sequential.subset_weights`
+        (this is how :meth:`solve_many` hands over the pipelined vector).
+        """
+        if self._closed:
+            raise SolverError("SolverEngine is closed")
+        backend, eff_workers = resolve_backend(problem, self.backend, self.workers)
+        if p is None:
+            p = cached_subset_weights(problem)
+        if backend == "reference":
+            raise SolverError("SolverEngine has no reference backend")
+        if backend != "parallel":
+            result = solve_dp(problem, p=p, arena=self._arena)
+        else:
+            result = self._solve_parallel(problem, p, eff_workers)
+        self.solves += 1
+        return result
+
+    def _solve_parallel(self, problem: TTProblem, p: np.ndarray, workers: int) -> DPResult:
+        k, n_act = problem.k, problem.n_actions
+        n_sub = 1 << k
+        # Validate any fault spec in the parent, like the one-shot path.
+        faults.env_fault_spec()
+        self._ensure_tables(k)
+        tables, plan, arena = self._tables, self._plan, self._arena
+
+        log = RecoveryLog()
+        cost, best = tables.cost, tables.best
+        cost[:] = INF
+        cost[0] = 0.0
+        best[:] = -1
+        tables.p[:] = p
+
+        subsets = problem.subset_array
+        costs = problem.cost_array
+        is_test = problem.test_mask_array
+        task = functools.partial(_engine_shard, subsets, costs, is_test)
+
+        if self._supervisor is not None and self._supervisor.degraded:
+            # A previous solve lost its pool; give the next one a fresh
+            # chance instead of pinning the whole engine in-process.
+            self._supervisor.shutdown()
+            self._supervisor = None
+            log.event("revive")
+        if self._supervisor is None:
+            self._supervisor = Supervisor(self.policy, self._pool_factory, task, log)
+        supervisor = self._supervisor
+        supervisor.rebind(task, log)
+
+        order, starts = plan.order, plan.starts
+
+        def solve_in_parent(lo: int, hi: int) -> int:
+            layer = order[lo:hi]
+            local = arena.table(n_sub)
+            np.copyto(local, cost)
+            local[layer] = INF
+            layer_best, layer_arg = solve_layer_kernel_fused(
+                layer, p[layer], local, subsets, costs, is_test, arena=arena
+            )
+            cost[layer] = layer_best
+            best[layer] = layer_arg
+            return hi - lo
+
+        for j in range(1, k + 1):
+            t0 = time.monotonic()
+            lo, hi = int(starts[j]), int(starts[j + 1])
+            shards = _shard_bounds(lo, hi, workers, self.min_shard)
+            if workers == 1 or len(shards) == 1 or supervisor.degraded:
+                done = solve_in_parent(lo, hi)
+                mode = "degraded" if supervisor.degraded else "parent"
+            else:
+                done = supervisor.run_layer(j, shards, solve_in_parent)
+                mode = "pool"
+            if done != hi - lo:
+                raise SolverError(
+                    f"layer {j} incomplete: {done} of {hi - lo} masks solved"
+                )
+            log.layer(j, time.monotonic() - t0, len(shards), mode)
+
+        return DPResult(
+            problem=problem,
+            cost=cost.copy(),
+            best_action=best.copy(),
+            op_count=(n_sub - 1) * n_act,
+            recovery=log.as_dict(),
+        )
+
+    def solve_many(self, problems) -> list[DPResult]:
+        """Solve a stream of instances, pipelining the weight precompute.
+
+        While instance ``i`` runs (mostly C-level kernel and pool work),
+        a single background thread computes ``subset_weights`` for
+        instance ``i + 1`` — the butterfly accumulation is pure numpy
+        and overlaps cleanly.  Results are returned in input order and
+        are bit-for-bit what per-instance :meth:`solve` calls produce.
+        """
+        problems = list(problems)
+        results: list[DPResult] = []
+        if not problems:
+            return results
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pending = None
+            for idx, problem in enumerate(problems):
+                p = pending.result() if pending is not None else cached_subset_weights(problem)
+                if idx + 1 < len(problems):
+                    pending = pool.submit(cached_subset_weights, problems[idx + 1])
+                results.append(self.solve(problem, p=p))
+        return results

@@ -1,0 +1,431 @@
+"""Fused, allocation-free layer kernels and the cached layer partition.
+
+The hot loop of every host backend is ``solve_layer_kernel`` in
+:mod:`repro.core.sequential`: for each action it materializes ~8
+full-layer temporaries (two bitwise intersections, a scaled weight
+vector, two table gathers, a validity mask and two ``np.where`` copies),
+so a ``k = 18, N = 32`` solve allocates and immediately discards several
+hundred MiB — most of it going through ``mmap``/``munmap`` because the
+middle layers are far past glibc's malloc threshold.  The kernel here,
+:func:`solve_layer_kernel_fused`, removes every per-action allocation:
+
+* all scratch lives in a :class:`LayerArena` of preallocated buffers
+  that are reused across actions, tiles, layers and solves;
+* every elementwise op writes ``out=`` into the arena
+  (``np.bitwise_and``, ``np.multiply``, in-place ``np.add`` for the
+  gathered table values, ``cost.take(..., out=)`` for the gathers);
+* mask scratch is ``int32`` (masks fit for every supported ``k``),
+  which halves the bitwise traffic and costs nothing on the gathers;
+* the running argmin is updated *branch-free*: ``np.minimum`` for the
+  value, and for the action index an ``int32`` max-blend
+  (``arg = max(arg, (i + 1) * better)``, decoded by a single ``- 1``
+  pass at the end) — valid because the winning action is the *last*
+  improving one and ``i`` only ascends, so the running max of
+  improving ``i + 1`` is exactly the argmin.  Masked copies
+  (``np.copyto(..., where=)``) cost up to 7x more when the
+  improvement mask is dense, which it always is for the first few
+  actions of a layer scan; the blend is memory-bound so the narrow
+  dtype halves its cost (the scatter into the ``int64`` result table
+  casts for free);
+* the explicit validity masks of the legacy kernel are *dropped
+  entirely* — see "table-state invariant" below;
+* the subset axis is optionally *tiled* so one tile's working set
+  stays L2-resident across the whole action scan instead of streaming
+  each full layer N times.
+
+Table-state invariant
+---------------------
+
+The fused kernel requires what every in-tree caller already guarantees:
+when a layer is evaluated, ``cost[S] == INF`` for every mask ``S`` *in*
+that layer (the layer's results are scattered into the table only after
+the kernel returns — true in ``solve_dp``, in every multiprocess shard,
+and in checkpoint resume).  That makes the legacy validity masks
+redundant: an invalid candidate has ``inter == 0`` or ``rest == 0``,
+and since ``inter | rest == S`` (disjointly), the *other* operand is
+then ``S`` itself — so the gather reads ``cost[S] == INF`` and the
+candidate's value is already ``INF``, exactly what the legacy kernel's
+``np.where(invalid, INF, value)`` produced.  (``cost[0] == 0`` never
+leaks in: whenever a zero index is gathered, the companion gather hits
+``cost[S] == INF`` and the sum is ``INF``.)  Dropping the masks removes
+two to three full array passes per action.
+
+Bit-for-bit contract
+--------------------
+
+The fused kernel is a drop-in replacement for ``solve_layer_kernel``
+inside :func:`~repro.core.sequential.solve_dp`, the multiprocess shards
+and the supervised fallback paths, so it must preserve the determinism
+contract of :mod:`repro.core.sequential` *exactly*:
+
+* candidates are scanned in action-index order and only a strictly
+  smaller value (``<``) replaces the incumbent — the masked
+  ``np.copyto`` writes exactly the lanes where ``value < best`` held
+  *before* the update, which is the same lowest-index tie-break;
+* the float evaluation order is ``((c_i * p) + C(inter)) + C(rest)``:
+  the in-place adds run left to right, which is the same association;
+* invalid candidates evaluate to exactly ``INF`` (table-state
+  invariant above), and ``INF < best`` is always false — the same
+  reject set as the legacy kernel's explicit masks.
+
+The gathers use ``cost.take(idx, mode="wrap")``: the table has exactly
+``2^k`` entries and every index is a mask below ``2^k``, so wrap is an
+identity that merely skips per-element bounds checks (the cheap
+``layer.max()`` guard at entry keeps a short table from silently
+wrapping).  Tiling partitions the subset axis only; each subset's
+argmin is computed independently, so the tile size can never change a
+result.
+
+:class:`LayerPlan` is the other half of the fix: ``solve_dp`` and
+``solve_dp_parallel`` used to recompute the popcount layer partition
+(``popcount_array`` plus a stable argsort over all ``2^k`` masks) on
+every call.  The plan — popcount-sorted mask order plus layer start
+offsets — is computed once per ``k`` and cached, shared by the
+sequential path, the parallel engine, checkpoint resume and the
+:class:`~repro.core.engine.SolverEngine`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from ..util.bitops import popcount_array
+from .errors import InvalidProblem
+
+__all__ = [
+    "LayerPlan",
+    "layer_plan",
+    "LayerArena",
+    "solve_layer_kernel_fused",
+    "DEFAULT_TILE",
+    "TILE_ENV",
+]
+
+INF = np.inf
+
+# Subsets per tile.  A tile touches seven scratch rows (2 x float64,
+# 4 x int32, 1 x bool) plus the best/arg output slices;
+# 16384 keeps the
+# streamed working set around half a MiB — L2-resident — which measured
+# fastest on the k = 18 reference sweep (the gathers into the 2 MiB cost
+# table are latency-bound either way, so larger tiles only dilute the
+# fixed per-tile ufunc dispatch cost).
+DEFAULT_TILE = 16384
+
+# Override the tile size; "0" disables tiling (whole layer per pass).
+TILE_ENV = "REPRO_KERNEL_TILE"
+
+
+def _env_tile() -> int:
+    """Tile size from the environment, validated loudly."""
+    env = os.environ.get(TILE_ENV, "").strip()
+    if not env:
+        return DEFAULT_TILE
+    try:
+        value = int(env)
+    except ValueError:
+        raise InvalidProblem(
+            f"{TILE_ENV} must be a non-negative integer, got {env!r}"
+        ) from None
+    if value < 0:
+        raise InvalidProblem(f"{TILE_ENV} must be >= 0, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Cached layer partition
+# ----------------------------------------------------------------------
+
+
+class LayerPlan:
+    """Popcount partition of all ``2^k`` masks, computed once per ``k``.
+
+    ``order`` holds every mask sorted stably by popcount (so masks are
+    ascending inside each layer — the same order the legacy boolean-mask
+    selection produced), and ``starts[j] : starts[j+1]`` brackets layer
+    ``j``.  Both arrays are frozen: they are shared by every solve of
+    the same ``k``, including the multiprocess engine (which copies
+    ``order`` into shared memory once) and checkpoint resume (which
+    restarts at ``starts[completed + 1]``).
+    """
+
+    __slots__ = ("k", "order", "starts")
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise InvalidProblem(f"layer plan needs k >= 0, got {k}")
+        n_sub = 1 << k
+        masks = np.arange(n_sub, dtype=np.int64)
+        layer_of = popcount_array(masks, k)
+        order = np.argsort(layer_of, kind="stable").astype(np.int64)
+        starts = np.searchsorted(layer_of[order], np.arange(k + 2)).astype(np.int64)
+        order.setflags(write=False)
+        starts.setflags(write=False)
+        self.k = k
+        self.order = order
+        self.starts = starts
+
+    def bounds(self, j: int) -> tuple[int, int]:
+        """``(lo, hi)`` such that ``order[lo:hi]`` is layer ``j``."""
+        return int(self.starts[j]), int(self.starts[j + 1])
+
+    def layer(self, j: int) -> np.ndarray:
+        """The masks of popcount layer ``j`` (read-only view, ascending)."""
+        lo, hi = self.bounds(j)
+        return self.order[lo:hi]
+
+    @property
+    def max_layer_size(self) -> int:
+        """Size of the largest layer — what a :class:`LayerArena` must hold."""
+        return int(np.max(np.diff(self.starts)))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.order.nbytes + self.starts.nbytes)
+
+
+_PLAN_LOCK = threading.Lock()
+_PLAN_CACHE: dict[int, LayerPlan] = {}
+
+# A plan is 8 bytes per mask; 8 cached k's at k <= 20 is at most ~64 MiB
+# and in practice a handful of small ones.  Plans for distinct k are
+# evicted least-recently-inserted beyond this bound.
+_PLAN_CACHE_MAX = 8
+
+
+def layer_plan(k: int) -> LayerPlan:
+    """The cached :class:`LayerPlan` for universe size ``k``.
+
+    Thread-safe; every caller of the same ``k`` shares one frozen plan,
+    so the ``popcount + argsort`` over ``2^k`` masks is paid once per
+    process instead of once per solve.
+    """
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(k)
+        if plan is None:
+            plan = LayerPlan(k)
+            _PLAN_CACHE[k] = plan
+            while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        return plan
+
+
+def _clear_plan_cache() -> None:
+    """Test hook: drop every cached plan."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Scratch arena
+# ----------------------------------------------------------------------
+
+
+class LayerArena:
+    """Preallocated scratch buffers for :func:`solve_layer_kernel_fused`.
+
+    One arena per thread of execution (the kernel mutates every buffer):
+    the sequential solver keeps one per solve-or-engine, each pool worker
+    keeps a process-global one.  Buffers grow monotonically to the
+    largest request and are reused forever after, so a warm arena makes
+    the kernel allocation-free.
+
+    Two pools are kept: *output* buffers sized to the full layer (the
+    running ``best``/``arg``), and *scratch* rows sized to one tile.
+    """
+
+    __slots__ = (
+        "_out_cap",
+        "_scratch_cap",
+        "_table_cap",
+        "best",
+        "arg",
+        "masks32",
+        "inter",
+        "rest",
+        "value",
+        "gather",
+        "better",
+        "argdelta",
+        "_table",
+    )
+
+    def __init__(self) -> None:
+        self._out_cap = 0
+        self._scratch_cap = 0
+        self._table_cap = 0
+        # Zero-capacity buffers so zero-length requests (empty layers,
+        # k = 0 tables) return valid empty views without special-casing.
+        self.best = np.empty(0, dtype=np.float64)
+        self.arg = np.empty(0, dtype=np.int32)
+        self.masks32 = np.empty(0, dtype=np.int32)
+        self.inter = np.empty(0, dtype=np.int32)
+        self.rest = np.empty(0, dtype=np.int32)
+        self.value = np.empty(0, dtype=np.float64)
+        self.gather = np.empty(0, dtype=np.float64)
+        self.better = np.empty(0, dtype=bool)
+        self.argdelta = np.empty(0, dtype=np.int32)
+        self._table = np.empty(0, dtype=np.float64)
+
+    def out(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the ``best`` (float64) / ``arg`` (int32) output
+        buffers, length ``n``.  ``arg`` is int32 on purpose: action
+        indices are tiny, the branch-free blend that updates it is
+        memory-bound, and scattering into the int64 result table
+        upcasts for free."""
+        if n > self._out_cap:
+            self.best = np.empty(n, dtype=np.float64)
+            self.arg = np.empty(n, dtype=np.int32)
+            self._out_cap = n
+        return self.best[:n], self.arg[:n]
+
+    def scratch(self, n: int) -> tuple[np.ndarray, ...]:
+        """Views of the seven per-tile scratch rows, length ``n``."""
+        if n > self._scratch_cap:
+            self.masks32 = np.empty(n, dtype=np.int32)
+            self.inter = np.empty(n, dtype=np.int32)
+            self.rest = np.empty(n, dtype=np.int32)
+            self.value = np.empty(n, dtype=np.float64)
+            self.gather = np.empty(n, dtype=np.float64)
+            self.better = np.empty(n, dtype=bool)
+            self.argdelta = np.empty(n, dtype=np.int32)
+            self._scratch_cap = n
+        return (
+            self.masks32[:n],
+            self.inter[:n],
+            self.rest[:n],
+            self.value[:n],
+            self.gather[:n],
+            self.better[:n],
+            self.argdelta[:n],
+        )
+
+    def table(self, n: int) -> np.ndarray:
+        """A full-size private cost-table buffer, length ``n``.
+
+        Used by the multiprocess shards to snapshot the shared ``C``
+        table before computing: a *replayed* shard (or one racing a
+        stale duplicate) can observe its own slice half-scattered by a
+        previous attempt, which would violate the table-state invariant
+        the fused kernel relies on.  Copying into this buffer and
+        re-``INF``-ing the shard's own slice restores the invariant
+        deterministically, whatever a concurrent duplicate writes.
+        """
+        if n > self._table_cap:
+            self._table = np.empty(n, dtype=np.float64)
+            self._table_cap = n
+        return self._table[:n]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held (capacity, not live use)."""
+        return (
+            self._out_cap * (8 + 4)
+            + self._scratch_cap * (4 + 4 + 4 + 8 + 8 + 1 + 4)
+            + self._table_cap * 8
+        )
+
+
+# ----------------------------------------------------------------------
+# The fused kernel
+# ----------------------------------------------------------------------
+
+
+def solve_layer_kernel_fused(
+    layer: np.ndarray,
+    p_layer: np.ndarray,
+    cost: np.ndarray,
+    subsets: np.ndarray,
+    costs: np.ndarray,
+    is_test: np.ndarray,
+    *,
+    arena: LayerArena | None = None,
+    tile: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allocation-free, tiled evaluation of one popcount layer.
+
+    Drop-in replacement for
+    :func:`repro.core.sequential.solve_layer_kernel` — same arguments,
+    same ``(layer_cost, layer_arg)`` result, bit-for-bit — *provided*
+    the table-state invariant holds: ``cost[S] == INF`` for every ``S``
+    in ``layer`` (see the module docstring; true for every caller that
+    scatters a layer's results only after evaluating it).
+
+    ``arena`` supplies the scratch buffers; omit it for a private
+    throwaway arena (correct, but the allocation savings then only apply
+    within this one call).  ``tile`` bounds how many subsets one pass
+    over the actions touches (``0`` disables tiling; default
+    :data:`DEFAULT_TILE`, overridable via ``REPRO_KERNEL_TILE``).
+
+    The returned arrays are *views into the arena*: valid until the next
+    kernel call on the same arena, so scatter them into the cost table
+    (or copy) before reusing it.  Every caller in this package scatters
+    immediately.
+    """
+    n = layer.size
+    if arena is None:
+        arena = LayerArena()
+    if tile is None:
+        tile = _env_tile()
+    best, arg = arena.out(n)
+    best.fill(INF)
+    n_act = len(costs)
+    if n == 0 or n_act == 0:
+        arg.fill(-1)
+        return best, arg
+    if int(layer.max()) >= cost.size:
+        raise InvalidProblem(
+            f"cost table has {cost.size} entries but the layer holds mask "
+            f"{int(layer.max())} — the table must cover all 2^k subsets"
+        )
+    # arg runs in the +1 encoding (0 = no action) so the per-action
+    # update can be a running max; decoded by the single -1 pass below.
+    arg.fill(0)
+
+    step = n if tile <= 0 else min(tile, n)
+    masks32, inter, rest, value, gather, better, argdelta = arena.scratch(step)
+    take = cost.take
+
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        m = hi - lo
+        lay = masks32[:m]
+        np.copyto(lay, layer[lo:hi])
+        p_t = p_layer[lo:hi]
+        b_t = best[lo:hi]
+        a_t = arg[lo:hi]
+        it = inter[:m]
+        rs = rest[:m]
+        val = value[:m]
+        gat = gather[:m]
+        bet = better[:m]
+        adel = argdelta[:m]
+        for i in range(n_act):
+            t = int(subsets[i])
+            np.bitwise_and(lay, ~t, out=rs)
+            # ((c_i * p) + C(inter)) + C(rest): in-place adds keep the
+            # association of the determinism contract.
+            np.multiply(p_t, costs[i], out=val)
+            if is_test[i]:
+                np.bitwise_and(lay, t, out=it)
+                np.add(val, take(it, out=gat, mode="wrap"), out=val)
+            np.add(val, take(rs, out=gat, mode="wrap"), out=val)
+            # Strict <: invalid candidates hold exactly INF (table-state
+            # invariant) and can never be strictly below the incumbent,
+            # so this is the same accept set — and the same lowest-index
+            # tie-break — as the legacy masked update.  The update itself
+            # is branch-free and density-independent: np.minimum keeps
+            # the incumbent's bits on a tie (all values are >= +0.0, so
+            # the -0.0 != +0.0 corner cannot arise), and the arg
+            # max-blend is exact in int32 — the winner is the last
+            # improving action, and i only ascends, so the running max
+            # of improving i + 1 is the argmin in the +1 encoding.
+            np.less(val, b_t, out=bet)
+            np.minimum(b_t, val, out=b_t)
+            np.multiply(bet, np.int32(i + 1), out=adel)
+            np.maximum(a_t, adel, out=a_t)
+    np.subtract(arg, 1, out=arg)
+    return best, arg

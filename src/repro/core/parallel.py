@@ -33,11 +33,16 @@ is a pure function of the completed layers writing a slice nothing else
 touches, which is what makes replaying one (even a half-written or
 duplicated one) provably safe — see the failure model in DESIGN.md.
 
-Same-layer reads cannot race: a gather index in the *current* layer only
-occurs for candidates the kernel marks invalid (``inter == 0`` implies
-``rest == S`` and vice versa), and those lanes are overwritten with
-``INF`` before the argmin — whatever bytes were read never influence the
-result.
+Same-layer reads cannot race across shards: a gather index in the
+*current* layer is only ever the subset's own mask ``S`` (``inter == 0``
+implies ``rest == S`` and vice versa), which lives in the gathering
+shard's own slice — never in another shard's.  The fused kernel resolves
+those self-reads through the table-state invariant (``cost[S] == INF``
+while ``S``'s layer is being computed), so each shard snapshots the
+shared table into a private arena buffer and re-``INF``'s its own slice
+before computing: a *replayed* shard — even one whose predecessor died
+mid-scatter, even racing a stale duplicate — then sees exactly the
+table state a first attempt would, and writes the exact same bytes.
 """
 
 from __future__ import annotations
@@ -50,11 +55,11 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..util.bitops import popcount_array
 from . import faults
 from .errors import InvalidProblem, SolverError
+from .kernels import LayerArena, layer_plan, solve_layer_kernel_fused
 from .problem import TTProblem
-from .sequential import INF, DPResult, solve_layer_kernel, subset_weights
+from .sequential import INF, DPResult, subset_weights
 from .supervisor import (
     RecoveryLog,
     ResiliencePolicy,
@@ -128,7 +133,12 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def _init_worker(shm_names, n_sub, subsets, costs, is_test):
-    """Pool initializer: map the shared tables and stash static arrays."""
+    """Pool initializer: map the shared tables and stash static arrays.
+
+    ``subsets``/``costs``/``is_test`` may be ``None`` — the engine's warm
+    pools outlive any one problem, so they ship the per-problem statics
+    with each task instead (see :mod:`repro.core.engine`).
+    """
     global _WORKER
     blocks = {key: _attach(name) for key, name in shm_names.items()}
     _WORKER = {
@@ -137,10 +147,33 @@ def _init_worker(shm_names, n_sub, subsets, costs, is_test):
         "best": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf),
         "p": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf),
         "order": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf),
-        "subsets": np.asarray(subsets, dtype=np.int64),
-        "costs": np.asarray(costs, dtype=np.float64),
-        "is_test": np.asarray(is_test, dtype=bool),
+        "subsets": None if subsets is None else np.asarray(subsets, dtype=np.int64),
+        "costs": None if costs is None else np.asarray(costs, dtype=np.float64),
+        "is_test": None if is_test is None else np.asarray(is_test, dtype=bool),
+        "arena": LayerArena(),
     }
+
+
+def _shard_compute(w, lo, hi, subsets, costs, is_test):
+    """Fused-kernel shard body over the worker's mapped tables.
+
+    Snapshots the shared ``C`` table into the worker's private arena and
+    re-``INF``'s the shard's own slice first — see the module docstring:
+    this is what keeps replayed shards (and stale duplicates) writing
+    bit-identical bytes now that the kernel has no explicit validity
+    masks.
+    """
+    arena = w["arena"]
+    layer = w["order"][lo:hi]
+    local = arena.table(w["cost"].size)
+    np.copyto(local, w["cost"])
+    local[layer] = INF
+    layer_best, layer_arg = solve_layer_kernel_fused(
+        layer, w["p"][layer], local, subsets, costs, is_test, arena=arena
+    )
+    w["cost"][layer] = layer_best
+    w["best"][layer] = layer_arg
+    return hi - lo
 
 
 def _solve_shard(task: tuple[int, int, int, int, int]) -> tuple[int, int]:
@@ -172,13 +205,8 @@ def _solve_shard(task: tuple[int, int, int, int, int]) -> tuple[int, int]:
     old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
     try:
         w = _WORKER
-        layer = w["order"][lo:hi]
-        layer_best, layer_arg = solve_layer_kernel(
-            layer, w["p"][layer], w["cost"], w["subsets"], w["costs"], w["is_test"]
-        )
-        w["cost"][layer] = layer_best
-        w["best"][layer] = layer_arg
-        return shard_idx, hi - lo
+        done = _shard_compute(w, lo, hi, w["subsets"], w["costs"], w["is_test"])
+        return shard_idx, done
     finally:
         signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
 
@@ -263,11 +291,12 @@ def solve_dp_parallel(
                         best_action=np.array([-1], dtype=np.int64), op_count=0,
                         recovery=log.as_dict())
 
-    masks = np.arange(n_sub, dtype=np.int64)
-    layer_of = popcount_array(masks, k)
-    # Stable sort => masks ascending inside each layer, layer 0 first.
-    order = np.argsort(layer_of, kind="stable").astype(np.int64)
-    layer_starts = np.searchsorted(layer_of[order], np.arange(k + 2))
+    # Shared per-k popcount partition (masks ascending inside each layer,
+    # layer 0 first) — computed once per process, not once per solve.
+    plan = layer_plan(k)
+    order = plan.order
+    layer_starts = plan.starts
+    arena = LayerArena()
 
     subsets = problem.subset_array
     costs = problem.cost_array
@@ -304,10 +333,18 @@ def solve_dp_parallel(
                 )
 
             def solve_in_parent(lo: int, hi: int) -> int:
-                """The degraded/fallback path: same kernel, same bytes."""
+                """The degraded/fallback path: same kernel, same bytes.
+
+                Uses the same private-snapshot discipline as the worker
+                shards — a fallback can run while a stale duplicate of
+                the same shard is still finishing in a wedged worker.
+                """
                 layer = order[lo:hi]
-                layer_best, layer_arg = solve_layer_kernel(
-                    layer, p[layer], cost, subsets, costs, is_test
+                local = arena.table(n_sub)
+                np.copyto(local, cost)
+                local[layer] = INF
+                layer_best, layer_arg = solve_layer_kernel_fused(
+                    layer, p[layer], local, subsets, costs, is_test, arena=arena
                 )
                 cost[layer] = layer_best
                 best[layer] = layer_arg

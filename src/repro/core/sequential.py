@@ -44,7 +44,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..util.bitops import popcount_array, subsets_of_size
+from ..util.bitops import subsets_of_size
+from .kernels import LayerArena, layer_plan, solve_layer_kernel_fused
 from .problem import TTProblem
 from .tree import TTNode, TTTree
 
@@ -157,10 +158,14 @@ def solve_layer_kernel(
     with a *valid* candidate lands in an already-completed smaller layer.
     Returns ``(layer_cost, layer_arg)`` for exactly those masks.
 
-    This is the single source of truth for the per-subset argmin: every
-    backend (sequential, multiprocess shards) funnels through it, so the
-    tie-break rule (lowest action index wins) and the float evaluation
-    order ``((c_i * p) + C(inter)) + C(rest)`` are identical everywhere.
+    This is the *reference* kernel: a straight-line rendition of the
+    per-subset argmin whose tie-break rule (lowest action index wins)
+    and float evaluation order ``((c_i * p) + C(inter)) + C(rest)``
+    define the determinism contract.  The production backends run
+    :func:`repro.core.kernels.solve_layer_kernel_fused`, which is held
+    bit-for-bit to this kernel by the differential test suite; this one
+    is kept as the oracle and as the baseline the kernel benchmarks
+    compare against.
     """
     layer_best = np.full(layer.size, INF, dtype=np.float64)
     layer_arg = np.full(layer.size, -1, dtype=np.int64)
@@ -182,14 +187,23 @@ def solve_layer_kernel(
     return layer_best, layer_arg
 
 
-def solve_dp(problem: TTProblem, *, p: np.ndarray | None = None) -> DPResult:
+def solve_dp(
+    problem: TTProblem,
+    *,
+    p: np.ndarray | None = None,
+    arena: LayerArena | None = None,
+) -> DPResult:
     """Vectorized backward-induction solve of the TT recurrence.
 
-    Processes subsets one popcount layer at a time; inside a layer every
-    ``(S, i)`` pair is evaluated with array gathers, so the Python-level
-    loop count is only ``k * N``.  Pass a precomputed ``p`` (from
-    :func:`subset_weights`) to skip recomputing it, e.g. when solving the
-    same instance repeatedly.
+    Processes subsets one popcount layer at a time through the fused
+    zero-allocation kernel (:mod:`repro.core.kernels`); the popcount
+    partition comes from the per-``k`` :func:`~repro.core.kernels.layer_plan`
+    cache, so the Python-level loop count is only ``k * N`` and the only
+    per-call allocations are the output tables.  Pass a precomputed ``p``
+    (from :func:`subset_weights`) to skip recomputing it, and/or a warm
+    :class:`~repro.core.kernels.LayerArena` (e.g. from a
+    :class:`~repro.core.engine.SolverEngine`) to reuse kernel scratch
+    across solves.
     """
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
@@ -206,13 +220,16 @@ def solve_dp(problem: TTProblem, *, p: np.ndarray | None = None) -> DPResult:
     if k == 0:  # degenerate empty universe: nothing to diagnose
         return DPResult(problem=problem, cost=cost, best_action=best, op_count=0)
 
-    masks = np.arange(n_sub, dtype=np.int64)
-    layer_of = popcount_array(masks, k)
+    plan = layer_plan(k)
+    if arena is None:
+        arena = LayerArena()
 
     for j in range(1, k + 1):
-        layer = masks[layer_of == j]
-        layer_best, layer_arg = solve_layer_kernel(
-            layer, p[layer], cost, subsets, costs, is_test
+        layer = plan.layer(j)
+        # The kernel's table-state invariant holds by construction here:
+        # layer j's entries are still INF until the scatter below.
+        layer_best, layer_arg = solve_layer_kernel_fused(
+            layer, p[layer], cost, subsets, costs, is_test, arena=arena
         )
         cost[layer] = layer_best
         best[layer] = layer_arg

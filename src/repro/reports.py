@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import __version__
-from .core import HEURISTICS, WORKLOADS, random_instance, solve_dp
+from .core import HEURISTICS, WORKLOADS, random_instance, solve
 from .hypercube import (
     CCC,
     Hypercube,
@@ -63,7 +63,7 @@ def _section_agreement() -> str:
             Action.treatment({1, 2}, 4.0),
         ],
     )
-    dp = solve_dp(problem)
+    dp = solve(problem)
     rows = []
     for name, result in (
         ("sequential DP", dp),
@@ -150,7 +150,7 @@ def _section_heuristics() -> str:
     rows = []
     for name, make in sorted(WORKLOADS.items()):
         problem = make(6, seed=0)
-        opt = solve_dp(problem).optimal_cost
+        opt = solve(problem).optimal_cost
         cells = [name]
         for hname in sorted(HEURISTICS):
             cells.append(f"{HEURISTICS[hname](problem).expected_cost() / opt:.3f}")

@@ -123,9 +123,9 @@ def mark_policy_subsets(problem: TTProblem, machine: str = "hypercube") -> np.nd
 
 def policy_subsets_reference(problem: TTProblem) -> np.ndarray:
     """Host-side truth: the live sets of the extracted optimal tree."""
-    from ..core.sequential import solve_dp
+    from ..core.dispatch import solve
 
-    tree = solve_dp(problem).tree()
+    tree = solve(problem).tree()
     seen = np.zeros(1 << problem.k, dtype=bool)
     stack = [tree.root]
     while stack:

@@ -90,3 +90,75 @@ class TestMemoization:
     def test_cached_matches_fresh(self):
         problem = random_instance(6, 4, 3, seed=10)
         assert np.array_equal(cached_subset_weights(problem), subset_weights(problem))
+
+
+class TestWeightsCacheBudget:
+    """The cache must never pin more than its byte budget."""
+
+    def test_budget_bounds_resident_bytes(self, monkeypatch):
+        from repro.core.dispatch import (
+            WEIGHTS_CACHE_ENV,
+            _clear_weights_cache,
+            weights_cache_nbytes,
+        )
+
+        _clear_weights_cache()
+        k = 8
+        one_vector = (1 << k) * 8  # float64 per subset
+        monkeypatch.setenv(WEIGHTS_CACHE_ENV, str(3 * one_vector))
+        try:
+            for seed in range(10):
+                cached_subset_weights(random_instance(k, 3, 2, seed=seed))
+                assert weights_cache_nbytes() <= 3 * one_vector
+            # evicted oldest-first: the newest entries are the survivors
+            newest = random_instance(k, 3, 2, seed=9)
+            assert cached_subset_weights(newest) is cached_subset_weights(newest)
+        finally:
+            _clear_weights_cache()
+
+    def test_oversized_vector_not_cached(self, monkeypatch):
+        from repro.core.dispatch import (
+            WEIGHTS_CACHE_ENV,
+            _clear_weights_cache,
+            weights_cache_nbytes,
+        )
+
+        _clear_weights_cache()
+        monkeypatch.setenv(WEIGHTS_CACHE_ENV, "64")  # smaller than any k>=4 vector
+        try:
+            problem = random_instance(5, 3, 2, seed=0)
+            p = cached_subset_weights(problem)
+            assert np.array_equal(p, subset_weights(problem))
+            assert weights_cache_nbytes() == 0
+        finally:
+            _clear_weights_cache()
+
+    def test_invalid_budget_rejected(self, monkeypatch):
+        from repro.core.dispatch import WEIGHTS_CACHE_ENV
+        from repro.core.errors import InvalidProblem
+
+        monkeypatch.setenv(WEIGHTS_CACHE_ENV, "not-a-number")
+        with pytest.raises(InvalidProblem):
+            cached_subset_weights(random_instance(4, 3, 2, seed=0))
+
+    def test_lru_refresh_on_hit(self, monkeypatch):
+        from repro.core.dispatch import (
+            WEIGHTS_CACHE_ENV,
+            _clear_weights_cache,
+        )
+
+        _clear_weights_cache()
+        k = 6
+        one_vector = (1 << k) * 8
+        monkeypatch.setenv(WEIGHTS_CACHE_ENV, str(2 * one_vector))
+        try:
+            a = random_instance(k, 3, 2, seed=0)
+            b = random_instance(k, 3, 2, seed=1)
+            c = random_instance(k, 3, 2, seed=2)
+            va = cached_subset_weights(a)
+            cached_subset_weights(b)
+            assert cached_subset_weights(a) is va  # refreshes a
+            cached_subset_weights(c)  # evicts b, not a
+            assert cached_subset_weights(a) is va
+        finally:
+            _clear_weights_cache()

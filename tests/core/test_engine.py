@@ -1,0 +1,131 @@
+"""The warm :class:`~repro.core.engine.SolverEngine`.
+
+Amortization must never cost correctness: every warm result here is
+checked bit-for-bit against the cold paths (``solve_dp`` and the
+one-shot ``solve``), including the second and later solves on a warm
+pool — the case a leaked table or a stale arena would break.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverEngine, solve
+from repro.core.errors import SolverError
+from repro.core.generators import random_instance
+from repro.core.sequential import solve_dp
+from repro.core.supervisor import ResiliencePolicy
+
+
+def assert_same(cold, warm):
+    np.testing.assert_array_equal(cold.cost, warm.cost)
+    np.testing.assert_array_equal(cold.best_action, warm.best_action)
+    assert cold.op_count == warm.op_count
+
+
+class TestSequentialEngine:
+    def test_warm_reuse_bit_identical(self):
+        problems = [random_instance(4 + i % 3, 3, 2, seed=i) for i in range(5)]
+        with SolverEngine(workers=1) as engine:
+            for problem in problems:
+                assert_same(solve_dp(problem), engine.solve(problem))
+        assert engine.solves == len(problems)
+
+    def test_second_solve_of_same_problem(self):
+        problem = random_instance(5, 4, 3, seed=9)
+        cold = solve_dp(problem)
+        with SolverEngine(workers=1) as engine:
+            first = engine.solve(problem)
+            second = engine.solve(problem)
+        assert_same(cold, first)
+        assert_same(cold, second)
+
+    def test_solve_many_matches_individual(self):
+        problems = [random_instance(4, 3, 2, seed=i) for i in range(4)]
+        with SolverEngine(workers=1) as engine:
+            batch = engine.solve_many(problems)
+        for problem, warm in zip(problems, batch):
+            assert_same(solve_dp(problem), warm)
+
+    def test_solve_many_empty(self):
+        with SolverEngine(workers=1) as engine:
+            assert engine.solve_many([]) == []
+
+
+class TestParallelEngine:
+    def test_warm_pool_bit_identical(self):
+        problems = [random_instance(8, 4, 3, seed=i) for i in range(3)]
+        with SolverEngine(workers=2, backend="parallel") as engine:
+            for problem in problems:
+                assert_same(solve_dp(problem), engine.solve(problem))
+            # repeat on the warm pool: tables must be fully reset
+            assert_same(solve_dp(problems[0]), engine.solve(problems[0]))
+
+    def test_k_switch_rebuilds_tables(self):
+        with SolverEngine(workers=2, backend="parallel") as engine:
+            for k in (7, 8, 7):
+                problem = random_instance(k, 3, 2, seed=k)
+                assert_same(solve_dp(problem), engine.solve(problem))
+
+    def test_solve_many_pipelines(self):
+        problems = [random_instance(8, 4, 3, seed=10 + i) for i in range(3)]
+        with SolverEngine(workers=2, backend="parallel") as engine:
+            batch = engine.solve_many(problems)
+        for problem, warm in zip(problems, batch):
+            assert_same(solve_dp(problem), warm)
+
+    def test_recovery_log_attached(self):
+        problem = random_instance(8, 4, 3, seed=1)
+        with SolverEngine(workers=2, backend="parallel") as engine:
+            result = engine.solve(problem)
+        assert result.recovery is not None
+        assert len(result.recovery["layers"]) == problem.k
+
+
+class TestEngineLifecycle:
+    def test_closed_engine_rejects_solves(self):
+        engine = SolverEngine(workers=1)
+        engine.close()
+        with pytest.raises(SolverError):
+            engine.solve(random_instance(4, 3, 2, seed=0))
+
+    def test_close_is_idempotent(self):
+        engine = SolverEngine(workers=1)
+        engine.solve(random_instance(4, 3, 2, seed=0))
+        engine.close()
+        engine.close()
+
+    def test_checkpoint_policy_rejected(self, tmp_path):
+        policy = ResiliencePolicy(checkpoint=str(tmp_path / "solve.ckpt"))
+        with pytest.raises(SolverError):
+            SolverEngine(workers=1, policy=policy)
+
+    def test_reference_backend_rejected(self):
+        with SolverEngine(workers=1, backend="reference") as engine:
+            with pytest.raises(SolverError):
+                engine.solve(random_instance(3, 2, 2, seed=0))
+
+
+class TestDispatchIntegration:
+    def test_solve_routes_through_engine(self):
+        problem = random_instance(5, 3, 2, seed=4)
+        cold = solve(problem)
+        with SolverEngine(workers=1) as engine:
+            routed = solve(problem, engine=engine)
+        assert_same(cold, routed)
+        assert engine.solves == 1
+
+    def test_checkpoint_falls_through_to_cold_path(self, tmp_path):
+        # checkpoint solves carry per-solve failure-domain state the warm
+        # engine cannot share; solve() must take the cold path for them.
+        problem = random_instance(8, 3, 2, seed=5)
+        policy = ResiliencePolicy(checkpoint=str(tmp_path / "solve.ckpt"))
+        with SolverEngine(workers=1) as engine:
+            result = solve(
+                problem,
+                engine=engine,
+                backend="parallel",
+                workers=2,
+                policy=policy,
+            )
+        assert engine.solves == 0
+        assert_same(solve_dp(problem), result)

@@ -215,3 +215,95 @@ class TestOtherCommands:
         )
         assert proc.returncode == 0
         assert "medical" in proc.stdout
+
+
+class TestSolveBatch:
+    def _write_stream(self, tmp_path, problems):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            "\n".join(problem.to_json() for problem in problems) + "\n"
+        )
+        return path
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.core import solve_dp
+        from repro.core.generators import random_instance
+
+        problems = [random_instance(4, 3, 2, seed=s) for s in range(3)]
+        infile = self._write_stream(tmp_path, problems)
+        outfile = tmp_path / "results.jsonl"
+        code, _ = run_cli(
+            "solve-batch", "--in", str(infile), "--out", str(outfile)
+        )
+        assert code == 0
+        lines = outfile.read_text().splitlines()
+        assert len(lines) == len(problems)
+        for problem, line in zip(problems, lines):
+            payload = json.loads(line)
+            assert payload["k"] == problem.k
+            assert payload["feasible"] is True
+            assert payload["optimal_cost"] == pytest.approx(
+                solve_dp(problem).optimal_cost
+            )
+
+    def test_stdout_and_stdin(self, tmp_path, monkeypatch):
+        import io as _io
+
+        from repro.core.generators import random_instance
+
+        problems = [random_instance(3, 2, 2, seed=s) for s in range(2)]
+        text = "\n".join(problem.to_json() for problem in problems) + "\n"
+        monkeypatch.setattr("sys.stdin", _io.StringIO(text))
+        code, out = run_cli("solve-batch")
+        assert code == 0
+        payloads = [json.loads(line) for line in out.splitlines() if line]
+        assert len(payloads) == 2
+        assert all(p["sequential_ops"] > 0 for p in payloads)
+
+    def test_infeasible_reports_null_cost(self, tmp_path):
+        from repro.core.problem import Action, TTProblem
+
+        problem = TTProblem(
+            k=2,
+            weights=(1.0, 1.0),
+            actions=(Action.test(0b01, 1.0),),
+            name="untreatable",
+        )
+        infile = self._write_stream(tmp_path, [problem])
+        code, out = run_cli("solve-batch", "--in", str(infile))
+        assert code == 0
+        payload = json.loads(out.splitlines()[0])
+        assert payload["feasible"] is False
+        assert payload["optimal_cost"] is None
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.core.generators import random_instance
+
+        problem = random_instance(3, 2, 2, seed=0)
+        infile = tmp_path / "stream.jsonl"
+        infile.write_text("\n" + problem.to_json() + "\n\n")
+        code, out = run_cli("solve-batch", "--in", str(infile))
+        assert code == 0
+        assert len([l for l in out.splitlines() if l.strip()]) == 1
+
+    def test_bad_line_is_loud(self, tmp_path, capsys):
+        infile = tmp_path / "stream.jsonl"
+        infile.write_text("{not json}\n")
+        code, _ = run_cli("solve-batch", "--in", str(infile))
+        assert code != 0
+
+    def test_missing_file_is_loud(self, tmp_path):
+        code, _ = run_cli("solve-batch", "--in", str(tmp_path / "nope.jsonl"))
+        assert code != 0
+
+    def test_parallel_backend(self, tmp_path):
+        from repro.core.generators import random_instance
+
+        problems = [random_instance(4, 3, 2, seed=s) for s in range(2)]
+        infile = self._write_stream(tmp_path, problems)
+        code, out = run_cli(
+            "solve-batch", "--in", str(infile),
+            "--backend", "parallel", "--workers", "2",
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 2

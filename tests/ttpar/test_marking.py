@@ -23,8 +23,16 @@ class TestMarkingCorrectness:
         ).all()
 
     @settings(max_examples=20, deadline=None)
-    @given(tt_problems(min_k=2, max_k=5))
+    @given(tt_problems(min_k=2, max_k=5, integral=True))
     def test_property(self, problem):
+        # Integral draws keep every DP value exact in float64: the host
+        # DP and the hypercube dataflow evaluate the recurrence with
+        # different float association, so a continuous draw can land a
+        # candidate pair within half an ulp where one side sees a tie
+        # (broken by index) and the other a strict inequality — a real
+        # divergence of the two argmin *policies*, not a marking bug.
+        # With exact arithmetic, ties are exact on both sides and the
+        # shared lowest-index rule keeps the policies identical.
         got = mark_policy_subsets(problem)
         want = policy_subsets_reference(problem)
         assert (got == want).all()
