@@ -5,14 +5,30 @@ in-machine p(S)/TP arithmetic, e-loop lateral sweeps, bit-serial tagged
 minimization — on the cycle-accurate simulator, verifies exact agreement
 with the sequential DP, and reports the machine-cycle budget per phase
 of the machine-size table.
+
+``test_e2e_backend_speedup`` additionally races the two BVM backends on
+the same instance — full ``solve_tt_bvm`` including program build,
+compile and table decode, not just replay — asserts their tables and
+cycle counts bit-identical, and records the measured ratio in the
+``"end2end"`` section of ``BENCH_BVM.json``.  Knobs:
+``REPRO_BENCH_E2E_K`` (default 4, the 2048-PE CCC(3) reference size),
+``REPRO_BENCH_E2E_REPS`` (default 5), ``REPRO_BENCH_E2E_MIN`` (speedup
+floor; default 5.0 at the reference size, 1.0 at quick sizes).
 """
+
+import json
+import os
+import pathlib
+import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import merge_bench_json, print_table
 from repro.core import Action, TTProblem, solve_dp
 from repro.ttpar.bvm_tt import solve_tt_bvm
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def integral_instance(k, seed, n_tests=2, n_treats=2):
@@ -79,3 +95,80 @@ def test_e2e_benchmark_k4_2048pes(benchmark):
     res = benchmark(solve_tt_bvm, problem, 16)
     assert res.feasible
     print(f"\nE2E-BVM: k=4 on CCC(3) (2048 PEs): {res.cycles} machine cycles")
+
+
+def _e2e_k() -> int:
+    return int(os.environ.get("REPRO_BENCH_E2E_K", "4"))
+
+
+def _e2e_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_E2E_REPS", "5"))
+
+
+def _e2e_min(k: int) -> float:
+    default = "5.0" if k >= 4 else "1.0"
+    return float(os.environ.get("REPRO_BENCH_E2E_MIN", default))
+
+
+@pytest.mark.slow
+def test_e2e_backend_speedup():
+    """Boolean vs word-packed backend on the same instance, end to end."""
+    k = _e2e_k()
+    problem = integral_instance(k, seed=7)
+
+    # Correctness gate: the packed run must be indistinguishable.
+    ref = solve_tt_bvm(problem, width=16, backend="bool")
+    fast = solve_tt_bvm(problem, width=16, backend="packed")
+    assert (ref.cost == fast.cost).all()
+    assert (ref.best_action == fast.best_action).all()
+    assert ref.cycles == fast.cycles
+
+    # Adjacent full-solve timings, order alternating between reps;
+    # speedup = median of the per-rep ratios (cf. bench_kernel_fusion).
+    pairs = []
+    for rep in range(_e2e_reps()):
+        sides = {}
+        order = ("bool", "packed") if rep % 2 == 0 else ("packed", "bool")
+        for backend in order:
+            t0 = time.perf_counter()
+            solve_tt_bvm(problem, width=16, backend=backend)
+            sides[backend] = time.perf_counter() - t0
+        pairs.append((sides["bool"], sides["packed"]))
+    ratios = sorted(b / p for b, p in pairs)
+    speedup = float(np.median(ratios))
+    bool_s = float(np.median(sorted(b for b, _ in pairs)))
+    packed_s = float(np.median(sorted(p for _, p in pairs)))
+
+    payload = {
+        "bench": "E2E-BVM",
+        "k": k,
+        "r": ref.r,
+        "n_pes": (1 << ref.r) * (1 << (1 << ref.r)),
+        "cycles": ref.cycles,
+        "bool_s": round(bool_s, 6),
+        "packed_s": round(packed_s, 6),
+        "speedup": round(speedup, 3),
+        "reps": _e2e_reps(),
+        "pair_ratios": [round(x, 3) for x in ratios],
+        "methodology": (
+            "full solve_tt_bvm per side (build + compile + run + decode), "
+            "timed adjacently, order alternating; median of per-rep ratios"
+        ),
+        "bit_identical": True,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    print(f"\nBENCH_JSON {json.dumps(payload)}")
+    print_table(
+        f"E2E-BVM backends, k={k} on CCC({ref.r}) ({payload['n_pes']} PEs)",
+        ["backend", "seconds", "speedup"],
+        [
+            ["bool", f"{bool_s * 1e3:.1f} ms", "1.00x"],
+            ["packed", f"{packed_s * 1e3:.1f} ms", f"{speedup:.2f}x"],
+        ],
+    )
+    merge_bench_json(_REPO_ROOT / "BENCH_BVM.json", "end2end", payload)
+
+    floor = _e2e_min(k)
+    assert speedup >= floor, (
+        f"end-to-end packed speedup {speedup:.2f}x below the {floor:.2f}x floor"
+    )

@@ -7,7 +7,9 @@ series the paper presents; run with ``pytest benchmarks/ --benchmark-only
 rather than silently drift.
 """
 
+import json
 import os
+import pathlib
 
 import numpy as np
 import pytest
@@ -29,6 +31,26 @@ def bench_workers(default=(1, 2, 4, 8)):
     if env:
         return tuple(int(tok) for tok in env.replace(",", " ").split())
     return tuple(default)
+
+
+def merge_bench_json(path, section: str, payload: dict) -> None:
+    """Read-modify-write one section of a multi-bench JSON artifact.
+
+    ``BENCH_BVM.json`` holds one section per bench (``replay``,
+    ``end2end``); merging instead of overwriting lets the benches run in
+    any order — or individually — without clobbering each other.
+    """
+    path = pathlib.Path(path)
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -26,7 +26,8 @@ from .streams import (
     stream_read_word,
 )
 from .isa import A, B, E, FN, Instruction, Operand, R, Reg, activation_if, activation_nf, tt
-from .machine import BVM
+from .machine import BVM, resolve_backend
+from .packed import PackedBVM
 from .primitives import (
     broadcast_bit,
     cycle_id,
@@ -35,16 +36,19 @@ from .primitives import (
     propagation1,
     propagation2,
 )
-from .program import ProgramBuilder, RegisterPool
+from .program import CompiledProgram, ProgramBuilder, RegisterPool
 from .render import render_cycle_grid, render_machine, render_pid_columns
 from .sortroute import BenesPlan, benes_permute, bitonic_sort
 from .topology import CCCTopology
 
 __all__ = [
     "BVM",
+    "PackedBVM",
+    "resolve_backend",
     "CCCTopology",
     "ProgramBuilder",
     "RegisterPool",
+    "CompiledProgram",
     "Instruction",
     "Operand",
     "Reg",

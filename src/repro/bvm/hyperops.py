@@ -18,6 +18,13 @@ exchange becomes
 built on it.  Cost: ``2*2^d + 2`` instructions/row for a low dim,
 ``2Q + 1`` for a high dim — the concrete constants behind the paper's
 "constant-factor slowdown" claim, measured by the benchmarks.
+
+The emitted ``S``/``P``/``L`` neighbor reads dominate every route sweep,
+which is why the word-packed backend caches them as
+:class:`~repro.bvm.topology.PackedPlan` shift+mask pipelines — a lateral
+sweep's gather costs ``2Q`` whole-plane word ops there instead of an
+``n``-entry fancy index per instruction.  The instruction *count* (and
+so every cost constant above) is identical on both backends.
 """
 
 from __future__ import annotations

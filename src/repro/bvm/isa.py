@@ -39,7 +39,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reg:
     """A register name: ``A``, ``B``, ``E`` or ``R[j]``."""
 
@@ -66,7 +66,7 @@ def R(j: int) -> Reg:
     return Reg("R", j)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operand:
     """A data source: a register, optionally read at a neighbor PE."""
 
@@ -129,7 +129,7 @@ class FN:
         return (table >> (f * 4 + d * 2 + b)) & 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One BVM instruction: two simultaneous Boolean assignments.
 

@@ -20,10 +20,19 @@ also what makes re-enabling possible).
 
 Every executed instruction costs one machine cycle; ``cycles`` is the
 counter the complexity benchmarks read.
+
+Two execution backends share this constructor: ``BVM(r, backend="bool")``
+is this byte-per-bit machine (the differential oracle — deliberately
+close to the paper's prose), ``backend="packed"`` returns the
+word-parallel :class:`~repro.bvm.packed.PackedBVM` (64 PEs per machine
+word, lowered truth tables, cached route permutations).  The default
+comes from ``REPRO_BVM_BACKEND`` (``bool`` if unset); both backends are
+bit-for-bit identical in registers, output log and cycle count.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 
 import numpy as np
@@ -31,14 +40,41 @@ import numpy as np
 from .isa import Instruction, Operand, Reg
 from .topology import CCCTopology
 
-__all__ = ["BVM"]
+__all__ = ["BVM", "resolve_backend"]
+
+BACKENDS = ("bool", "packed")
+
+# Truth-table decode for the whole ISA: row ``t`` holds the 8 output bits
+# of table ``t`` (precomputed once instead of per executed instruction).
+_TT_BITS = np.array(
+    [[(t >> i) & 1 for i in range(8)] for t in range(256)], dtype=bool
+)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Pick the execution backend: explicit arg, else ``REPRO_BVM_BACKEND``."""
+    chosen = backend or os.environ.get("REPRO_BVM_BACKEND") or "bool"
+    if chosen not in BACKENDS:
+        raise ValueError(
+            f"unknown BVM backend {chosen!r} (choose from {BACKENDS})"
+        )
+    return chosen
 
 
 class BVM:
     """A CCC(r) Boolean Vector Machine with ``L`` general registers."""
 
-    def __init__(self, r: int, L: int = 256):
-        self.topology = CCCTopology(r)
+    backend = "bool"
+
+    def __new__(cls, r: int, L: int = 256, backend: str | None = None):
+        if cls is BVM and resolve_backend(backend) == "packed":
+            from .packed import PackedBVM
+
+            return PackedBVM(r, L=L)
+        return super().__new__(cls)
+
+    def __init__(self, r: int, L: int = 256, backend: str | None = None):
+        self.topology = CCCTopology.shared(r)
         self.L = L
         n = self.topology.n
         self.regs = np.zeros((L, n), dtype=bool)
@@ -48,6 +84,7 @@ class BVM:
         self.cycles = 0
         self.input_queue: deque[bool] = deque()
         self.output_log: list[bool] = []
+        self._idx_buf = np.empty(n, dtype=np.uint8)  # reused F*4+D*2+B index
 
     # ------------------------------------------------------------------
     # Introspection / host access
@@ -89,13 +126,16 @@ class BVM:
         d_vec = self._fetch_operand(instr.dsrc)
         b_vec = self.b
 
-        idx = (
-            f_vec.astype(np.uint8) << 2
-            | d_vec.astype(np.uint8) << 1
-            | b_vec.astype(np.uint8)
-        )
-        out_f = self._truth_lookup(instr.f, idx)
-        out_b = self._truth_lookup(instr.g, idx)
+        # F*4 + D*2 + B into the preallocated index buffer; bool rows are
+        # one byte per element, so viewing them as uint8 is free.
+        idx = self._idx_buf
+        np.copyto(idx, f_vec)
+        idx <<= 1
+        idx |= d_vec.view(np.uint8)
+        idx <<= 1
+        idx |= b_vec.view(np.uint8)
+        out_f = _TT_BITS[instr.f][idx]
+        out_b = _TT_BITS[instr.g][idx]
 
         active = self._activation_mask(instr.activation)
         gated = active & self.e  # old E gates this cycle's ordinary writes
@@ -121,8 +161,7 @@ class BVM:
 
     @staticmethod
     def _truth_lookup(table: int, idx: np.ndarray) -> np.ndarray:
-        bits = np.array([(table >> i) & 1 for i in range(8)], dtype=bool)
-        return bits[idx]
+        return _TT_BITS[table][idx]
 
     def _row(self, reg: Reg) -> np.ndarray:
         if reg.kind == "A":
@@ -164,12 +203,9 @@ class BVM:
         return row[idx]
 
     def _activation_mask(self, activation) -> np.ndarray:
-        if activation is None:
-            return np.ones(self.n, dtype=bool)
-        invert, positions = activation
-        pos = self.topology.pos_of
-        mask = np.isin(pos, list(positions))
-        return ~mask if invert else mask
+        # Cached per (activation, r) on the shared topology; the returned
+        # mask is read-only and must be combined, not mutated.
+        return self.topology.activation_mask(activation)
 
     # ------------------------------------------------------------------
     # Debug rendering (Fig. 2 style)

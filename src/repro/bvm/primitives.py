@@ -5,7 +5,10 @@ These are "the most basic modules which are used in almost all BVM
 algorithms".  Each is a macro emitting instructions into a
 :class:`~repro.bvm.program.ProgramBuilder`; correctness is pinned by
 closed-form golden patterns in the test suite (e.g. cycle-ID bit of PE
-``(c, j)`` must equal bit ``j`` of ``c`` — the paper's Fig. 3).
+``(c, j)`` must equal bit ``j`` of ``c`` — the paper's Fig. 3), and the
+packed-vs-boolean differential suite replays each of them to hold both
+execution backends to identical registers, output bits and cycle
+counts.
 """
 
 from __future__ import annotations

@@ -25,8 +25,50 @@ from __future__ import annotations
 
 from .isa import FN, Instruction, Operand, Reg
 from .machine import BVM
+from .topology import CCCTopology
 
-__all__ = ["ProgramBuilder", "RegisterPool"]
+__all__ = ["ProgramBuilder", "RegisterPool", "CompiledProgram"]
+
+
+class CompiledProgram:
+    """An instruction sequence pre-lowered for the packed backend.
+
+    Compilation resolves everything resolvable ahead of replay: register
+    names to row slots, truth tables to their lowered bitwise
+    evaluators, neighbor modes to the topology's cached
+    :class:`~repro.bvm.topology.PackedPlan` pipelines, activation sets
+    to bit-plane masks — and fuses constant-table and no-op assignments
+    (see :func:`repro.bvm.packed.compile_step`).  Replay is then a tight
+    loop over flat tuples; compiling once and replaying many times is
+    the intended pattern for benchmarks and batch solves.
+
+    The slot mapping depends on ``L``, so a compiled program binds to
+    machines of exactly the geometry it was compiled for.
+    """
+
+    def __init__(self, instructions, r: int, L: int):
+        from .packed import compile_step
+
+        self.r = r
+        self.L = L
+        self.instructions = list(instructions)
+        topo = CCCTopology.shared(r)
+        self.steps = [compile_step(i, topo, L) for i in self.instructions]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def run(self, machine) -> int:
+        """Replay on a packed machine; returns cycles consumed."""
+        if getattr(machine, "backend", "bool") != "packed":
+            # The boolean oracle has no compiled form; replay the source.
+            return machine.run(self.instructions)
+        if machine.topology.r != self.r or machine.L != self.L:
+            raise ValueError(
+                f"compiled for CCC(r={self.r}), L={self.L}; machine is "
+                f"CCC(r={machine.topology.r}), L={machine.L}"
+            )
+        return machine.run_compiled(self.steps)
 
 
 class RegisterPool:
@@ -75,6 +117,7 @@ class ProgramBuilder:
         self.instructions: list[Instruction] = []
         self.pool = RegisterPool(reserved, L)
         self._marks: list[tuple[str, int]] = []
+        self._compiled: dict[int, tuple[int, CompiledProgram]] = {}
 
     # ------------------------------------------------------------------
     # Raw emit
@@ -106,28 +149,30 @@ class ProgramBuilder:
     # Common macros
     # ------------------------------------------------------------------
 
+    # The ``note`` field stays empty on these hot macros: the listing
+    # decodes every instruction anyway, and f-string notes measurably
+    # tax program build (tens of thousands of emits per solve).
+
     def copy(self, dst: Reg, src: Reg, activation=None) -> None:
         """``dst = src`` (one instruction)."""
-        self.emit(dst, FN.F, src, src, activation=activation, note=f"{dst}={src}")
+        self.emit(dst, FN.F, src, src, activation=activation)
 
     def copy_neighbor(self, dst: Reg, src: Reg, neighbor: str, activation=None) -> None:
         """``dst = src.<neighbor>`` (one instruction)."""
         self.emit(
-            dst, FN.D, src, Operand(src, neighbor),
-            activation=activation, note=f"{dst}={src}.{neighbor}",
+            dst, FN.D, src, Operand(src, neighbor), activation=activation,
         )
 
     def clear(self, dst: Reg, activation=None) -> None:
-        self.emit(dst, FN.ZERO, dst, dst, activation=activation, note=f"{dst}=0")
+        self.emit(dst, FN.ZERO, dst, dst, activation=activation)
 
     def set_ones(self, dst: Reg, activation=None) -> None:
-        self.emit(dst, FN.ONE, dst, dst, activation=activation, note=f"{dst}=1")
+        self.emit(dst, FN.ONE, dst, dst, activation=activation)
 
     def set_const(self, dst: Reg, bit: int, activation=None) -> None:
         """Write the host-immediate ``bit`` to every (active) PE."""
         self.emit(
-            dst, FN.ONE if bit else FN.ZERO, dst, dst,
-            activation=activation, note=f"{dst}={bit}",
+            dst, FN.ONE if bit else FN.ZERO, dst, dst, activation=activation,
         )
 
     def logic(self, dst: Reg, f: int, x: Reg, y: Reg | Operand, activation=None) -> None:
@@ -141,7 +186,7 @@ class ProgramBuilder:
 
     def enable_from(self, src: Reg) -> None:
         """``E = src`` — load the enable register from a mask row."""
-        self.emit(Reg("E"), FN.F, src, src, note=f"E={src}")
+        self.emit(Reg("E"), FN.F, src, src)
 
     def enable_all(self) -> None:
         e = Reg("E")
@@ -177,16 +222,35 @@ class ProgramBuilder:
     # ------------------------------------------------------------------
 
     def run(self, machine: BVM) -> int:
-        """Execute the recorded program; returns cycles consumed."""
+        """Execute the recorded program; returns cycles consumed.
+
+        On a packed machine this goes through the compile/replay path
+        (cached per machine geometry, invalidated when new instructions
+        are emitted); the boolean machine interprets the source stream.
+        """
         if machine.topology.r != self.r:
             raise ValueError("machine geometry does not match program")
         if self.pool.high_water > machine.L:
             raise ValueError("program uses more registers than the machine has")
+        if getattr(machine, "backend", "bool") == "packed":
+            return self.compiled(machine.L).run(machine)
         return machine.run(self.instructions)
 
-    def build_machine(self, L: int | None = None) -> BVM:
+    def compiled(self, L: int | None = None) -> CompiledProgram:
+        """The program lowered for packed replay (cached per ``L``)."""
+        L = self.L if L is None else L
+        cached = self._compiled.get(L)
+        if cached is not None and cached[0] == len(self.instructions):
+            return cached[1]
+        cp = CompiledProgram(self.instructions, self.r, L)
+        self._compiled[L] = (len(self.instructions), cp)
+        return cp
+
+    def build_machine(
+        self, L: int | None = None, backend: str | None = None
+    ) -> BVM:
         """A fresh machine sized for this program."""
-        return BVM(self.r, L=L if L is not None else self.L)
+        return BVM(self.r, L=L if L is not None else self.L, backend=backend)
 
     def listing(self, limit: int | None = 40) -> str:
         """Human-readable instruction listing (truncated)."""

@@ -20,18 +20,88 @@ Derived addressing modes of the instruction set:
   and PE ``(2^Q - 1, Q - 1)`` emits its value to the output stream.
 
 All neighbor reads are precomputed gather-index arrays so the simulator's
-inner loop is pure vectorized NumPy.
+inner loop is pure vectorized NumPy.  For the word-packed backend
+(:mod:`repro.bvm.packed`) every neighbor gather is additionally lowered
+*once* to a :class:`PackedPlan` — an OR of masked shifts over bit-plane
+words — so a route sweep is a handful of machine-word operations instead
+of a per-PE fancy index.
 """
 
 from __future__ import annotations
 
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 import numpy as np
 
-__all__ = ["CCCTopology", "NEIGHBOR_NAMES"]
+__all__ = [
+    "CCCTopology",
+    "NEIGHBOR_NAMES",
+    "PackedPlan",
+    "pack_row",
+    "unpack_plane",
+]
 
 NEIGHBOR_NAMES = ("S", "P", "L", "XS", "XP", "I")
+
+
+def pack_row(bits) -> int:
+    """Pack a boolean PE row into a bit-plane integer (PE ``q`` -> bit ``q``).
+
+    The plane is an arbitrary-precision integer whose machine words hold
+    64 PEs each — the host's ALU operates on all of them per operation.
+    """
+    arr = np.ascontiguousarray(bits, dtype=bool)
+    return int.from_bytes(np.packbits(arr, bitorder="little").tobytes(), "little")
+
+
+def unpack_plane(plane: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_row`: bit-plane integer -> ``(n,)`` bool row."""
+    raw = plane.to_bytes((n + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=n, bitorder="little")
+    return bits.astype(bool)
+
+
+class PackedPlan:
+    """A gather ``dst[p] = src[index[p]]`` lowered to masked word shifts.
+
+    Grouping PEs by the signed distance ``d = index[p] - p`` turns the
+    permutation into ``OR_d ((src >> d) & mask_d)`` — for the CCC modes
+    at most 2 distances (``S``/``P``), 4 (``XS``/``XP``) or ``2Q``
+    (lateral), each a constant shift of the whole bit-plane.  Built once
+    per topology and cached; applying one costs ``O(terms)`` word ops
+    instead of an ``n``-entry index build + gather per call.
+    """
+
+    __slots__ = ("name", "terms", "apply")
+
+    def __init__(self, name: str, index: np.ndarray):
+        self.name = name
+        pes = np.arange(index.size, dtype=np.int64)
+        deltas = index.astype(np.int64) - pes
+        terms = []
+        for d in np.unique(deltas):
+            mask = pack_row(deltas == d)
+            if mask:
+                terms.append((int(d), mask))
+        self.terms = tuple(terms)
+        # Unroll the OR-of-shifts into one generated expression; the
+        # lateral plan has 2Q terms and sits on the route hot path, so
+        # per-term Python loop overhead is worth eliminating.
+        env = {f"m{i}": m for i, (_, m) in enumerate(self.terms)}
+        body = "|".join(
+            f"((x>>{d})&m{i})" if d >= 0 else f"((x<<{-d})&m{i})"
+            for i, (d, _) in enumerate(self.terms)
+        )
+        env["__builtins__"] = {}
+        self.apply = eval(  # noqa: S307 - generated from integer terms
+            f"lambda x: {body or '0'}", env
+        )
+
+    def __call__(self, plane: int) -> int:
+        return self.apply(plane)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PackedPlan({self.name!r}, {len(self.terms)} shift terms)"
 
 
 class CCCTopology:
@@ -44,6 +114,20 @@ class CCCTopology:
         self.Q = 1 << r
         self.n_cycles = 1 << self.Q
         self.n = self.Q * self.n_cycles
+        self._act_masks: dict = {}
+        self._act_planes: dict = {}
+
+    @classmethod
+    @lru_cache(maxsize=None)
+    def shared(cls, r: int) -> "CCCTopology":
+        """Process-wide topology for ``CCC(r)``.
+
+        Topologies are immutable apart from their derived caches (gather
+        indices, packed plans, activation masks), so machines and
+        compiled programs of the same ``r`` can share one instance and
+        every cache is warmed exactly once per process.
+        """
+        return cls(r)
 
     @cached_property
     def addresses(self) -> np.ndarray:
@@ -94,8 +178,9 @@ class CCCTopology:
         """For ``I``: PE ``q`` reads PE ``q-1`` (PE 0 handled separately)."""
         return np.maximum(self.addresses - 1, 0)
 
-    def neighbor_index(self, name: str) -> np.ndarray:
-        table = {
+    @cached_property
+    def _neighbor_table(self) -> dict[str, np.ndarray]:
+        return {
             "S": self.succ_index,
             "P": self.pred_index,
             "L": self.lateral_index,
@@ -103,10 +188,68 @@ class CCCTopology:
             "XP": self.xp_index,
             "I": self.linear_pred_index,
         }
+
+    def neighbor_index(self, name: str) -> np.ndarray:
         try:
-            return table[name]
+            return self._neighbor_table[name]
         except KeyError:
             raise ValueError(f"unknown neighbor {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Word-packed plans and masks (the packed backend's working set)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def full_mask(self) -> int:
+        """Bit-plane with every PE position set (the valid-bit mask)."""
+        return (1 << self.n) - 1
+
+    @cached_property
+    def packed_plans(self) -> dict[str, PackedPlan]:
+        """Shift+mask pipelines for every point-to-point neighbor mode.
+
+        ``I`` is excluded: the input shift is stateful (consumes the
+        input queue, emits to the output log) and is realized by the
+        machines as a single funnel shift.
+        """
+        return {
+            name: PackedPlan(name, self.neighbor_index(name))
+            for name in ("S", "P", "L", "XS", "XP")
+        }
+
+    def packed_plan(self, name: str) -> PackedPlan:
+        try:
+            return self.packed_plans[name]
+        except KeyError:
+            raise ValueError(f"unknown neighbor {name!r}") from None
+
+    def activation_mask(self, activation) -> np.ndarray:
+        """Boolean PE mask of an ``(IF|NF) <set>`` clause, cached per clause.
+
+        The returned array is shared and read-only; callers combine it
+        (``mask & e``) rather than mutating it.
+        """
+        if activation is None:
+            activation = (True, frozenset())  # NF {} == all active
+        mask = self._act_masks.get(activation)
+        if mask is None:
+            invert, positions = activation
+            mask = np.isin(self.pos_of, list(positions))
+            if invert:
+                mask = ~mask
+            mask.flags.writeable = False
+            self._act_masks[activation] = mask
+        return mask
+
+    def packed_activation(self, activation) -> int:
+        """Bit-plane form of :meth:`activation_mask`, cached per clause."""
+        if activation is None:
+            return self.full_mask
+        plane = self._act_planes.get(activation)
+        if plane is None:
+            plane = pack_row(self.activation_mask(activation))
+            self._act_planes[activation] = plane
+        return plane
 
     # ------------------------------------------------------------------
     # Structural facts (for the link-census benchmark)

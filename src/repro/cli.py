@@ -119,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--canonicalize", action="store_true",
                          help="apply optimum-preserving reductions first")
     p_solve.add_argument("--width", type=int, default=16, help="BVM word width")
+    p_solve.add_argument(
+        "--bvm-backend",
+        choices=("bool", "packed"),
+        default=None,
+        help="BVM execution backend (default: REPRO_BVM_BACKEND or 'bool'; "
+        "'packed' runs 64 PEs per machine word with identical cycle counts)",
+    )
     p_solve.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_batch = sub.add_parser(
@@ -246,9 +253,10 @@ def _solve(args, out) -> int:
     else:
         from .ttpar import solve_tt_bvm
 
-        result = solve_tt_bvm(problem, width=args.width)
+        result = solve_tt_bvm(problem, width=args.width, backend=args.bvm_backend)
         counters["bvm_cycles"] = result.cycles
         counters["ccc_r"] = result.r
+        counters["bvm_backend"] = result.backend
 
     payload = {
         "problem": problem.name or "(unnamed)",

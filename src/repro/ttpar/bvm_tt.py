@@ -63,6 +63,7 @@ class BVMTTResult:
     cycles: int
     r: int
     width: int
+    backend: str = "bool"
 
     @property
     def optimal_cost(self) -> float:
@@ -285,14 +286,24 @@ def _decode(plan: _Plan, machine: BVM, problem: TTProblem) -> tuple[np.ndarray, 
     return cost, best
 
 
-def solve_tt_bvm(problem: TTProblem, width: int = 16, r: int | None = None) -> BVMTTResult:
+def solve_tt_bvm(
+    problem: TTProblem,
+    width: int = 16,
+    r: int | None = None,
+    backend: str | None = None,
+) -> BVMTTResult:
     """Build, run and decode the bit-level TT program.
 
     Practical sizes: ``k + ceil(log2 N) <= 11`` (a 2048-PE CCC(3) at
     most), which covers the same instances the CCC emulator handles.
+
+    ``backend`` selects the execution engine (``"bool"``/``"packed"``;
+    default from ``REPRO_BVM_BACKEND``).  Both return identical tables
+    and the identical ``cycles`` count — the packed backend only changes
+    how fast the simulation runs, not what the simulated machine does.
     """
     plan = build_bvm_tt(problem, width=width, r=r)
-    machine = plan.prog.build_machine()
+    machine = plan.prog.build_machine(backend=backend)
     machine.feed_input(plan.input_bits())
     cycles = plan.prog.run(machine)
     cost, best = _decode(plan, machine, problem)
@@ -305,4 +316,5 @@ def solve_tt_bvm(problem: TTProblem, width: int = 16, r: int | None = None) -> B
         cycles=cycles,
         r=plan.r,
         width=width,
+        backend=machine.backend,
     )

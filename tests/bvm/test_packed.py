@@ -1,0 +1,399 @@
+"""The word-packed backend against the boolean oracle.
+
+Three layers of evidence that ``PackedBVM`` is bit-for-bit the same
+machine as ``BVM``:
+
+* *lowering*: every one of the 256 F/G truth tables, lowered to its
+  bitwise expression, agrees with an independent sum-of-minterms
+  evaluation on random planes — and the full 256x256 dual-assignment
+  grid is swept at machine level on a CCC(1);
+* *replays*: the real program suites (processor id, route sweeps,
+  bit-serial arithmetic, streamed IO) produce identical registers,
+  output logs and cycle counts on both backends;
+* *fuzz*: hypothesis-generated instruction sequences (same strategy as
+  the scalar differential suite) are executed in lockstep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.bitserial import add_into, min_tagged_into, set_word_const
+from repro.bvm.hyperops import route_dim
+from repro.bvm.isa import A, B, E, FN, Instruction, Operand, R, Reg, activation_if
+from repro.bvm.machine import BVM, resolve_backend
+from repro.bvm.packed import PackedBVM, compile_step, lower_table, lowered_fn
+from repro.bvm.primitives import broadcast_bit, cycle_id_input_bits, processor_id
+from repro.bvm.program import CompiledProgram, ProgramBuilder
+from repro.bvm.streams import stream_bits_for, stream_load, stream_read
+from repro.bvm.topology import CCCTopology, pack_row, unpack_plane
+from tests.bvm.test_differential import instructions
+
+# ----------------------------------------------------------------------
+# Packing helpers
+# ----------------------------------------------------------------------
+
+
+class TestPacking:
+    @pytest.mark.parametrize("n", [1, 7, 8, 64, 65, 2048])
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        row = rng.integers(0, 2, n).astype(bool)
+        plane = pack_row(row)
+        assert plane >> n == 0, "tail bits must be zero"
+        assert (unpack_plane(plane, n) == row).all()
+
+    def test_bit_order(self):
+        # PE q maps to bit q, LSB first.
+        row = np.zeros(70, dtype=bool)
+        row[0] = row[65] = True
+        assert pack_row(row) == (1 << 0) | (1 << 65)
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    @pytest.mark.parametrize("name", ["S", "P", "L", "XS", "XP"])
+    def test_packed_plan_matches_gather(self, r, name):
+        topo = CCCTopology(r)
+        idx = topo.neighbor_index(name)
+        rng = np.random.default_rng(r * 31 + len(name))
+        for _ in range(5):
+            row = rng.integers(0, 2, topo.n).astype(bool)
+            want = row[idx]
+            got = unpack_plane(topo.packed_plan(name)(pack_row(row)), topo.n)
+            assert (got == want).all()
+
+    def test_packed_plan_preserves_tail(self):
+        topo = CCCTopology(2)
+        ones = topo.full_mask
+        for name in ("S", "P", "L", "XS", "XP"):
+            out = topo.packed_plan(name)(ones)
+            assert out == ones  # a permutation of all-ones is all-ones
+
+    def test_packed_activation_matches_mask(self):
+        topo = CCCTopology(2)
+        for act in (None, (False, frozenset({0, 2})), (True, frozenset({1}))):
+            plane = topo.packed_activation(act)
+            if act is None:
+                assert plane == topo.full_mask
+            else:
+                assert plane == pack_row(topo.activation_mask(act))
+
+
+# ----------------------------------------------------------------------
+# Truth-table lowering
+# ----------------------------------------------------------------------
+
+
+def _minterm_reference(table: int, F: int, D: int, B: int, M: int) -> int:
+    """Independent evaluation: OR of the table's minterms."""
+    out = 0
+    for f in (0, 1):
+        for d in (0, 1):
+            for b in (0, 1):
+                if (table >> (f * 4 + d * 2 + b)) & 1:
+                    term = (F if f else F ^ M) & (D if d else D ^ M)
+                    term &= B if b else B ^ M
+                    out |= term
+    return out
+
+
+class TestLowering:
+    def test_all_256_tables_exact(self):
+        rng = np.random.default_rng(0)
+        n = 192  # three words, odd tail exercised below
+        M = (1 << n) - 1
+        rows = [pack_row(rng.integers(0, 2, n).astype(bool)) for _ in range(3)]
+        F, D, B = rows
+        for table in range(256):
+            fn = lowered_fn(table)
+            got = fn(F, D, B, M)
+            assert got == _minterm_reference(table, F, D, B, M), lower_table(table)
+            assert got >> n == 0, "lowered form must keep the tail clear"
+
+    def test_known_shapes(self):
+        assert lower_table(FN.ZERO) == "0"
+        assert lower_table(FN.ONE) == "M"
+        assert lower_table(FN.F) == "F"
+        assert lower_table(FN.XOR) == "(F^D)"
+        assert lower_table(FN.B) == "B"
+        # B-mux: SEL_B_FD = B ? F : D
+        assert lowered_fn(FN.SEL_B_FD)(0b11, 0b01, 0b10, 0b11) == 0b11
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            lower_table(256)
+
+    def test_exhaustive_fg_grid_machine_level(self):
+        """All 256x256 (f, g) dual assignments, packed vs boolean.
+
+        One long synchronized walk on a CCC(1): both machines start from
+        the same random state and execute the full grid in sequence, so
+        every pair runs against the evolving state left by its
+        predecessors.  States are compared at every grid row boundary.
+        """
+        r, L = 1, 4
+        fast = PackedBVM(r, L=L)
+        ref = BVM(r, L=L, backend="bool")
+        rng = np.random.default_rng(7)
+        for reg in (R(0), R(1), R(2), A, B, E):
+            row = rng.integers(0, 2, ref.n).astype(bool)
+            fast.poke(reg, row)
+            ref.poke(reg, row)
+        acts = [None, activation_if({0}), (True, frozenset({1}))]
+        for f in range(256):
+            for g in range(256):
+                instr = Instruction(
+                    dest=R(0), f=f, fsrc=R(1), dsrc=Operand(R(2)), g=g,
+                    activation=acts[(f * 256 + g) % 3],
+                )
+                fast.execute(instr)
+                ref.execute(instr)
+            assert fast.plane(R(0)) == pack_row(ref.read(R(0))), f"f={f}"
+            assert fast.plane(B) == pack_row(ref.read(B)), f"f={f}"
+            assert fast.plane(E) == pack_row(ref.read(E)), f"f={f}"
+        assert fast.cycles == ref.cycles == 256 * 256
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_dispatch_by_argument(self):
+        assert BVM(1, backend="bool").backend == "bool"
+        m = BVM(1, backend="packed")
+        assert isinstance(m, PackedBVM)
+        assert m.backend == "packed"
+
+    def test_dispatch_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "packed")
+        assert isinstance(BVM(1), PackedBVM)
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "bool")
+        assert BVM(1).backend == "bool"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "packed")
+        assert BVM(1, backend="bool").backend == "bool"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("simd512")
+        with pytest.raises(ValueError):
+            BVM(1, backend="nope")
+
+    def test_default_is_bool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BVM_BACKEND", raising=False)
+        assert resolve_backend() == "bool"
+
+    def test_planes_shape_and_content(self):
+        m = BVM(2, L=5, backend="packed")
+        rng = np.random.default_rng(3)
+        row = rng.integers(0, 2, m.n).astype(bool)
+        m.poke(R(1), row)
+        planes = m.planes
+        assert planes.shape == (5, (m.n + 63) // 64)
+        words = np.frombuffer(
+            pack_row(row).to_bytes(planes.shape[1] * 8, "little"), dtype="<u8"
+        )
+        assert (planes[1] == words).all()
+
+
+# ----------------------------------------------------------------------
+# Program replays: packed vs bool on the real suites
+# ----------------------------------------------------------------------
+
+
+def _both(prog: ProgramBuilder, pokes=(), inputs=None):
+    """Run the program on both backends from identical state."""
+    machines = {}
+    for backend in ("bool", "packed"):
+        m = prog.build_machine(backend=backend)
+        for reg, row in pokes:
+            m.poke(reg, row)
+        if inputs is not None:
+            m.feed_input(inputs)
+        prog.run(m)
+        machines[backend] = m
+    return machines["bool"], machines["packed"]
+
+
+def _assert_same(ref: BVM, fast: PackedBVM, regs):
+    for reg in regs:
+        assert fast.plane(reg) == pack_row(ref.read(reg)), str(reg)
+    for reg in (A, B, E):
+        assert fast.plane(reg) == pack_row(ref.read(reg)), str(reg)
+    assert [bool(x) for x in fast.output_log] == [bool(x) for x in ref.output_log]
+    assert fast.cycles == ref.cycles
+
+
+class TestProgramReplays:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_processor_id(self, r):
+        prog = ProgramBuilder(r)
+        pid = prog.pool.alloc(r + (1 << r))
+        processor_id(prog, pid)
+        ref, fast = _both(prog, inputs=cycle_id_input_bits(prog.Q))
+        _assert_same(ref, fast, pid)
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_route_every_dimension(self, r):
+        rng = np.random.default_rng(r)
+        for dim in range(r + (1 << r)):
+            prog = ProgramBuilder(r)
+            src, dst = prog.pool.alloc(2)
+            route_dim(prog, [src], [dst], dim)
+            n = (1 << r) * (1 << (1 << r))
+            vals = rng.integers(0, 2, n).astype(bool)
+            ref, fast = _both(prog, pokes=[(src, vals)])
+            _assert_same(ref, fast, [src, dst])
+
+    def test_bitserial_arithmetic(self):
+        r, w = 2, 6
+        prog = ProgramBuilder(r)
+        x = prog.pool.alloc(w)
+        y = prog.pool.alloc(w)
+        tx = prog.pool.alloc(3)
+        ty = prog.pool.alloc(3)
+        set_word_const(prog, x, 11)
+        set_word_const(prog, y, 25)
+        set_word_const(prog, tx, 2)
+        set_word_const(prog, ty, 5)
+        add_into(prog, x, y)
+        min_tagged_into(prog, x, tx, y, ty)
+        ref, fast = _both(prog)
+        _assert_same(ref, fast, x + y + tx + ty)
+
+    def test_broadcast(self):
+        r = 2
+        prog = ProgramBuilder(r)
+        value, sender = prog.pool.alloc(2)
+        pid = prog.pool.alloc(r + (1 << r))
+        processor_id(prog, pid)
+        broadcast_bit(prog, value, sender, pid, route_dim)
+        n = (1 << r) * (1 << (1 << r))
+        vals = np.zeros(n, dtype=bool)
+        vals[3] = True
+        ref, fast = _both(
+            prog,
+            pokes=[(value, vals), (sender, vals)],
+            inputs=cycle_id_input_bits(prog.Q),
+        )
+        _assert_same(ref, fast, [value, sender])
+
+    def test_streamed_io(self):
+        r = 1
+        prog = ProgramBuilder(r)
+        dst, scratch = prog.pool.alloc(2)
+        n = prog.Q << prog.Q
+        rng = np.random.default_rng(5)
+        row = rng.integers(0, 2, n).astype(bool)
+        stream_load(prog, dst)
+        stream_read(prog, dst, scratch)
+        ref, fast = _both(prog, inputs=stream_bits_for(row))
+        _assert_same(ref, fast, [dst])
+
+
+# ----------------------------------------------------------------------
+# Compiled programs
+# ----------------------------------------------------------------------
+
+
+class TestCompiledProgram:
+    def test_replay_equals_interpretation(self):
+        r = 2
+        prog = ProgramBuilder(r)
+        pid = prog.pool.alloc(r + (1 << r))
+        processor_id(prog, pid)
+        cp = prog.compiled()
+        assert len(cp) == len(prog)
+        m1 = PackedBVM(r, L=prog.L)
+        m1.feed_input(cycle_id_input_bits(prog.Q))
+        cp.run(m1)
+        m2 = PackedBVM(r, L=prog.L)
+        m2.feed_input(cycle_id_input_bits(prog.Q))
+        for instr in prog.instructions:
+            m2.execute(instr)
+        for reg in pid:
+            assert m1.plane(reg) == m2.plane(reg)
+        assert m1.cycles == m2.cycles
+
+    def test_compiled_cache_invalidation(self):
+        prog = ProgramBuilder(1)
+        a, b = prog.pool.alloc(2)
+        prog.copy(a, b)
+        first = prog.compiled()
+        assert prog.compiled() is first  # cached
+        prog.copy(b, a)
+        second = prog.compiled()
+        assert second is not first and len(second) == 2
+
+    def test_geometry_mismatch_rejected(self):
+        prog = ProgramBuilder(1)
+        a, b = prog.pool.alloc(2)
+        prog.copy(a, b)
+        cp = prog.compiled()
+        with pytest.raises(ValueError):
+            cp.run(PackedBVM(2, L=prog.L))
+        with pytest.raises(ValueError):
+            cp.run(PackedBVM(1, L=prog.L + 1))
+
+    def test_bool_machine_falls_back_to_source(self):
+        prog = ProgramBuilder(1)
+        a, b = prog.pool.alloc(2)
+        prog.set_ones(b)
+        prog.copy(a, b)
+        m = BVM(1, L=prog.L, backend="bool")
+        assert prog.compiled().run(m) == 2
+        assert m.read(a).all()
+
+    def test_register_beyond_l_rejected(self):
+        topo = CCCTopology.shared(1)
+        instr = Instruction(dest=R(9), f=FN.ONE, fsrc=R(9), dsrc=Operand(R(9)))
+        with pytest.raises(IndexError):
+            compile_step(instr, topo, L=4)
+
+
+# ----------------------------------------------------------------------
+# Fuzz: packed vs bool in lockstep
+# ----------------------------------------------------------------------
+
+
+def _sync(fast: PackedBVM, ref: BVM, rng) -> None:
+    for j in range(4):
+        row = rng.integers(0, 2, ref.n).astype(bool)
+        fast.poke(R(j), row)
+        ref.poke(R(j), row)
+    for reg in (A, B, E):
+        row = rng.integers(0, 2, ref.n).astype(bool)
+        fast.poke(reg, row)
+        ref.poke(reg, row)
+
+
+class TestFuzzDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_r1(self, data, seed):
+        self._run(1, data, seed, max_size=8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_r2(self, data, seed):
+        self._run(2, data, seed, max_size=5)
+
+    def _run(self, r, data, seed, max_size):
+        Q = 1 << r
+        fast = BVM(r, L=16, backend="packed")
+        ref = BVM(r, L=16, backend="bool")
+        rng = np.random.default_rng(seed)
+        _sync(fast, ref, rng)
+        in_bits = rng.integers(0, 2, 8).astype(bool).tolist()
+        fast.feed_input(in_bits)
+        ref.feed_input(in_bits)
+        program = data.draw(st.lists(instructions(Q), min_size=1, max_size=max_size))
+        for instr in program:
+            fast.execute(instr)
+            ref.execute(instr)
+        for j in range(4):
+            assert fast.plane(R(j)) == pack_row(ref.read(R(j)))
+        _assert_same(ref, fast, [])

@@ -116,3 +116,31 @@ class TestEdgeCases:
         assert np.allclose(res.cost, dp.cost)
         # C(U) = 4 * 5 = 20
         assert res.optimal_cost == pytest.approx(20.0)
+
+
+class TestPackedBackend:
+    """The word-packed backend must be indistinguishable at solve level:
+    same tables, same argmin, same cycle count (§ packed execution)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_backends_bit_identical_k3(self, seed):
+        problem = _integral(3, seed)
+        ref = solve_tt_bvm(problem, width=16, backend="bool")
+        fast = solve_tt_bvm(problem, width=16, backend="packed")
+        assert ref.backend == "bool" and fast.backend == "packed"
+        assert (ref.cost == fast.cost).all()  # bit-identical, not approx
+        assert (ref.best_action == fast.best_action).all()
+        assert ref.cycles == fast.cycles
+
+    def test_env_var_selects_packed(self, tiny_problem, monkeypatch):
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "packed")
+        res = solve_tt_bvm(tiny_problem, width=16)
+        assert res.backend == "packed"
+        assert res.optimal_cost == pytest.approx(37.0)
+
+    def test_packed_matches_dp(self):
+        problem = _integral(3, 42)
+        fast = solve_tt_bvm(problem, width=16, backend="packed")
+        dp = solve_dp(problem)
+        assert np.allclose(fast.cost, dp.cost)
+        assert (fast.best_action == dp.best_action).all()
