@@ -17,6 +17,12 @@ Commands
     shared tables and worker pool amortized across the stream — writing
     one JSON result per line in input order.
 
+``verify-exhaustive``
+    Bounded-model verification: enumerate every TT instance inside small
+    bounds, hold all registered backends bit-for-bit to the reference
+    oracle, check metamorphic properties, and shrink any discrepancy to
+    a ready-to-paste regression test (exit 1 when any is found).
+
 ``workloads``
     List the available synthetic workload generators.
 
@@ -33,6 +39,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import math
 import sys
 
 import numpy as np
@@ -163,6 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the engine's parallel path",
     )
 
+    p_verify = sub.add_parser(
+        "verify-exhaustive",
+        help="bounded-model verification sweep over all backends",
+        description="Enumerate every TT instance inside small bounds "
+        "(canonical under object relabeling), hold every registered "
+        "backend bit-for-bit to the reference oracle, check the "
+        "metamorphic property catalogue, and shrink any discrepancy to "
+        "a ready-to-paste regression test.  Exit 0 = clean, 1 = "
+        "discrepancies found, 2 = usage/solver error.",
+    )
+    p_verify.add_argument(
+        "--bounds",
+        choices=("quick", "full"),
+        default="quick",
+        help="enumeration box: quick (k<=3, N<=4, push CI) or "
+        "full (k<=4, N<=5, nightly)",
+    )
+    p_verify.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="check at most N instances (deterministic stride over the "
+        "space, not a prefix; default: the whole space)",
+    )
+    p_verify.add_argument(
+        "--backends",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated backends to verify (default: all registered; "
+        "the reference oracle always runs)",
+    )
+    p_verify.add_argument(
+        "--emit-dir",
+        default=None,
+        metavar="PATH",
+        help="write shrunken reproducer test files here on failure",
+    )
+    p_verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report discrepancies without shrinking them",
+    )
+    p_verify.add_argument(
+        "--max-failures",
+        type=int,
+        default=25,
+        metavar="N",
+        help="stop recording discrepancies after N (the sweep continues)",
+    )
+    p_verify.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     sub.add_parser("workloads", help="list synthetic workload generators")
     sub.add_parser("figures", help="regenerate the paper's Figs. 3/4/6 patterns")
     sub.add_parser("claims", help="print the complexity-claim tables")
@@ -258,12 +319,15 @@ def _solve(args, out) -> int:
         counters["ccc_r"] = result.r
         counters["bvm_backend"] = result.backend
 
+    feasible = math.isfinite(result.optimal_cost)
     payload = {
         "problem": problem.name or "(unnamed)",
         "k": problem.k,
         "n_actions": problem.n_actions,
         "solver": args.solver,
-        "optimal_cost": result.optimal_cost,
+        # inf is not valid JSON; an infeasible instance reports null.
+        "optimal_cost": result.optimal_cost if feasible else None,
+        "feasible": feasible,
         **counters,
         **note,
     }
@@ -271,8 +335,15 @@ def _solve(args, out) -> int:
         print(json.dumps(payload, indent=2), file=out)
     else:
         for key, val in payload.items():
+            if key == "optimal_cost" and val is None:
+                val = "inf (infeasible)"
             print(f"{key:>22}: {val}", file=out)
         if args.tree:
+            if not feasible:
+                raise InvalidProblem(
+                    "no successful procedure exists (C(U) is infinite); "
+                    "there is no tree to print"
+                )
             print(file=out)
             print(result.tree().render(), file=out)
     return 0
@@ -324,6 +395,35 @@ def _solve_batch(args, out) -> int:
         if sink is not out:
             sink.close()
     return 0
+
+
+def _verify_exhaustive(args, out) -> int:
+    from .verify import PRESETS, run_verification
+
+    if args.budget is not None and args.budget < 1:
+        raise InvalidProblem(f"--budget must be >= 1, got {args.budget}")
+    backend_names = None
+    if args.backends is not None:
+        backend_names = [n.strip() for n in args.backends.split(",") if n.strip()]
+        if not backend_names:
+            raise InvalidProblem("--backends got an empty list")
+    try:
+        report = run_verification(
+            bounds=PRESETS[args.bounds],
+            backend_names=backend_names,
+            budget=args.budget,
+            emit_dir=args.emit_dir,
+            shrink_failures=not args.no_shrink,
+            max_failures=args.max_failures,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:  # e.g. unknown backend name
+        raise InvalidProblem(str(exc)) from exc
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(report.summary(), file=out)
+    return 0 if report.ok else 1
 
 
 def _workloads(out) -> int:
@@ -427,6 +527,8 @@ def _dispatch(args, out) -> int:
         return _solve(args, out)
     if args.command == "solve-batch":
         return _solve_batch(args, out)
+    if args.command == "verify-exhaustive":
+        return _verify_exhaustive(args, out)
     if args.command == "workloads":
         return _workloads(out)
     if args.command == "figures":

@@ -167,9 +167,13 @@ def solve(
     bounded retries, in-process fallback — and ``checkpoint`` is a
     shorthand for ``policy.checkpoint``: the path of a ``.ckpt`` file
     written after every layer barrier and resumed from (after a content-
-    hash check) when the file already exists.  Both are ignored by the
-    single-process backends, which have no failure domain: there is
-    nothing to retry and nothing to leak.
+    hash check) when the file already exists.  Checkpointing is a
+    parallel-supervisor feature: requesting it under ``"auto"`` forces
+    the parallel backend (even below the auto size threshold, so the
+    checkpoint is actually written and resumed), and requesting it with
+    an explicit single-process backend raises :class:`InvalidProblem`
+    rather than silently running without checkpoint support — a resume
+    that silently never happens is indistinguishable from divergence.
 
     ``engine`` — a warm :class:`~repro.core.engine.SolverEngine` — routes
     the solve through the engine's amortized pool and tables (its own
@@ -180,11 +184,18 @@ def solve(
     """
     if engine is not None and policy is None and checkpoint is None:
         return engine.solve(problem)
-    backend, eff_workers = resolve_backend(problem, backend, workers)
     if checkpoint is not None:
         policy = dataclasses.replace(
             policy or ResiliencePolicy(), checkpoint=checkpoint
         )
+    if policy is not None and policy.checkpoint is not None:
+        if backend in ("numpy", "reference"):
+            raise InvalidProblem(
+                f"checkpointing requires the parallel backend, got {backend!r}; "
+                "single-process backends would silently skip the checkpoint"
+            )
+        backend = "parallel"
+    backend, eff_workers = resolve_backend(problem, backend, workers)
     if backend == "reference":
         return solve_dp_reference(problem)
     p = cached_subset_weights(problem)

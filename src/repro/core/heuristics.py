@@ -70,6 +70,8 @@ def _score_information_gain(
 ) -> float | None:
     act = problem.actions[i]
     if act.is_test:
+        if p_live <= 0:  # zero-weight live set: no entropy to earn
+            return None
         q = p_inter / p_live
         if q <= 0 or q >= 1:
             return None
@@ -94,6 +96,7 @@ def _score_treatment_only(
 def _pick(problem: TTProblem, live: int, scorer: Scorer) -> int:
     p_live = problem.weight_of(live)
     best_i, best_score = -1, math.inf
+    fallback_i = -1
     for i, act in enumerate(problem.actions):
         inter = live & act.subset
         rest = live & ~act.subset
@@ -101,6 +104,8 @@ def _pick(problem: TTProblem, live: int, scorer: Scorer) -> int:
             continue
         if act.is_treatment and inter == 0:
             continue
+        if fallback_i < 0:
+            fallback_i = i
         score = scorer(
             problem, live, i, p_live, problem.weight_of(inter), problem.weight_of(rest)
         )
@@ -108,6 +113,12 @@ def _pick(problem: TTProblem, live: int, scorer: Scorer) -> int:
             continue
         if score < best_score:
             best_score, best_i = score, i
+    if best_i < 0 and fallback_i >= 0:
+        # Every scorer declined (e.g. the whole live set carries zero
+        # weight, so there is no mass to resolve) but progress-making
+        # actions exist; any of them terminates the branch eventually,
+        # so take the lowest-indexed one deterministically.
+        return fallback_i
     if best_i < 0:
         raise ValueError(
             "heuristic found no applicable action; specification is inadequate "

@@ -3,9 +3,12 @@
 A TT problem (Loveland's generalization of binary testing) consists of
 
 * a universe ``U = {0, .., k-1}`` of objects, exactly one of which is
-  faulty, with a-priori weights ``P_j > 0`` (not necessarily normalized —
-  the paper explicitly works with unnormalized weights so that subproblems
-  are themselves well-formed);
+  faulty, with a-priori weights ``P_j >= 0`` summing to a strictly
+  positive total (not necessarily normalized — the paper explicitly works
+  with unnormalized weights so that subproblems are themselves
+  well-formed; individual zero weights model objects ruled out a priori
+  but still structurally present, as arises when conditioning on test
+  outcomes);
 * ``N`` *actions* ``T_1 .. T_N``, each a subset of ``U`` with execution
   cost ``c_i >= 0``.  The first ``m`` actions are **tests**, the rest are
   **treatments**.
@@ -123,8 +126,10 @@ class TTProblem:
             raise ValueError("universe must contain at least one object")
         if len(self.weights) != self.k:
             raise ValueError(f"expected {self.k} weights, got {len(self.weights)}")
-        if any(not (w > 0) for w in self.weights):
-            raise ValueError("all object weights must be strictly positive")
+        if any(not (w >= 0) for w in self.weights):
+            raise ValueError("object weights must be non-negative")
+        if not (sum(self.weights) > 0):
+            raise ValueError("total object weight must be strictly positive")
         if not self.actions:
             raise ValueError("a TT problem needs at least one action")
         full = self.universe

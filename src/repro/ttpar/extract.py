@@ -22,26 +22,44 @@ __all__ = ["tree_from_tables", "rederive_policy"]
 
 
 def rederive_policy(problem: TTProblem, cost: np.ndarray) -> np.ndarray:
-    """Recompute a minimizing action per subset from the cost table alone."""
+    """Recompute a minimizing action per subset from the cost table alone.
+
+    Follows the determinism contract of :mod:`repro.core.sequential`
+    exactly — candidates scanned in action-index order, strict ``<``
+    replacement, and the float evaluation order
+    ``((c_i * p(S)) + C(inter)) + C(rest)`` — so on a table produced by
+    any in-tree backend the result is bit-for-bit ``DPResult.best_action``.
+    (An earlier version added ``C(rest)`` before ``C(inter)``; float
+    addition is not associative, so on near-tied candidates that flipped
+    argmins relative to the DP and could claim values the table never
+    contained.)
+
+    Infeasible subsets (``C(S)`` infinite) always get ``-1``: even on an
+    inconsistent table no action is ever emitted for a live-set that has
+    no successful sub-procedure.
+    """
     n_sub = 1 << problem.k
     best = np.full(n_sub, -1, dtype=np.int64)
     masks = np.arange(n_sub, dtype=np.int64)
     running = np.full(n_sub, np.inf)
+    p = _subset_weight_vector(problem)
     for i, act in enumerate(problem.actions):
         t = act.subset
         inter = masks & t
         rest = masks & ~t
-        value = act.cost * _subset_weight_vector(problem)[masks] + cost[rest]
+        value = act.cost * p
         if act.is_test:
-            value = value + cost[inter]
+            value = value + cost[inter] + cost[rest]
             invalid = (inter == 0) | (rest == 0)
         else:
+            value = value + cost[rest]
             invalid = inter == 0
         value = np.where(invalid, np.inf, value)
         better = value < running
         running = np.where(better, value, running)
         best = np.where(better, i, best)
     best[0] = -1
+    best[~np.isfinite(np.asarray(cost, dtype=np.float64))] = -1
     return best
 
 

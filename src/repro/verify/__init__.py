@@ -1,0 +1,48 @@
+"""Bounded-model verification of the solver stack.
+
+Exhaustively enumerates every TT instance inside small bounds (canonical
+under object relabeling), holds every registered backend's tables
+bit-for-bit to the plain-Python reference oracle, checks a catalogue of
+metamorphic invariances, and shrinks any discrepancy to a minimal
+ready-to-paste regression test.
+
+Entry points: :func:`run_verification` (library),
+``repro verify-exhaustive`` (CLI), :func:`run_check` (what emitted
+regression tests call).
+"""
+
+from .backends import BACKEND_FACTORIES, default_backend_names, make_backends
+from .bounds import FULL, PRESETS, QUICK, Bounds
+from .enumeration import (
+    canonical_structures,
+    cost_patterns,
+    count_instances,
+    enumerate_instances,
+    weight_patterns,
+)
+from .harness import Discrepancy, VerifyReport, run_verification
+from .properties import PROPERTIES, run_check, run_property
+from .shrink import emit_regression_test, shrink
+
+__all__ = [
+    "Bounds",
+    "QUICK",
+    "FULL",
+    "PRESETS",
+    "canonical_structures",
+    "enumerate_instances",
+    "count_instances",
+    "weight_patterns",
+    "cost_patterns",
+    "BACKEND_FACTORIES",
+    "default_backend_names",
+    "make_backends",
+    "PROPERTIES",
+    "run_property",
+    "run_check",
+    "shrink",
+    "emit_regression_test",
+    "Discrepancy",
+    "VerifyReport",
+    "run_verification",
+]

@@ -1,0 +1,72 @@
+"""Enumeration bounds for the bounded-model verification harness.
+
+The harness checks backend equivalence and metamorphic properties over
+*every* TT instance inside a small box of the instance space.  A
+:class:`Bounds` names that box: the largest universe (``max_k``), the
+most actions per instance (``max_actions``), and the index of the
+weight/cost assignment catalogues applied to each structural skeleton
+(see :mod:`repro.verify.enumeration` for how skeletons and assignments
+compose).
+
+Two presets are registered:
+
+``QUICK``
+    ``k <= 3, N <= 4`` — a few tens of thousands of instances, suitable
+    for every-push CI and local pre-commit runs.
+``FULL``
+    ``k <= 4, N <= 5`` — the full bounded space from the issue spec,
+    sized for nightly runs.
+
+All weight and cost values produced under any bounds are small
+non-negative integers.  That is a deliberate exactness contract, not a
+simplification: integer-valued tables make every backend comparison and
+metamorphic identity *bit-exact* in float64 (sums and doublings of small
+integers are exact), and keep the fixed-point BVM encoding lossless so
+the bit-serial backends can be held to the same bit-for-bit standard as
+the host backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Bounds", "QUICK", "FULL", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A box of the TT instance space to cover exhaustively.
+
+    Attributes
+    ----------
+    name:
+        Preset label (shows up in reports and CI logs).
+    max_k:
+        Largest universe size enumerated (``k = 1 .. max_k``).
+    max_actions:
+        Largest action count per instance (``N = 1 .. max_actions``).
+    bvm_stride:
+        Default sampling stride for the (slow, bit-serial) BVM backends:
+        they check every ``bvm_stride``-th *adequate* instance rather
+        than the full space.  Prime so the stride never aliases the
+        weight/cost pattern cycle.
+    """
+
+    name: str
+    max_k: int
+    max_actions: int
+    bvm_stride: int
+
+    def __post_init__(self) -> None:
+        if self.max_k < 1:
+            raise ValueError("bounds need max_k >= 1")
+        if self.max_actions < 1:
+            raise ValueError("bounds need max_actions >= 1")
+        if self.bvm_stride < 1:
+            raise ValueError("bounds need bvm_stride >= 1")
+
+
+QUICK = Bounds(name="quick", max_k=3, max_actions=4, bvm_stride=211)
+FULL = Bounds(name="full", max_k=4, max_actions=5, bvm_stride=1999)
+
+PRESETS: dict[str, Bounds] = {b.name: b for b in (QUICK, FULL)}

@@ -1,0 +1,191 @@
+"""Systematic enumeration of every TT instance inside a :class:`Bounds`.
+
+The space factors into two independent parts:
+
+**Structures.**  The combinatorial skeleton of an instance is a multiset
+of *atoms* ``(kind, subset)`` — which subsets are tested and which are
+treated, with costs and weights abstracted away.  Multisets (not
+sequences) suffice because every solver is invariant under permuting
+equal actions, and the determinism contract's index tie-break is
+exercised separately by the duplication metamorphic property.  Atoms are
+packed into small integers (``kind * 2^k + subset``) and multisets
+enumerated by ``combinations_with_replacement``.
+
+**Canonical-form dedup.**  Relabeling objects maps every solver's tables
+through the same permutation, so two structures in the same orbit of the
+symmetric group ``S_k`` (acting on subset bits) are redundant to check.
+Each orbit keeps only its lexicographically-least member: all ``k!``
+permutations are applied as vectorized atom-lookup gathers, each
+permuted multiset is sorted and encoded as a single base-``(#atoms+1)``
+integer key, and a structure survives iff its own key equals the orbit
+minimum.  At ``k=4, N<=5`` this cuts ~436k raw multisets to ~22k
+canonical ones.  (Dedup is computed on the *structure* only; the
+weight/cost assignments below are not orbit-symmetric, so the harness
+additionally checks relabeling invariance as a metamorphic property on
+every retained instance rather than relying on dedup for it.)
+
+**Assignments.**  Each canonical structure is instantiated under a fixed
+catalogue of weight patterns (uniform, skewed, alternating, zero-first —
+the last models a-priori-ruled-out objects) and cost patterns (unit,
+ascending, zero-first, all-zero — the last a maximal tie stressor).  All
+values are small integers; see :mod:`repro.verify.bounds` for why that
+is an exactness contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import combinations_with_replacement, permutations
+
+import numpy as np
+
+from ..core.problem import Action, ActionKind, TTProblem
+from .bounds import Bounds
+
+__all__ = [
+    "canonical_structures",
+    "weight_patterns",
+    "cost_patterns",
+    "enumerate_instances",
+    "count_instances",
+]
+
+
+def _atom_subset_perms(k: int) -> np.ndarray:
+    """Atom-id lookup tables, one row per permutation of the objects.
+
+    Row ``p`` maps atom id ``a`` to the id of the same-kind action whose
+    subset has each object ``j`` relabeled to ``perm[j]``.
+    """
+    n_sub = 1 << k
+    perms = list(permutations(range(k)))
+    subset_map = np.zeros((len(perms), n_sub), dtype=np.int64)
+    for pi, perm in enumerate(perms):
+        for s in range(n_sub):
+            out = 0
+            for j in range(k):
+                if (s >> j) & 1:
+                    out |= 1 << perm[j]
+            subset_map[pi, s] = out
+    # Atom id = kind * n_sub + subset; kind is permutation-invariant.
+    atom_map = np.concatenate([subset_map, n_sub + subset_map], axis=1)
+    return atom_map
+
+
+def canonical_structures(k: int, max_actions: int) -> list[tuple[int, ...]]:
+    """All orbit-canonical action multisets for universe size ``k``.
+
+    Returns sorted atom-id tuples (``atom = kind * 2^k + subset``,
+    kind 0 = test, 1 = treatment), one per ``S_k`` orbit, in
+    deterministic enumeration order.
+    """
+    n_sub = 1 << k
+    n_atoms = 2 * n_sub
+    pad = n_atoms  # sorts after every real atom; fixed by every perm
+    raw: list[tuple[int, ...]] = []
+    for n in range(1, max_actions + 1):
+        raw.extend(combinations_with_replacement(range(n_atoms), n))
+    arr = np.full((len(raw), max_actions), pad, dtype=np.int64)
+    for row, struct in enumerate(raw):
+        arr[row, : len(struct)] = struct
+
+    atom_map = _atom_subset_perms(k)
+    lookup = np.concatenate([atom_map, np.full((atom_map.shape[0], 1), pad)], axis=1)
+
+    base = np.int64(n_atoms + 1)
+    weights = base ** np.arange(max_actions - 1, -1, -1, dtype=np.int64)
+
+    def encode(rows: np.ndarray) -> np.ndarray:
+        return rows @ weights
+
+    own_key = encode(arr)
+    min_key = own_key.copy()
+    for pi in range(lookup.shape[0]):
+        mapped = np.sort(lookup[pi][arr], axis=1)
+        np.minimum(min_key, encode(mapped), out=min_key)
+    keep = own_key == min_key
+    return [raw[i] for i in np.nonzero(keep)[0]]
+
+
+def weight_patterns(k: int) -> list[tuple[str, tuple[float, ...]]]:
+    """The weight-assignment catalogue for universe size ``k``.
+
+    Every pattern is a tuple of small non-negative integers with a
+    strictly positive total (patterns violating that are dropped, e.g.
+    zero-first at ``k = 1``); duplicates after instantiation are merged.
+    """
+    candidates = [
+        ("w-uniform", tuple(1.0 for _ in range(k))),
+        ("w-skew", tuple(float(k - j) for j in range(k))),
+        ("w-alt", tuple(float(1 + (j % 2)) for j in range(k))),
+        ("w-zero0", tuple(0.0 if j == 0 else 1.0 for j in range(k))),
+    ]
+    seen: set[tuple[float, ...]] = set()
+    out = []
+    for name, pattern in candidates:
+        if sum(pattern) <= 0 or pattern in seen:
+            continue
+        seen.add(pattern)
+        out.append((name, pattern))
+    return out
+
+
+def cost_patterns(n: int) -> list[tuple[str, tuple[float, ...]]]:
+    """The cost-assignment catalogue for ``n`` actions (index-based)."""
+    candidates = [
+        ("c-unit", tuple(1.0 for _ in range(n))),
+        ("c-asc", tuple(float(1 + (i % 3)) for i in range(n))),
+        ("c-zero0", tuple(0.0 if i == 0 else 1.0 for i in range(n))),
+        ("c-zero", tuple(0.0 for _ in range(n))),
+    ]
+    seen: set[tuple[float, ...]] = set()
+    out = []
+    for name, pattern in candidates:
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        out.append((name, pattern))
+    return out
+
+
+def _instantiate(
+    k: int, struct: tuple[int, ...], weights, costs, name: str
+) -> TTProblem:
+    n_sub = 1 << k
+    actions = []
+    for i, atom in enumerate(struct):
+        kind = ActionKind.TEST if atom < n_sub else ActionKind.TREATMENT
+        actions.append(Action(kind, atom % n_sub, costs[i]))
+    return TTProblem(k=k, weights=tuple(weights), actions=tuple(actions), name=name)
+
+
+def enumerate_instances(bounds: Bounds) -> Iterator[TTProblem]:
+    """Yield every instance inside ``bounds`` in deterministic order.
+
+    Instance names encode their provenance
+    (``k<k>/s<structure-index>/<weight-pattern>/<cost-pattern>``) so a
+    reported discrepancy is locatable without re-enumerating.
+    """
+    for k in range(1, bounds.max_k + 1):
+        wpats = weight_patterns(k)
+        for sidx, struct in enumerate(canonical_structures(k, bounds.max_actions)):
+            cpats = cost_patterns(len(struct))
+            for wname, weights in wpats:
+                for cname, costs in cpats:
+                    yield _instantiate(
+                        k, struct, weights, costs, f"k{k}/s{sidx}/{wname}/{cname}"
+                    )
+
+
+def count_instances(bounds: Bounds) -> int:
+    """Total instances :func:`enumerate_instances` will yield.
+
+    Cheap relative to solving (structures are enumerated but never
+    instantiated or solved); used to derive deterministic budget strides.
+    """
+    total = 0
+    for k in range(1, bounds.max_k + 1):
+        n_w = len(weight_patterns(k))
+        for struct in canonical_structures(k, bounds.max_actions):
+            total += n_w * len(cost_patterns(len(struct)))
+    return total

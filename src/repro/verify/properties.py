@@ -1,0 +1,243 @@
+"""Metamorphic property catalogue for the verification harness.
+
+Differential testing catches backends disagreeing with each other; it
+cannot catch all backends sharing one wrong answer.  The properties here
+close that gap: each states an *invariance of the TT problem itself*
+(standard results from the sequential testing-and-diagnosis literature)
+and checks it by solving a transformed instance and comparing tables.
+
+Every property receives the instance and its reference
+:class:`~repro.core.sequential.DPResult` and returns ``None`` on success
+or a one-line failure detail.  Transformed instances are re-solved with
+the numpy backend — cross-backend agreement is the differential pass's
+job, so properties only need one trusted solver.
+
+Exactness: on the integer weight/cost alphabets the enumeration emits
+(see :mod:`repro.verify.bounds`), every identity below holds *bit-for-
+bit* in float64 (doubling and permuting integer-valued tables is exact),
+so comparisons are exact equality, not tolerance-based — tolerance is
+where real off-by-one-ULP regressions go to hide.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..core.problem import Action, TTProblem
+from ..core.sequential import DPResult, solve_dp, solve_dp_reference
+from ..core.transforms import canonicalize
+from ..ttpar.extract import rederive_policy, tree_from_tables
+from ..ttpar.verify import verify_cost_table
+
+__all__ = ["PROPERTIES", "run_property", "run_check"]
+
+PropertyFn = Callable[[TTProblem, DPResult], "str | None"]
+
+
+def _tables_equal(cost_a, cost_b, best_a, best_b) -> str | None:
+    if not np.array_equal(cost_a, cost_b):
+        bad = int(np.argmax(~(np.asarray(cost_a) == np.asarray(cost_b))))
+        return f"cost tables differ first at subset {bad:#x}: {cost_a[bad]} vs {cost_b[bad]}"
+    if not np.array_equal(best_a, best_b):
+        bad = int(np.argmax(np.asarray(best_a) != np.asarray(best_b)))
+        return f"argmin tables differ first at subset {bad:#x}: {best_a[bad]} vs {best_b[bad]}"
+    return None
+
+
+def _prop_bellman(problem: TTProblem, ref: DPResult) -> str | None:
+    """The cost table is a fixed point of the Bellman operator."""
+    report = verify_cost_table(problem, ref.cost)
+    if not report.ok:
+        return (
+            f"Bellman residual {report.max_residual} at subset "
+            f"{report.first_violation:#x} ({report.n_violations} violations)"
+        )
+    return None
+
+
+def _prop_cost_scaling(problem: TTProblem, ref: DPResult) -> str | None:
+    """Doubling every action cost doubles ``C`` and fixes the argmin."""
+    scaled = problem.with_actions(
+        Action(a.kind, a.subset, 2.0 * a.cost, a.name) for a in problem.actions
+    )
+    r = solve_dp(scaled)
+    return _tables_equal(r.cost, 2.0 * ref.cost, r.best_action, ref.best_action)
+
+
+def _prop_weight_scaling(problem: TTProblem, ref: DPResult) -> str | None:
+    """Doubling every object weight doubles ``C`` and fixes the argmin."""
+    scaled = TTProblem(
+        k=problem.k,
+        weights=tuple(2.0 * w for w in problem.weights),
+        actions=problem.actions,
+        name=problem.name,
+    )
+    r = solve_dp(scaled)
+    return _tables_equal(r.cost, 2.0 * ref.cost, r.best_action, ref.best_action)
+
+
+def _permute_mask(mask: int, perm: list[int]) -> int:
+    out = 0
+    for j, pj in enumerate(perm):
+        if (mask >> j) & 1:
+            out |= 1 << pj
+    return out
+
+
+def _prop_relabel(problem: TTProblem, ref: DPResult) -> str | None:
+    """Relabeling objects permutes the tables and nothing else.
+
+    Uses the rotation ``j -> (j+1) mod k``, which generates a nontrivial
+    orbit for every ``k >= 2``.  This is also the property that covers
+    the asymmetric weight/cost assignments the enumeration's structural
+    dedup deliberately does not canonicalize over.
+    """
+    k = problem.k
+    if k < 2:
+        return None
+    perm = [(j + 1) % k for j in range(k)]
+    inv = [0] * k
+    for j, pj in enumerate(perm):
+        inv[pj] = j
+    relabeled = TTProblem(
+        k=k,
+        weights=tuple(problem.weights[inv[j]] for j in range(k)),
+        actions=tuple(
+            Action(a.kind, _permute_mask(a.subset, perm), a.cost, a.name)
+            for a in problem.actions
+        ),
+        name=problem.name,
+    )
+    r = solve_dp(relabeled)
+    pi = np.array([_permute_mask(s, perm) for s in range(1 << k)], dtype=np.int64)
+    return _tables_equal(r.cost[pi], ref.cost, r.best_action[pi], ref.best_action)
+
+
+def _prop_duplicate_action(problem: TTProblem, ref: DPResult) -> str | None:
+    """Appending a copy of action 0 changes nothing.
+
+    The copy sits at the highest index, so under the lowest-index
+    tie-break it may never win — both tables must be bit-identical,
+    which pins the tie-break rule itself across the contract.
+    """
+    first = problem.actions[0]
+    dup = problem.with_actions(
+        list(problem.actions) + [Action(first.kind, first.subset, first.cost)]
+    )
+    r = solve_dp(dup)
+    return _tables_equal(r.cost, ref.cost, r.best_action, ref.best_action)
+
+
+def _prop_canonicalize(problem: TTProblem, ref: DPResult) -> str | None:
+    """Optimum-preserving reductions preserve the whole merged table.
+
+    For every subset ``G`` of the reduced universe,
+    ``C_reduced(G) == C_original(union of G's object groups)`` — not
+    just the optimum at the full universe.
+    """
+    report = canonicalize(problem)
+    red = report.problem
+    r = solve_dp(red)
+    union = np.zeros(1 << red.k, dtype=np.int64)
+    for new_j, grp in enumerate(report.groups):
+        gbit = np.int64(1) << new_j
+        member = (np.arange(1 << red.k, dtype=np.int64) & gbit) != 0
+        gmask = 0
+        for orig in grp:
+            gmask |= 1 << orig
+        union[member] |= gmask
+    lifted = ref.cost[union]
+    if not np.array_equal(r.cost, lifted):
+        bad = int(np.argmax(~(r.cost == lifted)))
+        return (
+            f"reduced C({bad:#x})={r.cost[bad]} != original "
+            f"C({int(union[bad]):#x})={lifted[bad]}"
+        )
+    return None
+
+
+def _prop_rederive_policy(problem: TTProblem, ref: DPResult) -> str | None:
+    """Re-deriving the argmin from the cost table matches the DP's."""
+    pol = rederive_policy(problem, ref.cost)
+    if not np.array_equal(pol, ref.best_action):
+        bad = int(np.argmax(pol != np.asarray(ref.best_action)))
+        return (
+            f"rederived policy differs first at subset {bad:#x}: "
+            f"{pol[bad]} vs {ref.best_action[bad]}"
+        )
+    return None
+
+
+def _prop_tree_roundtrip(problem: TTProblem, ref: DPResult) -> str | None:
+    """The reconstructed procedure's expected cost equals ``C(U)``.
+
+    Checked through both the recorded policy and the rederived one
+    (``best_action=None``); infeasible instances must raise, not emit a
+    tree.
+    """
+    if not ref.feasible:
+        for best in (ref.best_action, None):
+            try:
+                tree_from_tables(problem, ref.cost, best)
+            except ValueError:
+                continue
+            return "tree_from_tables did not raise on an infeasible instance"
+        return None
+    for label, best in (("recorded", ref.best_action), ("rederived", None)):
+        tree = tree_from_tables(problem, ref.cost, best)
+        got = tree.expected_cost()
+        if abs(got - ref.optimal_cost) > 1e-9:
+            return (
+                f"{label}-policy tree costs {got}, table says {ref.optimal_cost}"
+            )
+    return None
+
+
+PROPERTIES: dict[str, PropertyFn] = {
+    "bellman": _prop_bellman,
+    "cost-scaling": _prop_cost_scaling,
+    "weight-scaling": _prop_weight_scaling,
+    "relabel": _prop_relabel,
+    "duplicate-action": _prop_duplicate_action,
+    "canonicalize": _prop_canonicalize,
+    "rederive-policy": _prop_rederive_policy,
+    "tree-roundtrip": _prop_tree_roundtrip,
+}
+
+
+def run_property(name: str, problem: TTProblem, ref: DPResult | None = None) -> str | None:
+    """Run one named property; ``None`` means it holds."""
+    fn = PROPERTIES.get(name)
+    if fn is None:
+        raise ValueError(f"unknown property {name!r}; expected one of {sorted(PROPERTIES)}")
+    if ref is None:
+        ref = solve_dp_reference(problem)
+    return fn(problem, ref)
+
+
+def run_check(check: str, problem: TTProblem) -> str | None:
+    """Re-run a single harness check by its report name.
+
+    ``check`` is either ``"property:<name>"`` or ``"backend:<name>"``
+    exactly as recorded in a :class:`~repro.verify.harness.Discrepancy`;
+    shrunken regression tests call this so a reproducer stays one line.
+    Returns ``None`` when the check passes, else the failure detail.
+    """
+    kind, _, name = check.partition(":")
+    if kind == "property":
+        return run_property(name, problem)
+    if kind == "backend":
+        from .backends import make_backends
+
+        (backend,) = make_backends([name])
+        try:
+            got = backend.tables(problem)
+        finally:
+            backend.close()
+        if got is None:
+            return None  # backend declines this instance
+        ref = solve_dp_reference(problem)
+        return _tables_equal(got[0], ref.cost, got[1], ref.best_action)
+    raise ValueError(f"check must be 'property:<name>' or 'backend:<name>', got {check!r}")

@@ -1,0 +1,158 @@
+"""Discrepancy shrinking and regression-test emission.
+
+A failure found deep in a half-million-instance sweep is useless until
+it is small enough to read.  :func:`shrink` greedily minimizes a failing
+instance under a re-runnable predicate — drop actions, drop objects,
+flatten costs and weights to 0/1 — to a local minimum where no single
+reduction still reproduces the failure.  Deterministic: same instance +
+same predicate -> same reproducer.
+
+:func:`emit_regression_test` renders the shrunken instance as a
+self-contained pytest file that re-runs the exact failed check through
+:func:`repro.verify.run_check`, ready to paste (or upload from CI as an
+artifact) into ``tests/verify/``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterator
+
+from ..core.problem import Action, TTProblem
+
+__all__ = ["shrink", "emit_regression_test"]
+
+Predicate = Callable[[TTProblem], "str | None"]
+
+
+def _without_action(problem: TTProblem, i: int) -> TTProblem | None:
+    if problem.n_actions <= 1:
+        return None
+    return problem.with_actions(
+        [a for j, a in enumerate(problem.actions) if j != i]
+    )
+
+
+def _without_object(problem: TTProblem, j: int) -> TTProblem | None:
+    """Drop object ``j``, compressing every subset mask around the hole."""
+    if problem.k <= 1:
+        return None
+    low = (1 << j) - 1
+
+    def squeeze(mask: int) -> int:
+        return (mask & low) | ((mask >> (j + 1)) << j)
+
+    weights = tuple(w for jj, w in enumerate(problem.weights) if jj != j)
+    actions = tuple(
+        Action(a.kind, squeeze(a.subset), a.cost, a.name) for a in problem.actions
+    )
+    return TTProblem(k=problem.k - 1, weights=weights, actions=actions)
+
+
+def _with_cost(problem: TTProblem, i: int, cost: float) -> TTProblem | None:
+    if problem.actions[i].cost == cost:
+        return None
+    a = problem.actions[i]
+    acts = list(problem.actions)
+    acts[i] = Action(a.kind, a.subset, cost, a.name)
+    return problem.with_actions(acts)
+
+
+def _with_weight(problem: TTProblem, j: int, weight: float) -> TTProblem | None:
+    if problem.weights[j] == weight:
+        return None
+    weights = list(problem.weights)
+    weights[j] = weight
+    return TTProblem(k=problem.k, weights=tuple(weights), actions=problem.actions)
+
+
+def _valid(make: Callable[[], TTProblem | None]) -> TTProblem | None:
+    """Build a candidate; invalid reductions (e.g. the removed object
+    carried all the weight) are skipped, not fatal."""
+    try:
+        return make()
+    except ValueError:
+        return None
+
+
+def _candidates(problem: TTProblem) -> Iterator[TTProblem | None]:
+    # Structural reductions first (biggest wins), then value flattening.
+    # Flattening is monotone toward simpler values (x -> 0, else x -> 1
+    # only from outside {0, 1}) so a value-indifferent failure cannot
+    # make the greedy loop oscillate between flatten targets.
+    for i in range(problem.n_actions):
+        yield _valid(lambda i=i: _without_action(problem, i))
+    for j in range(problem.k):
+        yield _valid(lambda j=j: _without_object(problem, j))
+    for i in range(problem.n_actions):
+        yield _valid(lambda i=i: _with_cost(problem, i, 0.0))
+        if problem.actions[i].cost not in (0.0, 1.0):
+            yield _valid(lambda i=i: _with_cost(problem, i, 1.0))
+    for j in range(problem.k):
+        if problem.weights[j] not in (0.0, 1.0):
+            yield _valid(lambda j=j: _with_weight(problem, j, 1.0))
+
+
+def shrink(problem: TTProblem, failing: Predicate, max_steps: int = 10_000) -> TTProblem:
+    """Greedily minimize ``problem`` while ``failing`` still reproduces.
+
+    ``failing`` returns a failure detail (truthy) when the bug still
+    fires, ``None`` when the candidate no longer reproduces it.
+    Candidates that are not even valid problems (e.g. total weight hits
+    zero) are skipped.  Stops at a 1-step-minimal instance or after
+    ``max_steps`` accepted reductions.
+    """
+    steps = 0
+    while steps < max_steps:
+        for candidate in _candidates(problem):
+            if candidate is None:
+                continue
+            try:
+                still_fails = failing(candidate)
+            except Exception:
+                # A reduction that changes the failure mode into a crash
+                # is still the same neighborhood; keep it only if the
+                # caller's predicate classifies crashes itself.
+                still_fails = None
+            if still_fails:
+                problem = candidate
+                steps += 1
+                break
+        else:
+            return problem
+    return problem
+
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_RE.sub("_", text.lower()).strip("_") or "check"
+
+
+def emit_regression_test(check: str, problem: TTProblem, detail: str) -> tuple[str, str]:
+    """Render a ready-to-paste pytest reproducer.
+
+    Returns ``(suggested_filename, file_contents)``.  The test body is a
+    single :func:`repro.verify.run_check` call, so the reproducer stays
+    valid even if internal solver APIs move.
+    """
+    slug = _slug(check)
+    body = f'''"""Shrunken reproducer emitted by `repro verify-exhaustive`.
+
+Failed check: {check}
+Detail at emission time: {detail}
+"""
+
+from repro.core.problem import TTProblem
+from repro.verify import run_check
+
+PROBLEM_JSON = r"""{problem.to_json()}"""
+
+
+def test_{slug}():
+    problem = TTProblem.from_json(PROBLEM_JSON)
+    failure = run_check({check!r}, problem)
+    assert failure is None, failure
+'''
+    return f"test_repro_{slug}.py", body

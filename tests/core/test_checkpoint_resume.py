@@ -1,0 +1,139 @@
+"""Checkpoint resume across backend/worker configurations.
+
+The contract under test (satellite of the verification-harness PR): a
+supervisor checkpoint written by one solver configuration and resumed by
+*any* other must either produce tables bit-for-bit identical to a cold
+solve or fail loudly with a :class:`SolverError` — never silently
+diverge, and never silently skip the checkpoint.  Shards are pure
+functions of the (problem, completed-prefix) state, so worker count must
+not matter; single-process backends cannot honour a checkpoint at all,
+so requesting one there must raise instead of quietly doing nothing.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.errors import CheckpointMismatch, InvalidProblem
+from repro.core.generators import random_instance
+from repro.core.parallel import solve_dp_parallel
+from repro.core.sequential import solve_dp_reference
+from repro.core.supervisor import (
+    ResiliencePolicy,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.util.bitops import popcount_array
+
+PROBLEM = random_instance(6, n_tests=6, n_treatments=4, seed=11)
+REF = solve_dp_reference(PROBLEM)
+
+QUICK = ResiliencePolicy(timeout=5.0, max_retries=1, backoff=0.01, backoff_max=0.05)
+
+
+def partial_checkpoint(path, problem, ref, completed_layer):
+    """Write the exact on-disk state of a solve stopped after a layer.
+
+    Layers ``popcount(S) > completed_layer`` are reset to the sentinel
+    state the resume path expects (``INF`` cost, ``-1`` policy).
+    """
+    cost = np.array(ref.cost, dtype=np.float64, copy=True)
+    best = np.array(ref.best_action, dtype=np.int64, copy=True)
+    layers = popcount_array(np.arange(1 << problem.k), problem.k)
+    todo = layers > completed_layer
+    cost[todo] = np.inf
+    best[todo] = -1
+    save_checkpoint(path, problem, cost, best, completed_layer)
+
+
+class TestResumeAcrossWorkerCounts:
+    @pytest.mark.parametrize("resume_workers", [1, 2, 3])
+    def test_partial_resume_bit_identical(self, tmp_path, resume_workers):
+        path = tmp_path / "partial.ckpt"
+        partial_checkpoint(path, PROBLEM, REF, completed_layer=3)
+        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        result = solve_dp_parallel(
+            PROBLEM, workers=resume_workers, min_shard=1, policy=policy
+        )
+        assert np.array_equal(result.cost, REF.cost)
+        assert np.array_equal(result.best_action, REF.best_action)
+
+    def test_checkpoint_written_by_one_config_resumed_by_another(self, tmp_path):
+        path = tmp_path / "cross.ckpt"
+        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        first = solve_dp_parallel(PROBLEM, workers=3, min_shard=1, policy=policy)
+        assert path.exists()
+        resumed = solve_dp_parallel(PROBLEM, workers=1, min_shard=1, policy=policy)
+        assert np.array_equal(first.cost, resumed.cost)
+        assert np.array_equal(first.best_action, resumed.best_action)
+        assert np.array_equal(resumed.cost, REF.cost)
+
+    def test_resume_skips_completed_layers(self, tmp_path):
+        path = tmp_path / "done.ckpt"
+        partial_checkpoint(path, PROBLEM, REF, completed_layer=PROBLEM.k)
+        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        result = solve_dp_parallel(PROBLEM, workers=2, min_shard=1, policy=policy)
+        # Fully-completed checkpoint: no layer was recomputed.
+        assert result.recovery["layers"] == []
+        assert {"kind": "resume", "completed_layer": PROBLEM.k} in result.recovery[
+            "events"
+        ]
+        assert np.array_equal(result.cost, REF.cost)
+
+
+class TestDispatchCheckpointRouting:
+    def test_auto_backend_honours_checkpoint(self, tmp_path):
+        # Below the auto parallel threshold: without the routing fix the
+        # numpy backend would run and the checkpoint silently never
+        # appear on disk.
+        small = random_instance(4, n_tests=3, n_treatments=3, seed=7)
+        path = tmp_path / "auto.ckpt"
+        result = solve(small, backend="auto", workers=2, checkpoint=str(path))
+        assert path.exists()
+        cold = solve_dp_reference(small)
+        assert np.array_equal(result.cost, cold.cost)
+        assert np.array_equal(result.best_action, cold.best_action)
+        # Resuming the finished checkpoint must be a no-op solve with
+        # identical tables.
+        resumed = solve(small, backend="auto", workers=2, checkpoint=str(path))
+        assert np.array_equal(resumed.cost, cold.cost)
+        assert np.array_equal(resumed.best_action, cold.best_action)
+
+    @pytest.mark.parametrize("backend", ["numpy", "reference"])
+    def test_single_process_backend_with_checkpoint_raises(self, tmp_path, backend):
+        path = tmp_path / "nope.ckpt"
+        with pytest.raises(InvalidProblem, match="parallel backend"):
+            solve(PROBLEM, backend=backend, checkpoint=str(path))
+        assert not path.exists()
+
+    @pytest.mark.parametrize("backend", ["numpy", "reference"])
+    def test_policy_checkpoint_also_raises(self, tmp_path, backend):
+        policy = dataclasses.replace(QUICK, checkpoint=str(tmp_path / "p.ckpt"))
+        with pytest.raises(InvalidProblem, match="parallel backend"):
+            solve(PROBLEM, backend=backend, policy=policy)
+
+    def test_policy_without_checkpoint_still_allowed(self):
+        # A bare resilience policy on a single-process backend is inert
+        # but harmless; only the checkpoint field forces parallel.
+        result = solve(PROBLEM, backend="numpy", policy=QUICK)
+        assert np.array_equal(result.cost, REF.cost)
+
+
+class TestMismatchIsLoud:
+    def test_resume_with_different_problem_raises(self, tmp_path):
+        path = tmp_path / "stale.ckpt"
+        partial_checkpoint(path, PROBLEM, REF, completed_layer=2)
+        other = random_instance(6, n_tests=6, n_treatments=4, seed=99)
+        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        with pytest.raises(CheckpointMismatch):
+            solve_dp_parallel(other, workers=2, min_shard=1, policy=policy)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "trunc.ckpt"
+        partial_checkpoint(path, PROBLEM, REF, completed_layer=2)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointMismatch):
+            load_checkpoint(path, PROBLEM)

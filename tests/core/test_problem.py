@@ -48,9 +48,19 @@ class TestTTProblemValidation:
         with pytest.raises(ValueError):
             TTProblem(k=2, weights=(1.0,), actions=(Action.treatment(0b11, 1.0),))
 
-    def test_nonpositive_weight_rejected(self):
+    def test_negative_weight_rejected(self):
         with pytest.raises(ValueError):
-            TTProblem.build([1.0, 0.0], [Action.treatment(0b11, 1.0)])
+            TTProblem.build([1.0, -0.5], [Action.treatment(0b11, 1.0)])
+
+    def test_zero_weight_allowed_if_total_positive(self):
+        # Zero-probability objects are legal (they arise naturally from
+        # conditioning); only the total weight must be positive.
+        p = TTProblem.build([1.0, 0.0], [Action.treatment(0b11, 1.0)])
+        assert p.weights == (1.0, 0.0)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            TTProblem.build([0.0, 0.0], [Action.treatment(0b11, 1.0)])
 
     def test_empty_universe_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,116 @@
+"""Enumeration correctness: the harness is only as strong as its space.
+
+The critical property is *completeness up to relabeling*: every raw
+action multiset must be reachable from some retained canonical structure
+by permuting objects.  A dedup bug that silently drops an orbit would
+turn "exhaustive" into "mostly", which is the failure mode this file
+exists to prevent — checked here by brute force at small sizes.
+"""
+
+from itertools import combinations_with_replacement, permutations
+
+import pytest
+
+from repro.verify import (
+    FULL,
+    QUICK,
+    Bounds,
+    canonical_structures,
+    cost_patterns,
+    count_instances,
+    enumerate_instances,
+    weight_patterns,
+)
+
+
+def permute_structure(struct, perm, k):
+    n_sub = 1 << k
+
+    def map_atom(atom):
+        kind, subset = divmod(atom, n_sub)
+        out = 0
+        for j in range(k):
+            if (subset >> j) & 1:
+                out |= 1 << perm[j]
+        return kind * n_sub + out
+
+    return tuple(sorted(map_atom(a) for a in struct))
+
+
+class TestCanonicalStructures:
+    @pytest.mark.parametrize("k,max_actions", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_complete_and_minimal(self, k, max_actions):
+        """Brute-force ground truth: one representative per orbit, the
+        lexicographically least, and nothing else."""
+        n_atoms = 2 * (1 << k)
+        raw = set()
+        for n in range(1, max_actions + 1):
+            raw.update(combinations_with_replacement(range(n_atoms), n))
+        expected = {
+            min(permute_structure(s, perm, k) for perm in permutations(range(k)))
+            for s in raw
+        }
+        got = canonical_structures(k, max_actions)
+        assert set(got) == expected
+        assert len(got) == len(set(got))
+
+    def test_structures_sorted_atoms(self):
+        for struct in canonical_structures(3, 3):
+            assert list(struct) == sorted(struct)
+
+    def test_k1_trivial_group_keeps_everything(self):
+        # S_1 is trivial: every multiset is its own orbit.
+        assert len(canonical_structures(1, 1)) == 4  # {test,treat} x {{},{0}}
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_weight_patterns_valid(self, k):
+        pats = weight_patterns(k)
+        assert pats, "at least one weight pattern per k"
+        seen = set()
+        for name, weights in pats:
+            assert len(weights) == k
+            assert all(w >= 0 and w == int(w) for w in weights), name
+            assert sum(weights) > 0, name
+            assert weights not in seen
+            seen.add(weights)
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_cost_patterns_valid(self, n):
+        pats = cost_patterns(n)
+        assert pats
+        seen = set()
+        for name, costs in pats:
+            assert len(costs) == n
+            assert all(c >= 0 and c == int(c) for c in costs), name
+            assert costs not in seen
+            seen.add(costs)
+
+    def test_zero_weight_pattern_dropped_at_k1(self):
+        # w-zero0 at k=1 would have total weight 0: must not be offered.
+        names = [name for name, _ in weight_patterns(1)]
+        assert "w-zero0" not in names
+
+
+class TestInstanceStream:
+    def test_count_matches_stream(self):
+        tiny = Bounds(name="tiny", max_k=2, max_actions=2, bvm_stride=7)
+        instances = list(enumerate_instances(tiny))
+        assert len(instances) == count_instances(tiny)
+        # Deterministic: same order on re-enumeration.
+        again = list(enumerate_instances(tiny))
+        assert [p.to_json() for p in instances] == [p.to_json() for p in again]
+
+    def test_instances_are_valid_problems(self):
+        tiny = Bounds(name="tiny", max_k=2, max_actions=2, bvm_stride=7)
+        for p in enumerate_instances(tiny):
+            assert 1 <= p.k <= 2
+            assert 1 <= p.n_actions <= 2
+            assert sum(p.weights) > 0
+            assert "/" in p.name  # provenance-encoding name
+
+    def test_presets(self):
+        assert QUICK.max_k == 3 and QUICK.max_actions == 4
+        assert FULL.max_k == 4 and FULL.max_actions == 5
+        assert count_instances(QUICK) > 10_000
