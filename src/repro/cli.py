@@ -23,6 +23,12 @@ Commands
     oracle, check metamorphic properties, and shrink any discrepancy to
     a ready-to-paste regression test (exit 1 when any is found).
 
+``crash-drill``
+    SIGKILL a ``--store=mmap`` solve at a chosen point of the durable
+    slab-commit protocol (in a subprocess), resume from the surviving
+    spill directory, and prove the resumed tables bit-identical to an
+    undisturbed solve.
+
 ``workloads``
     List the available synthetic workload generators.
 
@@ -40,6 +46,7 @@ import argparse
 import dataclasses
 import json
 import math
+import os
 import sys
 
 import numpy as np
@@ -55,6 +62,7 @@ from .core import (
     resolve_backend,
     solve,
 )
+from .core.faults import CRASH_POINTS
 
 __all__ = ["main", "build_parser"]
 
@@ -114,7 +122,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="layer-granular checkpoint file: written after every layer "
         "barrier, resumed from (after a problem content-hash check) when "
-        "it already exists",
+        "it already exists; removed after a successful solve unless "
+        "--keep-checkpoint",
+    )
+    p_solve.add_argument(
+        "--keep-checkpoint",
+        action="store_true",
+        help="keep the checkpoint file after a successful solve instead "
+        "of removing it",
+    )
+    p_solve.add_argument(
+        "--store",
+        choices=("auto", "ram", "mmap"),
+        default="auto",
+        help="where the DP tables live: in-RAM shared memory (ram), a "
+        "durable memory-mapped spill directory (mmap; requires "
+        "--spill-dir), or auto (mmap iff --spill-dir is given)",
+    )
+    p_solve.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill directory for the mmap store: tables and checksummed "
+        "per-layer slabs live here; re-running with the same directory "
+        "resumes from every layer whose checksum verifies",
     )
     p_solve.add_argument(
         "--no-fallback",
@@ -224,6 +255,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
 
+    p_drill = sub.add_parser(
+        "crash-drill",
+        help="SIGKILL a spilled solve mid-commit and prove bit-identical resume",
+        description="Run a --store=mmap solve in a subprocess with a "
+        "REPRO_STORE_CRASH trap armed at one point of the slab commit "
+        "protocol, let the process SIGKILL itself there, resume from the "
+        "surviving spill directory in-process, and compare the resumed "
+        "tables bit-for-bit against an undisturbed solve.  Exit 0 = the "
+        "drill passed (process died by SIGKILL, resume was bit-identical), "
+        "1 = it did not.",
+    )
+    p_drill.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="random",
+        help="synthetic workload to drill on (default: random)",
+    )
+    p_drill.add_argument("--k", type=int, default=10, help="universe size")
+    p_drill.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_drill.add_argument(
+        "--point",
+        choices=("all",) + tuple(CRASH_POINTS),
+        default="all",
+        help="commit-protocol crash point to drill (default: all four)",
+    )
+    p_drill.add_argument(
+        "--layer",
+        type=int,
+        default=None,
+        help="layer whose commit the crash lands in (default: k//2)",
+    )
+    p_drill.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the drilled solve (crash points are "
+        "parent-side, so 1 is enough to exercise them)",
+    )
+    p_drill.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="working directory for the drill (default: a fresh temp dir, "
+        "removed afterwards)",
+    )
+    p_drill.add_argument("--json", action="store_true", help="machine-readable output")
+
     sub.add_parser("workloads", help="list synthetic workload generators")
     sub.add_parser("figures", help="regenerate the paper's Figs. 3/4/6 patterns")
     sub.add_parser("claims", help="print the complexity-claim tables")
@@ -252,11 +326,16 @@ def _policy(args) -> ResiliencePolicy | None:
         args.timeout is None
         and args.retries is None
         and args.checkpoint is None
+        and not args.keep_checkpoint
         and not args.no_fallback
     ):
         return None
     policy = ResiliencePolicy()
-    overrides: dict = {"checkpoint": args.checkpoint, "fallback": not args.no_fallback}
+    overrides: dict = {
+        "checkpoint": args.checkpoint,
+        "keep_checkpoint": args.keep_checkpoint,
+        "fallback": not args.no_fallback,
+    }
     if args.timeout is not None:
         overrides["timeout"] = args.timeout
     if args.retries is not None:
@@ -278,9 +357,17 @@ def _solve(args, out) -> int:
 
     counters: dict = {}
     if args.solver == "dp":
+        use_store = args.store != "auto" or args.spill_dir is not None
         backend, workers = resolve_backend(problem, args.backend, args.workers)
+        if use_store and (args.store == "mmap" or args.spill_dir is not None):
+            backend = "parallel"  # the mmap store rides the parallel loop
         result = solve(
-            problem, backend=args.backend, workers=args.workers, policy=_policy(args)
+            problem,
+            backend=args.backend,
+            workers=args.workers,
+            policy=_policy(args),
+            store=args.store if use_store else None,
+            spill_dir=args.spill_dir,
         )
         counters["sequential_ops"] = result.op_count
         counters["backend"] = backend
@@ -297,6 +384,8 @@ def _solve(args, out) -> int:
                         "fallback_shards",
                         "degraded",
                         "resumed_from_layer",
+                        "rederived",
+                        "store",
                     )
                 }
     elif args.solver == "hypercube":
@@ -395,6 +484,48 @@ def _solve_batch(args, out) -> int:
         if sink is not out:
             sink.close()
     return 0
+
+
+def _crash_drill(args, out) -> int:
+    import shutil
+    import tempfile
+
+    from .store.drill import run_crash_drill
+
+    problem = WORKLOADS[args.workload](args.k, seed=args.seed)
+    points = list(CRASH_POINTS) if args.point == "all" else [args.point]
+    workdir = args.dir
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-crash-drill-")
+    reports = []
+    try:
+        for point in points:
+            reports.append(
+                run_crash_drill(
+                    problem,
+                    point,
+                    workdir=os.path.join(workdir, point),
+                    layer=args.layer,
+                    workers=args.workers,
+                )
+            )
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    ok = all(r["killed"] and r["identical"] for r in reports)
+    if args.json:
+        print(json.dumps({"ok": ok, "drills": reports}, indent=2), file=out)
+    else:
+        for r in reports:
+            status = "PASS" if (r["killed"] and r["identical"]) else "FAIL"
+            print(
+                f"{status} {r['point']:>12} layer={r['layer']}: "
+                f"killed={r['killed']} committed_at_kill={r['committed_at_kill']} "
+                f"rederived={r['rederived']} identical={r['identical']}",
+                file=out,
+            )
+    return 0 if ok else 1
 
 
 def _verify_exhaustive(args, out) -> int:
@@ -527,6 +658,8 @@ def _dispatch(args, out) -> int:
         return _solve(args, out)
     if args.command == "solve-batch":
         return _solve_batch(args, out)
+    if args.command == "crash-drill":
+        return _crash_drill(args, out)
     if args.command == "verify-exhaustive":
         return _verify_exhaustive(args, out)
     if args.command == "workloads":

@@ -158,6 +158,8 @@ def solve(
     *,
     policy: ResiliencePolicy | None = None,
     checkpoint: str | None = None,
+    store: str | None = None,
+    spill_dir: str | None = None,
     engine=None,
 ) -> DPResult:
     """Solve a TT instance with the selected (or auto-selected) backend.
@@ -175,19 +177,66 @@ def solve(
     rather than silently running without checkpoint support — a resume
     that silently never happens is indistinguishable from divergence.
 
+    ``store`` / ``spill_dir`` select where the DP tables live (see
+    :mod:`repro.store`): ``store`` is one of ``"auto"`` / ``"ram"`` /
+    ``"mmap"`` (or a prebuilt :class:`repro.store.StoreSpec`), and
+    ``spill_dir`` names the durable spill directory the mmap store
+    commits its layers into.  The mmap store rides the parallel solve
+    loop, so — like checkpointing — it forces the parallel backend under
+    ``"auto"`` and refuses an explicit single-process backend.  It also
+    *replaces* checkpointing (the manifest already persists every layer
+    durably), so combining the two is rejected.  Resume is implicit:
+    reopening the same ``spill_dir`` skips every layer whose checksum
+    verifies.
+
     ``engine`` — a warm :class:`~repro.core.engine.SolverEngine` — routes
     the solve through the engine's amortized pool and tables (its own
     backend/worker configuration wins over the arguments here).  The
-    engine path is bit-for-bit identical to a cold solve.  Checkpointed
-    or custom-policy solves carry per-solve failure-domain state the
-    warm engine cannot share, so they fall through to the cold path.
+    engine path is bit-for-bit identical to a cold solve.  Checkpointed,
+    custom-policy or spilled solves carry per-solve failure-domain state
+    the warm engine cannot share, so they fall through to the cold path.
     """
-    if engine is not None and policy is None and checkpoint is None:
+    spec = None
+    store_kind = "ram"
+    if store is not None or spill_dir is not None:
+        from .. import store as store_mod  # runtime import: store builds on core
+
+        if isinstance(store, store_mod.StoreSpec):
+            if spill_dir is not None:
+                raise InvalidProblem(
+                    "pass spill_dir inside the StoreSpec, not alongside it"
+                )
+            spec = store
+        else:
+            spec = store_mod.StoreSpec(
+                kind="auto" if store is None else store, spill_dir=spill_dir
+            )
+        store_kind = spec.resolve()
+
+    if (
+        engine is not None
+        and policy is None
+        and checkpoint is None
+        and store_kind != "mmap"
+    ):
         return engine.solve(problem)
     if checkpoint is not None:
         policy = dataclasses.replace(
             policy or ResiliencePolicy(), checkpoint=checkpoint
         )
+    if store_kind == "mmap":
+        if policy is not None and policy.checkpoint is not None:
+            raise InvalidProblem(
+                "checkpoint= cannot be combined with the mmap store: the "
+                "spill directory's manifest already persists every layer "
+                "durably (resume simply reopens the same spill_dir)"
+            )
+        if backend in ("numpy", "reference"):
+            raise InvalidProblem(
+                f"the mmap store requires the parallel backend, got {backend!r}; "
+                "single-process backends have no layer store to spill from"
+            )
+        backend = "parallel"
     if policy is not None and policy.checkpoint is not None:
         if backend in ("numpy", "reference"):
             raise InvalidProblem(
@@ -198,7 +247,11 @@ def solve(
     backend, eff_workers = resolve_backend(problem, backend, workers)
     if backend == "reference":
         return solve_dp_reference(problem)
-    p = cached_subset_weights(problem)
+    # The mmap store derives the weights into its own p.dat (out-of-core,
+    # chunked); precomputing a 2^k RAM vector here would defeat the budget.
+    p = None if store_kind == "mmap" else cached_subset_weights(problem)
     if backend == "parallel":
-        return solve_dp_parallel(problem, workers=eff_workers, p=p, policy=policy)
+        return solve_dp_parallel(
+            problem, workers=eff_workers, p=p, policy=policy, store=spec
+        )
     return solve_dp(problem, p=p)

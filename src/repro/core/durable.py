@@ -1,0 +1,127 @@
+"""Durable-write primitives shared by checkpoints and the layer store.
+
+The atomic-rename idiom alone (``write tmp -> os.replace``) survives a
+*process* crash but not a *power* loss: without an ``fsync`` the renamed
+file's data may still live only in the page cache, and without an fsync
+of the containing directory the rename itself may not be durable — a
+reboot can surface a zero-length file or the pre-rename state.  Every
+on-disk artifact the solver may later resume from goes through the full
+protocol here:
+
+    write tmp -> flush -> fsync(tmp) -> rename -> fsync(directory)
+
+``fsync`` can be disabled per call (the verify harness hammers the store
+with thousands of tiny solves where durability is irrelevant), but the
+write-tmp/rename atomicity is always kept.
+
+Temp files use the ``.tmp`` suffix; :func:`sweep_tmp_files` removes
+stragglers left by a crash mid-write so they can never accumulate or be
+mistaken for committed state.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable
+
+__all__ = [
+    "TMP_SUFFIX",
+    "fsync_dir",
+    "atomic_write_bytes",
+    "atomic_write_file",
+    "sweep_tmp_files",
+]
+
+TMP_SUFFIX = ".tmp"
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Fsync a directory so a rename inside it survives power loss.
+
+    Best-effort: some filesystems refuse ``O_RDONLY`` opens or fsync on
+    directories; those cannot be made more durable from userspace, so
+    errors are swallowed rather than failing an otherwise-good commit.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_file(
+    path: str | os.PathLike,
+    writer: Callable,
+    *,
+    fsync: bool = True,
+) -> None:
+    """Atomically (and durably) create ``path`` via a writer callback.
+
+    ``writer(fh)`` receives the open binary temp-file handle and writes
+    the payload; this function then flushes, fsyncs, renames over
+    ``path``, and fsyncs the directory.  On any failure the temp file is
+    removed and ``path`` is untouched.
+    """
+    path = os.fspath(path)
+    tmp = path + TMP_SUFFIX
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(os.path.dirname(path) or ".")
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, payload: bytes, *, fsync: bool = True
+) -> None:
+    """Atomically (and durably) replace ``path`` with ``payload``."""
+    atomic_write_file(path, lambda fh: fh.write(payload), fsync=fsync)
+
+
+def sweep_tmp_files(paths: Iterable[str | os.PathLike]) -> list:
+    """Remove orphaned ``.tmp`` files; returns the paths actually removed.
+
+    ``paths`` may mix directories (swept non-recursively) and candidate
+    file paths (removed when they carry the temp suffix and exist).
+    Missing entries are ignored — the sweep runs on every startup.
+    """
+    removed: list = []
+    for entry in paths:
+        entry = os.fspath(entry)
+        if os.path.isdir(entry):
+            try:
+                children = os.listdir(entry)
+            except OSError:
+                continue
+            for name in children:
+                if name.endswith(TMP_SUFFIX):
+                    victim = os.path.join(entry, name)
+                    try:
+                        os.unlink(victim)
+                        removed.append(victim)
+                    except OSError:
+                        pass
+        elif entry.endswith(TMP_SUFFIX):
+            try:
+                os.unlink(entry)
+                removed.append(entry)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                pass
+    return removed

@@ -171,13 +171,15 @@ class SolverEngine:
         shm_names = dict(tables.names)
         workers = self.workers
 
+        access = {"mode": "shm", "names": shm_names, "n_sub": n_sub}
+
         def pool_factory():
             # Statics ship with each task (see _engine_shard), so the
             # initializer only maps the shared tables.
             return _mp_context().Pool(
                 workers,
                 initializer=_init_worker,
-                initargs=(shm_names, n_sub, None, None, None),
+                initargs=(access, None, None, None),
             )
 
         self._tables = tables

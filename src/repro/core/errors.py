@@ -8,11 +8,20 @@ Every failure the supervised parallel engine can surface is a
   ``os._exit``) and the shard exhausted its retries;
 * :class:`ShardTimeout` — a shard exceeded the per-shard deadline of the
   active :class:`~repro.core.supervisor.ResiliencePolicy` too many times;
-* :class:`CheckpointMismatch` — a ``.ckpt`` file exists but was written
-  for a different problem (content hash differs) or is unreadable;
+* :class:`CheckpointMismatch` — a ``.ckpt`` file (or a spill-store
+  manifest) exists but was written for a different problem (content
+  hash differs) or is unreadable;
+* :class:`StoreCorruption` — a layer store's *control* state (the
+  manifest) is unreadable or internally inconsistent, so nothing in the
+  spill directory can be trusted; layer *payload* corruption is
+  recoverable (re-derived) and does not raise;
+* :class:`StoreWriteError` — a durable layer-store write failed
+  (``ENOSPC``, I/O error); the solver may degrade gracefully to RAM
+  when the tables fit, otherwise this surfaces as the solve's failure;
 * :class:`InvalidProblem` — the request itself is malformed: a bad spec
   file, an unknown backend, or an invalid environment knob
-  (``REPRO_WORKERS``, ``REPRO_FAULT_SPEC``, ``REPRO_START_METHOD``).
+  (``REPRO_WORKERS``, ``REPRO_FAULT_SPEC``, ``REPRO_START_METHOD``,
+  ``REPRO_RAM_BUDGET_BYTES``).
 
 :class:`InvalidProblem` also subclasses :class:`ValueError` so
 pre-taxonomy call sites written against ``ValueError`` keep working.
@@ -25,6 +34,8 @@ __all__ = [
     "WorkerCrash",
     "ShardTimeout",
     "CheckpointMismatch",
+    "StoreCorruption",
+    "StoreWriteError",
     "InvalidProblem",
 ]
 
@@ -53,6 +64,26 @@ class ShardTimeout(SolverError):
 
 class CheckpointMismatch(SolverError):
     """A checkpoint file does not belong to the problem being solved."""
+
+
+class StoreCorruption(SolverError):
+    """A layer store's control state (manifest) cannot be trusted.
+
+    Raised only when the *manifest itself* is unreadable or internally
+    inconsistent.  Corrupt or missing layer payloads are recoverable —
+    the store re-derives them from the layers below — and therefore
+    never raise; they are reported through the store's open report and
+    the :class:`~repro.core.supervisor.RecoveryLog` instead.
+    """
+
+
+class StoreWriteError(SolverError):
+    """A durable write to the layer store failed (``ENOSPC``, I/O error)."""
+
+    def __init__(self, message: str, *, layer: int | None = None, errno: int | None = None):
+        super().__init__(message)
+        self.layer = layer
+        self.errno = errno
 
 
 class InvalidProblem(SolverError, ValueError):

@@ -21,6 +21,27 @@ bumped by the supervisor) deterministically escapes a ``times=1`` fault.
 
 Workers call :func:`inject` at the top of every shard; it is a no-op
 unless a spec is active, so the production path pays one dict lookup.
+
+The same spec grammar also carries *storage* faults, fired by the layer
+store at slab-commit time instead of inside a shard (so ``shard=`` is
+rejected for them)::
+
+    torn-write:layer=5           # slab file truncated mid-write
+    bitflip:layer=5              # one bit of the slab payload flipped
+    enospc:layer=5               # commit raises OSError(ENOSPC)
+    slow-io:ms=200               # commit sleeps 200 ms
+
+``torn-write`` and ``bitflip`` corrupt the *bytes on disk* while the
+manifest records the checksum of the true payload — exactly the shape of
+real torn writes and bit rot — so the next open must detect the mismatch
+and re-derive the layer.  The store calls :func:`storage_faults_for`
+(attempt 0 on first commit of a layer; a re-derived layer re-commits with
+a bumped attempt and deterministically escapes a ``times=1`` fault).
+
+Separately, ``REPRO_STORE_CRASH`` names a *crash point* in the commit
+protocol where the process SIGKILLs itself (via :func:`maybe_crash`),
+e.g. ``pre-rename:layer=3`` — the crash-drill harness uses this to prove
+resume-after-SIGKILL is bit-identical to a cold solve.
 """
 
 from __future__ import annotations
@@ -32,11 +53,31 @@ from functools import lru_cache
 
 from .errors import InvalidProblem
 
-__all__ = ["Fault", "parse_fault_spec", "inject", "env_fault_spec", "FAULT_SPEC_ENV"]
+__all__ = [
+    "Fault",
+    "parse_fault_spec",
+    "inject",
+    "env_fault_spec",
+    "FAULT_SPEC_ENV",
+    "STORAGE_KINDS",
+    "storage_faults_for",
+    "CRASH_POINT_ENV",
+    "CRASH_POINTS",
+    "parse_crash_spec",
+    "env_crash_spec",
+    "maybe_crash",
+]
 
 FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+CRASH_POINT_ENV = "REPRO_STORE_CRASH"
 
 _KINDS = ("kill", "hang", "slow", "exc")
+
+# Storage faults fire in the *parent* at slab-commit time, not in a shard.
+STORAGE_KINDS = ("torn-write", "bitflip", "enospc", "slow-io")
+
+# Where in the slab commit protocol a REPRO_STORE_CRASH SIGKILL lands.
+CRASH_POINTS = ("mid-write", "pre-rename", "post-rename", "post-commit")
 
 # `hang` must outlive any plausible per-shard deadline but still end, so a
 # supervisor run *without* a timeout policy is not wedged forever by a test.
@@ -47,11 +88,15 @@ _HANG_SECONDS = 600.0
 class Fault:
     """One injected fault: what happens, where, and on which attempts."""
 
-    kind: str  # "kill" | "hang" | "slow" | "exc"
+    kind: str  # worker: "kill"|"hang"|"slow"|"exc"; storage: STORAGE_KINDS
     layer: int | None = None  # popcount layer selector (None = any)
     shard: int | None = None  # shard-index selector (None = any)
-    ms: float = 0.0  # sleep duration for "slow"
+    ms: float = 0.0  # sleep duration for "slow" / "slow-io"
     times: int = 1  # attempts [0, times) fire
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind in STORAGE_KINDS
 
     def matches(self, layer: int, shard: int, attempt: int) -> bool:
         if self.layer is not None and layer != self.layer:
@@ -64,10 +109,10 @@ class Fault:
 def _parse_one(token: str) -> Fault:
     parts = token.split(":")
     kind = parts[0].strip().lower()
-    if kind not in _KINDS:
+    if kind not in _KINDS and kind not in STORAGE_KINDS:
         raise InvalidProblem(
             f"invalid fault spec {token!r}: unknown kind {kind!r} "
-            f"(expected one of {', '.join(_KINDS)})"
+            f"(expected one of {', '.join(_KINDS + STORAGE_KINDS)})"
         )
     fields: dict = {"kind": kind}
     for part in parts[1:]:
@@ -84,6 +129,11 @@ def _parse_one(token: str) -> Fault:
             raise InvalidProblem(
                 f"invalid fault spec {token!r}: {key}={value!r} is not a number"
             ) from None
+    if kind in STORAGE_KINDS and "shard" in fields:
+        raise InvalidProblem(
+            f"invalid fault spec {token!r}: storage faults fire at layer "
+            "commit, not inside a shard — shard= is meaningless here"
+        )
     if fields.get("times", 1) < 1:
         raise InvalidProblem(f"invalid fault spec {token!r}: times must be >= 1")
     if fields.get("ms", 0.0) < 0:
@@ -123,7 +173,7 @@ def inject(layer: int, shard: int, attempt: int = 0, *, spec: str | None = None)
     """
     faults = parse_fault_spec(spec) if spec is not None else env_fault_spec()
     for fault in faults:
-        if not fault.matches(layer, shard, attempt):
+        if fault.is_storage or not fault.matches(layer, shard, attempt):
             continue
         if fault.kind == "kill":
             # Bypass all cleanup, exactly like SIGKILL/OOM: the parent must
@@ -138,3 +188,86 @@ def inject(layer: int, shard: int, attempt: int = 0, *, spec: str | None = None)
                 f"injected worker exception (layer={layer}, shard={shard}, "
                 f"attempt={attempt})"
             )
+
+
+def storage_faults_for(
+    layer: int, attempt: int = 0, *, spec: str | None = None
+) -> tuple[Fault, ...]:
+    """Storage faults matching this layer commit, in spec order.
+
+    The layer store applies them itself — a storage fault mutates the
+    bytes being written (``torn-write``/``bitflip``), raises
+    (``enospc``), or sleeps (``slow-io``), all of which only the writer
+    can do — so unlike :func:`inject` this returns the matching faults
+    rather than firing them.  ``attempt`` counts commits of the same
+    layer within one process (a re-derived layer re-commits with attempt
+    1), mirroring the shard-retry escape semantics of ``times=``.
+    """
+    faults = parse_fault_spec(spec) if spec is not None else env_fault_spec()
+    return tuple(
+        f for f in faults if f.is_storage and f.matches(layer, 0, attempt)
+    )
+
+
+# ----------------------------------------------------------------------
+# SIGKILL crash points (crash-drill harness)
+# ----------------------------------------------------------------------
+
+
+def parse_crash_spec(spec: str) -> tuple[str, int | None]:
+    """Parse ``REPRO_STORE_CRASH``: ``<point>[:layer=J]``.
+
+    Points name positions in the slab commit protocol (see
+    :data:`CRASH_POINTS`); ``layer=`` restricts the kill to one layer's
+    commit (omitted = the first commit executed).
+    """
+    parts = spec.split(":")
+    point = parts[0].strip().lower()
+    if point not in CRASH_POINTS:
+        raise InvalidProblem(
+            f"invalid {CRASH_POINT_ENV} {spec!r}: unknown crash point "
+            f"{point!r} (expected one of {', '.join(CRASH_POINTS)})"
+        )
+    layer: int | None = None
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        if not sep or key.strip() != "layer":
+            raise InvalidProblem(
+                f"invalid {CRASH_POINT_ENV} {spec!r}: bad field {part!r} "
+                "(expected layer=J)"
+            )
+        try:
+            layer = int(value)
+        except ValueError:
+            raise InvalidProblem(
+                f"invalid {CRASH_POINT_ENV} {spec!r}: layer={value!r} is not "
+                "an integer"
+            ) from None
+    return point, layer
+
+
+def env_crash_spec() -> tuple[str, int | None] | None:
+    """Parse (and validate) ``REPRO_STORE_CRASH``; unset/empty = no crash."""
+    spec = os.environ.get(CRASH_POINT_ENV, "").strip()
+    return parse_crash_spec(spec) if spec else None
+
+
+def maybe_crash(point: str, layer: int) -> None:
+    """SIGKILL this process if ``REPRO_STORE_CRASH`` names this point.
+
+    ``SIGKILL`` (not ``os._exit``) so absolutely nothing — no atexit
+    hooks, no finally blocks, no buffered flushes — runs: the store's
+    durability claims are only honest against the harshest death the OS
+    can deliver.
+    """
+    import signal
+
+    spec = env_crash_spec()
+    if spec is None:
+        return
+    want_point, want_layer = spec
+    if point != want_point:
+        return
+    if want_layer is not None and layer != want_layer:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)

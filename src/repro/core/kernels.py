@@ -50,6 +50,19 @@ leaks in: whenever a zero index is gathered, the companion gather hits
 ``cost[S] == INF`` and the sum is ``INF``.)  Dropping the masks removes
 two to three full array passes per action.
 
+Out-of-core callers cannot honor the invariant: a file-backed table
+slice resuming after a crash (or scattered from a corrupt slab) may hold
+*arbitrary bytes* — garbage finite floats, or NaNs that would poison
+``np.minimum`` — and snapshotting the whole table to restore the
+invariant is exactly the RAM spike a spilled solve exists to avoid.  For
+them the kernel takes ``strict=True``: the legacy validity masks come
+back (``inter == 0`` or ``rest == 0`` ⇒ candidate value overwritten with
+``INF`` *after* evaluation), which makes the result independent of the
+table's own-layer contents while remaining bit-for-bit identical to the
+non-strict kernel on a clean table — the differential suite pins both
+properties.  Strict mode costs one to two extra compare passes and a
+masked copy per action; the in-RAM paths keep the invariant and skip it.
+
 Bit-for-bit contract
 --------------------
 
@@ -240,6 +253,7 @@ class LayerArena:
     __slots__ = (
         "_out_cap",
         "_scratch_cap",
+        "_strict_cap",
         "_table_cap",
         "best",
         "arg",
@@ -250,12 +264,15 @@ class LayerArena:
         "gather",
         "better",
         "argdelta",
+        "invalid",
+        "invalid2",
         "_table",
     )
 
     def __init__(self) -> None:
         self._out_cap = 0
         self._scratch_cap = 0
+        self._strict_cap = 0
         self._table_cap = 0
         # Zero-capacity buffers so zero-length requests (empty layers,
         # k = 0 tables) return valid empty views without special-casing.
@@ -268,6 +285,8 @@ class LayerArena:
         self.gather = np.empty(0, dtype=np.float64)
         self.better = np.empty(0, dtype=bool)
         self.argdelta = np.empty(0, dtype=np.int32)
+        self.invalid = np.empty(0, dtype=bool)
+        self.invalid2 = np.empty(0, dtype=bool)
         self._table = np.empty(0, dtype=np.float64)
 
     def out(self, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -303,6 +322,14 @@ class LayerArena:
             self.argdelta[:n],
         )
 
+    def strict_scratch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the two bool validity-mask rows used by strict mode."""
+        if n > self._strict_cap:
+            self.invalid = np.empty(n, dtype=bool)
+            self.invalid2 = np.empty(n, dtype=bool)
+            self._strict_cap = n
+        return self.invalid[:n], self.invalid2[:n]
+
     def table(self, n: int) -> np.ndarray:
         """A full-size private cost-table buffer, length ``n``.
 
@@ -325,6 +352,7 @@ class LayerArena:
         return (
             self._out_cap * (8 + 4)
             + self._scratch_cap * (4 + 4 + 4 + 8 + 8 + 1 + 4)
+            + self._strict_cap * 2
             + self._table_cap * 8
         )
 
@@ -344,6 +372,7 @@ def solve_layer_kernel_fused(
     *,
     arena: LayerArena | None = None,
     tile: int | None = None,
+    strict: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Allocation-free, tiled evaluation of one popcount layer.
 
@@ -353,6 +382,13 @@ def solve_layer_kernel_fused(
     the table-state invariant holds: ``cost[S] == INF`` for every ``S``
     in ``layer`` (see the module docstring; true for every caller that
     scatters a layer's results only after evaluating it).
+
+    ``strict=True`` drops that precondition: invalid candidates are
+    masked to ``INF`` explicitly, so ``cost``'s entries *inside* the
+    layer being evaluated may hold anything (garbage, NaN) without
+    affecting the result.  Out-of-core callers computing directly over
+    file-backed tables use this; the output is bit-identical to
+    non-strict mode on a clean table.
 
     ``arena`` supplies the scratch buffers; omit it for a private
     throwaway arena (correct, but the allocation savings then only apply
@@ -387,6 +423,8 @@ def solve_layer_kernel_fused(
 
     step = n if tile <= 0 else min(tile, n)
     masks32, inter, rest, value, gather, better, argdelta = arena.scratch(step)
+    if strict:
+        invalid, invalid2 = arena.strict_scratch(step)
     take = cost.take
 
     for lo in range(0, n, step):
@@ -403,6 +441,9 @@ def solve_layer_kernel_fused(
         gat = gather[:m]
         bet = better[:m]
         adel = argdelta[:m]
+        if strict:
+            inv = invalid[:m]
+            inv2 = invalid2[:m]
         for i in range(n_act):
             t = int(subsets[i])
             np.bitwise_and(lay, ~t, out=rs)
@@ -413,6 +454,22 @@ def solve_layer_kernel_fused(
                 np.bitwise_and(lay, t, out=it)
                 np.add(val, take(it, out=gat, mode="wrap"), out=val)
             np.add(val, take(rs, out=gat, mode="wrap"), out=val)
+            if strict:
+                # Explicit validity masking: a test is invalid when it
+                # does not split S (inter == 0 or rest == 0); a
+                # treatment when it covers nothing of S (inter == 0,
+                # i.e. rest == S — computed via inter to share the
+                # buffer).  Masking *after* evaluation overwrites
+                # whatever garbage the own-layer gathers pulled in,
+                # NaNs included.
+                if is_test[i]:
+                    np.equal(it, 0, out=inv)
+                    np.equal(rs, 0, out=inv2)
+                    np.logical_or(inv, inv2, out=inv)
+                else:
+                    np.bitwise_and(lay, t, out=it)
+                    np.equal(it, 0, out=inv)
+                np.copyto(val, INF, where=inv)
             # Strict <: invalid candidates hold exactly INF (table-state
             # invariant) and can never be strictly below the incumbent,
             # so this is the same accept set — and the same lowest-index

@@ -43,6 +43,23 @@ shared table into a private arena buffer and re-``INF``'s its own slice
 before computing: a *replayed* shard — even one whose predecessor died
 mid-scatter, even racing a stale duplicate — then sees exactly the
 table state a first attempt would, and writes the exact same bytes.
+
+Where the tables live is delegated to a :class:`~repro.store.LayerStore`
+(``store=``): shared memory by default, or memory-mapped spill files
+(``StoreSpec(kind="mmap", spill_dir=...)``) for out-of-core solves with
+durable, checksummed per-layer commits.  The loop itself is store
+agnostic — ``open()`` reports which layers already hold trusted values
+(checkpoint prefix, validated slabs), the loop computes every other
+layer in ascending order and ``commit_layer``'s each, and that single
+*skip-valid, compute-the-rest* mechanism covers cold solves, resume
+after SIGKILL, and re-derivation of corrupted layers alike.  Spill
+shards run the kernel in strict mode (explicit validity masks) instead
+of the snapshot discipline: the file-backed table may hold arbitrary
+resume garbage in the layer being computed, and strict mode makes the
+shard independent of it — same bytes, no full-table copy.  A spill
+store that fails mid-solve (``ENOSPC``) degrades to an in-RAM store
+when the tables fit under ``REPRO_RAM_BUDGET_BYTES``, else the solve
+fails loudly.
 """
 
 from __future__ import annotations
@@ -57,17 +74,10 @@ import numpy as np
 
 from . import faults
 from .errors import InvalidProblem, SolverError
-from .kernels import LayerArena, layer_plan, solve_layer_kernel_fused
+from .kernels import LayerArena, solve_layer_kernel_fused
 from .problem import TTProblem
-from .sequential import INF, DPResult, subset_weights
-from .supervisor import (
-    RecoveryLog,
-    ResiliencePolicy,
-    SharedTables,
-    Supervisor,
-    load_checkpoint,
-    save_checkpoint,
-)
+from .sequential import INF, DPResult
+from .supervisor import RecoveryLog, ResiliencePolicy, Supervisor
 
 __all__ = [
     "solve_dp_parallel",
@@ -132,21 +142,48 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _init_worker(shm_names, n_sub, subsets, costs, is_test):
-    """Pool initializer: map the shared tables and stash static arrays.
+def _init_worker(access, subsets, costs, is_test):
+    """Pool initializer: attach the store's tables, stash static arrays.
+
+    ``access`` is the picklable dict from ``LayerStore.worker_spec()``:
+    ``mode="shm"`` names shared-memory blocks to map, ``mode="mmap"``
+    names a spill directory whose ``.dat`` files the worker memmaps
+    (``MAP_SHARED``, so parent and worker writes are coherent; spill
+    shards additionally run the kernel in strict mode — see
+    ``_shard_compute``).
 
     ``subsets``/``costs``/``is_test`` may be ``None`` — the engine's warm
     pools outlive any one problem, so they ship the per-problem statics
     with each task instead (see :mod:`repro.core.engine`).
     """
     global _WORKER
-    blocks = {key: _attach(name) for key, name in shm_names.items()}
+    n_sub = access["n_sub"]
+    if access["mode"] == "shm":
+        blocks = {key: _attach(name) for key, name in access["names"].items()}
+        tables = {
+            "blocks": blocks,
+            "cost": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["cost"].buf),
+            "best": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf),
+            "p": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf),
+            "order": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf),
+            "strict": False,
+        }
+    else:
+        spill = access["dir"]
+        tables = {
+            "blocks": {},
+            "cost": np.memmap(os.path.join(spill, "cost.dat"),
+                              dtype=np.float64, mode="r+", shape=(n_sub,)),
+            "best": np.memmap(os.path.join(spill, "best.dat"),
+                              dtype=np.int64, mode="r+", shape=(n_sub,)),
+            "p": np.memmap(os.path.join(spill, "p.dat"),
+                           dtype=np.float64, mode="r", shape=(n_sub,)),
+            "order": np.memmap(os.path.join(spill, "order.dat"),
+                               dtype=np.int64, mode="r", shape=(n_sub,)),
+            "strict": True,
+        }
     _WORKER = {
-        "blocks": blocks,
-        "cost": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["cost"].buf),
-        "best": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf),
-        "p": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf),
-        "order": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf),
+        **tables,
         "subsets": None if subsets is None else np.asarray(subsets, dtype=np.int64),
         "costs": None if costs is None else np.asarray(costs, dtype=np.float64),
         "is_test": None if is_test is None else np.asarray(is_test, dtype=bool),
@@ -157,19 +194,26 @@ def _init_worker(shm_names, n_sub, subsets, costs, is_test):
 def _shard_compute(w, lo, hi, subsets, costs, is_test):
     """Fused-kernel shard body over the worker's mapped tables.
 
-    Snapshots the shared ``C`` table into the worker's private arena and
-    re-``INF``'s the shard's own slice first — see the module docstring:
-    this is what keeps replayed shards (and stale duplicates) writing
-    bit-identical bytes now that the kernel has no explicit validity
-    masks.
+    Shared-memory shards snapshot the ``C`` table into the worker's
+    private arena and re-``INF`` the shard's own slice first — see the
+    module docstring: this is what keeps replayed shards (and stale
+    duplicates) writing bit-identical bytes now that the non-strict
+    kernel has no explicit validity masks.  Spill shards instead run the
+    kernel in ``strict`` mode, which masks invalid candidates explicitly
+    and is therefore independent of whatever the file-backed table holds
+    in this layer — no table-sized snapshot, same bytes.
     """
     arena = w["arena"]
-    layer = w["order"][lo:hi]
-    local = arena.table(w["cost"].size)
-    np.copyto(local, w["cost"])
-    local[layer] = INF
+    layer = np.asarray(w["order"][lo:hi])
+    if w["strict"]:
+        table = w["cost"]
+    else:
+        table = arena.table(w["cost"].size)
+        np.copyto(table, w["cost"])
+        table[layer] = INF
     layer_best, layer_arg = solve_layer_kernel_fused(
-        layer, w["p"][layer], local, subsets, costs, is_test, arena=arena
+        layer, w["p"][layer], table, subsets, costs, is_test,
+        arena=arena, strict=w["strict"],
     )
     w["cost"][layer] = layer_best
     w["best"][layer] = layer_arg
@@ -250,6 +294,7 @@ def solve_dp_parallel(
     p: np.ndarray | None = None,
     min_shard: int = MIN_SHARD,
     policy: ResiliencePolicy | None = None,
+    store=None,
 ) -> DPResult:
     """Supervised layer-parallel backward induction across ``workers`` processes.
 
@@ -264,7 +309,14 @@ def solve_dp_parallel(
     default :class:`ResiliencePolicy` retries crashed shards and falls
     back to the in-process kernel rather than failing the solve.  The
     recovery log lands on ``DPResult.recovery``.
+
+    ``store`` selects where the tables live: ``None`` for the in-RAM
+    default, a :class:`repro.store.StoreSpec` (e.g. ``kind="mmap"`` +
+    ``spill_dir`` for a durable out-of-core solve), or an unopened
+    :class:`repro.store.LayerStore` instance.
     """
+    from .. import store as store_mod  # runtime import: store builds on core
+
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
     if workers is None:
@@ -278,9 +330,7 @@ def solve_dp_parallel(
     # a typo'd REPRO_FAULT_SPEC must fail the solve, not silently never
     # fire inside a worker.
     faults.env_fault_spec()
-
-    if p is None:
-        p = subset_weights(problem)
+    faults.env_crash_spec()
 
     log = RecoveryLog()
     log.checkpoint = os.fspath(policy.checkpoint) if policy.checkpoint else None
@@ -291,99 +341,138 @@ def solve_dp_parallel(
                         best_action=np.array([-1], dtype=np.int64), op_count=0,
                         recovery=log.as_dict())
 
-    # Shared per-k popcount partition (masks ascending inside each layer,
-    # layer 0 first) — computed once per process, not once per solve.
-    plan = layer_plan(k)
-    order = plan.order
-    layer_starts = plan.starts
-    arena = LayerArena()
+    if store is None:
+        store = store_mod.StoreSpec()
+    if isinstance(store, store_mod.StoreSpec):
+        store = store_mod.open_store(store, problem, policy=policy, p=p)
+    log.store = store.kind
 
     subsets = problem.subset_array
     costs = problem.cost_array
     is_test = problem.test_mask_array
+    arena = LayerArena()
 
-    start_layer = 1
-    resume = load_checkpoint(policy.checkpoint, problem) if policy.checkpoint else None
+    def degrade_to_ram(current, exc) -> "store_mod.RamStore":
+        """Swap a dying spill store for in-RAM tables (budget allowing).
 
-    with SharedTables(n_sub) as tables:
-        supervisor = None
+        The tables' current contents — including every layer computed so
+        far — carry over, so nothing is recomputed; the remaining layers
+        finish single-process on the adopted store.  When the tables do
+        not fit the RAM budget the original failure is what surfaces.
+        """
         try:
-            cost, best = tables.cost, tables.best
-            if resume is not None:
-                ckpt_cost, ckpt_best, completed = resume
-                cost[:] = ckpt_cost
-                best[:] = ckpt_best
-                start_layer = completed + 1
-                log.resumed_from_layer = completed
-                log.event("resume", completed_layer=completed)
-            else:
-                cost[:] = INF
-                cost[0] = 0.0
-                best[:] = -1
-            tables.p[:] = p
-            tables.order[:] = order
+            adopted = store_mod.RamStore.adopt(
+                problem, current.cost, current.best, current.p,
+                current.order, current.starts,
+            )
+        except SolverError as budget_exc:
+            raise SolverError(
+                f"spill store failed ({exc}) and falling back to RAM is not "
+                f"possible: {budget_exc}"
+            ) from exc
+        current.close()
+        log.degraded = True
+        log.event("store-degraded", reason=str(exc), fallback="ram")
+        return adopted
 
-            shm_names = dict(tables.names)
+    # Open the store.  A spill store that cannot even allocate its files
+    # (ENOSPC up front) degrades to a fresh in-RAM solve when the tables
+    # fit the budget; otherwise the original failure surfaces.
+    try:
+        report = store.open()
+    except store_mod.StoreWriteError as exc:
+        if store.kind != "mmap":
+            raise
+        fallback = store_mod.RamStore(problem, policy=policy, p=p)
+        try:
+            report = fallback.open()
+        except SolverError as budget_exc:
+            raise SolverError(
+                f"spill store failed to open ({exc}) and falling back to "
+                f"RAM is not possible: {budget_exc}"
+            ) from exc
+        store.close()
+        store = fallback
+        log.store = store.kind
+        log.degraded = True
+        log.event("store-degraded", reason=str(exc), fallback="ram")
 
+    state = {"store": store}
+    supervisor = None
+    try:
+        valid = report.valid_layers
+        if report.resumed:
+            log.resumed_from_layer = report.completed_prefix
+            log.event("resume", completed_layer=report.completed_prefix)
+        if report.rederive_layers:
+            log.rederived += len(report.rederive_layers)
+            log.event("rederive", layers=list(report.rederive_layers))
+        log.events.extend(report.events)
+
+        def solve_in_parent(lo: int, hi: int) -> int:
+            """The small-layer/degraded/fallback path: same kernel, same
+            bytes, running over whichever store currently holds the
+            tables (the store picks snapshot vs strict discipline)."""
+            return state["store"].run_parent_slice(
+                lo, hi, subsets, costs, is_test, arena
+            )
+
+        access = store.worker_spec()
+        if access is not None and workers > 1:
             def pool_factory():
                 return _mp_context().Pool(
                     workers,
                     initializer=_init_worker,
-                    initargs=(shm_names, n_sub, subsets, costs, is_test),
+                    initargs=(access, subsets, costs, is_test),
                 )
-
-            def solve_in_parent(lo: int, hi: int) -> int:
-                """The degraded/fallback path: same kernel, same bytes.
-
-                Uses the same private-snapshot discipline as the worker
-                shards — a fallback can run while a stale duplicate of
-                the same shard is still finishing in a wedged worker.
-                """
-                layer = order[lo:hi]
-                local = arena.table(n_sub)
-                np.copyto(local, cost)
-                local[layer] = INF
-                layer_best, layer_arg = solve_layer_kernel_fused(
-                    layer, p[layer], local, subsets, costs, is_test, arena=arena
-                )
-                cost[layer] = layer_best
-                best[layer] = layer_arg
-                return hi - lo
 
             supervisor = Supervisor(policy, pool_factory, _solve_shard, log)
 
-            for j in range(start_layer, k + 1):
-                t0 = time.monotonic()
-                lo, hi = int(layer_starts[j]), int(layer_starts[j + 1])
-                shards = _shard_bounds(lo, hi, workers, min_shard)
-                if workers == 1 or len(shards) == 1 or supervisor.degraded:
-                    # Layer too small to amortize IPC (or the pool is
-                    # gone): solve in-process on the same shared table —
-                    # identical kernel, still a barrier.
-                    done = solve_in_parent(lo, hi)
-                    mode = "degraded" if supervisor.degraded else "parent"
-                else:
-                    done = supervisor.run_layer(j, shards, solve_in_parent)
-                    mode = "pool"
-                if done != hi - lo:
-                    # Must survive `python -O`: a lost shard is silent
-                    # corruption, the one failure that may never be quiet.
-                    raise SolverError(
-                        f"layer {j} incomplete: {done} of {hi - lo} masks solved"
-                    )
-                log.layer(j, time.monotonic() - t0, len(shards), mode)
-                if policy.checkpoint and (
-                    j == k or (j - start_layer) % policy.checkpoint_every == 0
-                ):
-                    save_checkpoint(policy.checkpoint, problem, cost, best, j)
-            out_cost = cost.copy()
-            out_best = best.copy()
-        finally:
-            # Terminate the pool *before* the tables unlink, so a worker
-            # being repopulated can never try to attach a vanished block.
-            if supervisor is not None:
-                supervisor.shutdown()
-            cost = best = None  # drop our buffer views before close()
+        for j in range(1, k + 1):
+            if j in valid:
+                continue
+            st = state["store"]
+            t0 = time.monotonic()
+            lo, hi = st.bounds(j)
+            shards = _shard_bounds(lo, hi, workers, min_shard)
+            if len(shards) == 1 or supervisor is None or supervisor.degraded:
+                # Layer too small to amortize IPC (or the pool is gone,
+                # or this store cannot share tables with workers): solve
+                # in-process on the same tables — identical kernel,
+                # still a barrier.
+                done = solve_in_parent(lo, hi)
+                mode = "degraded" if log.degraded or (
+                    supervisor is not None and supervisor.degraded
+                ) else "parent"
+            else:
+                done = supervisor.run_layer(j, shards, solve_in_parent)
+                mode = "pool"
+            if done != hi - lo:
+                # Must survive `python -O`: a lost shard is silent
+                # corruption, the one failure that may never be quiet.
+                raise SolverError(
+                    f"layer {j} incomplete: {done} of {hi - lo} masks solved"
+                )
+            log.layer(j, time.monotonic() - t0, len(shards), mode)
+            try:
+                st.commit_layer(j)
+            except store_mod.StoreWriteError as exc:
+                # Mid-solve disk failure: the layer's *values* are fine
+                # (they live in the tables; only persistence failed), so
+                # carry everything into RAM and finish single-process.
+                if supervisor is not None:
+                    supervisor.shutdown()
+                    supervisor = None
+                state["store"] = degrade_to_ram(st, exc)
+        final = state["store"]
+        final.finish(True)
+        out_cost, out_best = final.result_tables()
+    finally:
+        # Terminate the pool *before* the store tears down its tables,
+        # so a worker being repopulated can never attach vanished blocks.
+        if supervisor is not None:
+            supervisor.shutdown()
+        state["store"].close()
 
     op_count = (n_sub - 1) * n_act
     return DPResult(

@@ -49,6 +49,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from .durable import atomic_write_file
 from .errors import CheckpointMismatch, ShardTimeout, SolverError, WorkerCrash
 from .problem import TTProblem
 
@@ -58,6 +59,7 @@ __all__ = [
     "SharedTables",
     "Supervisor",
     "problem_content_hash",
+    "checkpoint_payload_sha",
     "save_checkpoint",
     "load_checkpoint",
     "CHECKPOINT_VERSION",
@@ -69,7 +71,11 @@ __all__ = [
 # the latency of timeout and crash detection.
 _POLL_SECONDS = 0.02
 
-CHECKPOINT_VERSION = 1
+# Version 2 added the payload checksum (sha256 over the table bytes +
+# completed layer) so on-disk bit corruption raises CheckpointMismatch
+# instead of silently resuming from garbage tables.  Version-1 files are
+# rejected loudly (re-solve; checkpoints are disposable by design).
+CHECKPOINT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +108,12 @@ class ResiliencePolicy:
     checkpoint_every:
         Write the checkpoint after every Nth completed layer (the final
         layer is always written).
+    keep_checkpoint:
+        A finished solve removes its checkpoint file by default — the
+        checkpoint exists to survive a *crash*, and a completed solve
+        leaving ``.ckpt`` litter behind silently grows into gigabytes of
+        stale tables.  Set ``True`` to keep the completed checkpoint
+        (instant re-resume of the same problem).
     """
 
     timeout: float | None = None
@@ -111,6 +123,7 @@ class ResiliencePolicy:
     fallback: bool = True
     checkpoint: str | os.PathLike | None = None
     checkpoint_every: int = 1
+    keep_checkpoint: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout is not None and not (self.timeout > 0):
@@ -132,9 +145,11 @@ class RecoveryLog:
     crashes: int = 0
     respawns: int = 0
     fallback_shards: int = 0
+    rederived: int = 0
     degraded: bool = False
     resumed_from_layer: int | None = None
     checkpoint: str | None = None
+    store: str | None = None
     layers: list = field(default_factory=list)
     events: list = field(default_factory=list)
 
@@ -153,9 +168,11 @@ class RecoveryLog:
             "crashes": self.crashes,
             "respawns": self.respawns,
             "fallback_shards": self.fallback_shards,
+            "rederived": self.rederived,
             "degraded": self.degraded,
             "resumed_from_layer": self.resumed_from_layer,
             "checkpoint": self.checkpoint,
+            "store": self.store,
             "layers": list(self.layers),
             "events": list(self.events),
         }
@@ -285,6 +302,15 @@ def problem_content_hash(problem: TTProblem) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def checkpoint_payload_sha(cost: np.ndarray, best: np.ndarray, completed_layer: int) -> str:
+    """Checksum binding the table bytes to the completed-layer claim."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(cost, dtype=np.float64).data)
+    h.update(np.ascontiguousarray(best, dtype=np.int64).data)
+    h.update(int(completed_layer).to_bytes(8, "little", signed=True))
+    return h.hexdigest()
+
+
 def save_checkpoint(
     path: str | os.PathLike,
     problem: TTProblem,
@@ -292,24 +318,31 @@ def save_checkpoint(
     best: np.ndarray,
     completed_layer: int,
 ) -> None:
-    """Atomically persist the completed-layer prefix of the DP tables.
+    """Atomically *and durably* persist the completed-layer table prefix.
 
-    Written to ``path + ".tmp"`` then ``os.replace``d, so a crash during
-    the write can never leave a torn checkpoint — the previous one stays
-    intact until the new one is fully on disk.
+    Written to ``path + ".tmp"``, flushed, fsynced, then ``os.replace``d
+    with a directory fsync — atomic rename alone survives a process
+    crash, but only the fsync pair makes the checkpoint survive power
+    loss (without it the renamed file's data, or the rename itself, may
+    still live only in the page cache).  The previous checkpoint stays
+    intact until the new one is fully on disk either way.
+
+    The payload checksum stored alongside lets :func:`load_checkpoint`
+    reject bit corruption of the table bytes.
     """
-    path = os.fspath(path)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
+
+    def write(fh) -> None:
         np.savez(
             fh,
             version=np.int64(CHECKPOINT_VERSION),
             problem_sha=np.array(problem_content_hash(problem)),
+            payload_sha=np.array(checkpoint_payload_sha(cost, best, completed_layer)),
             completed_layer=np.int64(completed_layer),
             cost=cost,
             best=best,
         )
-    os.replace(tmp, path)
+
+    atomic_write_file(path, write)
 
 
 def load_checkpoint(
@@ -333,6 +366,7 @@ def load_checkpoint(
             completed_layer = int(data["completed_layer"])
             cost = np.array(data["cost"], dtype=np.float64)
             best = np.array(data["best"], dtype=np.int64)
+            payload_sha = str(data["payload_sha"]) if "payload_sha" in data else None
     except Exception as exc:
         raise CheckpointMismatch(f"unreadable checkpoint {path!r}: {exc}") from exc
     if version != CHECKPOINT_VERSION:
@@ -343,6 +377,11 @@ def load_checkpoint(
         raise CheckpointMismatch(
             f"checkpoint {path!r} was written for a different problem "
             "(content hash mismatch)"
+        )
+    if payload_sha != checkpoint_payload_sha(cost, best, completed_layer):
+        raise CheckpointMismatch(
+            f"checkpoint {path!r} payload checksum mismatch — the table "
+            "bytes were corrupted on disk; refusing to resume from garbage"
         )
     n_sub = 1 << problem.k
     if cost.shape != (n_sub,) or best.shape != (n_sub,):

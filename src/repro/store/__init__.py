@@ -1,0 +1,62 @@
+"""Layer stores: where a solve's DP tables live and how they survive.
+
+Two backends behind one contract (:class:`~repro.store.base.LayerStore`):
+
+* :class:`~repro.store.ram.RamStore` — shared-memory tables (the
+  classic path) plus legacy ``.ckpt`` checkpoint handling;
+* :class:`~repro.store.spill.MmapStore` — memory-mapped tables spilled
+  to a directory with durable, checksummed per-layer commits, so large
+  ``k`` runs out-of-core and any crash or corruption is recovered by
+  re-deriving layers from the layers below.
+
+The solve loop (:func:`repro.core.parallel.solve_dp_parallel`) is
+backend-agnostic; pick a store with
+:class:`~repro.store.base.StoreSpec` through ``repro.core.solve(...,
+store=..., spill_dir=...)`` or the CLI ``--store/--spill-dir`` flags.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InvalidProblem, StoreCorruption, StoreWriteError
+from .base import (
+    RAM_BUDGET_ENV,
+    STORE_KINDS,
+    LayerStore,
+    OpenReport,
+    StoreSpec,
+    ram_budget,
+    tables_nbytes,
+)
+from .drill import run_crash_drill
+from .ram import RamStore
+from .spill import MmapStore
+
+__all__ = [
+    "LayerStore",
+    "OpenReport",
+    "StoreSpec",
+    "RamStore",
+    "MmapStore",
+    "open_store",
+    "run_crash_drill",
+    "StoreCorruption",
+    "StoreWriteError",
+    "ram_budget",
+    "tables_nbytes",
+    "RAM_BUDGET_ENV",
+    "STORE_KINDS",
+]
+
+
+def open_store(spec: StoreSpec, problem, *, policy=None, p=None) -> LayerStore:
+    """Construct (not yet open) the store a :class:`StoreSpec` selects."""
+    kind = spec.resolve()
+    if kind == "mmap":
+        if policy is not None and policy.checkpoint is not None:
+            raise InvalidProblem(
+                "checkpoint= cannot be combined with the mmap store: the "
+                "spill directory's manifest already persists every layer "
+                "durably (resume simply reopens the same --spill-dir)"
+            )
+        return MmapStore(problem, spill_dir=spec.spill_dir, fsync=spec.fsync)
+    return RamStore(problem, policy=policy, p=p)

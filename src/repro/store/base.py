@@ -1,0 +1,214 @@
+"""The :class:`LayerStore` contract shared by the RAM and spill backends.
+
+A *layer store* owns the four DP tables of one solve — ``cost``,
+``best``, the subset weights ``p`` and the popcount-sorted mask
+``order`` — plus whatever persistence those tables have.  The solve loop
+in :mod:`repro.core.parallel` is written against this contract only:
+
+1. ``open()`` materializes the tables and returns an
+   :class:`OpenReport` saying which popcount layers already hold
+   *trusted* values (validated against checksums for the spill backend,
+   a validated checkpoint prefix for the RAM backend);
+2. the loop computes every layer **not** in ``valid_layers`` — in
+   ascending order, so any layer being computed only reads finalized
+   layers below it — and calls ``commit_layer(j)`` after each;
+3. ``finish(success)`` runs cleanup (durably mark the manifest
+   complete / delete a completed checkpoint);
+4. ``close()`` releases OS resources (idempotent, crash-ordered before
+   table teardown).
+
+That one mechanism — *skip valid, compute the rest* — covers a cold
+solve (nothing valid), checkpoint/SIGKILL resume (a valid prefix), and
+corruption recovery (holes in the valid set re-derived from the layers
+below), because layer ``j`` is a pure, bit-reproducible function of
+layers ``< j``.
+
+The RAM budget
+--------------
+
+``REPRO_RAM_BUDGET_BYTES`` bounds the *anonymous* working memory a solve
+may allocate for its tables.  The RAM backend refuses to open when the
+four tables exceed the budget (pointing at ``--store=mmap``); the spill
+backend keeps the tables file-backed — its pages are reclaimable page
+cache the OS evicts under pressure, not committed anonymous memory — and
+bounds its own scratch (kernel arena, commit/scatter chunks) far below
+any sane budget.  The budget also gates the ``ENOSPC`` degradation path:
+falling back from a failed spill store to RAM is only allowed when the
+tables fit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import InvalidProblem, SolverError
+
+__all__ = [
+    "RAM_BUDGET_ENV",
+    "STORE_KINDS",
+    "ram_budget",
+    "tables_nbytes",
+    "StoreSpec",
+    "OpenReport",
+    "LayerStore",
+]
+
+RAM_BUDGET_ENV = "REPRO_RAM_BUDGET_BYTES"
+
+STORE_KINDS = ("auto", "ram", "mmap")
+
+
+def ram_budget() -> int | None:
+    """The RAM budget from the environment; ``None`` when unset.
+
+    Must be a positive integer number of bytes — a typo fails the solve
+    loudly instead of silently disabling the budget.
+    """
+    env = os.environ.get(RAM_BUDGET_ENV)
+    if env is None or not env.strip():
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise InvalidProblem(
+            f"{RAM_BUDGET_ENV} must be a positive integer (bytes), got {env!r}"
+        ) from None
+    if value < 1:
+        raise InvalidProblem(f"{RAM_BUDGET_ENV} must be >= 1, got {value}")
+    return value
+
+
+def tables_nbytes(k: int) -> int:
+    """Bytes of the four full tables (cost, best, p, order: 8 bytes each)."""
+    return (1 << k) * 32
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """How a solve wants its tables stored.
+
+    ``kind="auto"`` picks the spill backend exactly when a spill
+    directory was provided, the RAM backend otherwise — predictable, and
+    the RAM budget then gets enforced by whichever backend opens.
+    ``fsync=False`` keeps the atomic write-temp/rename protocol but skips
+    the fsyncs (for harnesses hammering tiny solves where power-loss
+    durability is irrelevant).
+    """
+
+    kind: str = "auto"
+    spill_dir: str | os.PathLike | None = None
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORE_KINDS:
+            raise InvalidProblem(
+                f"unknown store kind {self.kind!r} (expected one of "
+                f"{', '.join(STORE_KINDS)})"
+            )
+        if self.kind == "mmap" and self.spill_dir is None:
+            raise InvalidProblem("store 'mmap' requires a spill directory")
+        if self.kind == "ram" and self.spill_dir is not None:
+            raise InvalidProblem(
+                "a spill directory is meaningless for store 'ram' — "
+                "use store 'mmap' (or 'auto')"
+            )
+
+    def resolve(self) -> str:
+        """The concrete backend this spec selects: ``"ram"`` or ``"mmap"``."""
+        if self.kind == "mmap":
+            return "mmap"
+        if self.kind == "auto" and self.spill_dir is not None:
+            return "mmap"
+        return "ram"
+
+
+@dataclass
+class OpenReport:
+    """What ``LayerStore.open()`` found on disk (or in a checkpoint).
+
+    ``valid_layers`` holds every popcount layer whose values are already
+    in the tables *and* trusted; the solve loop skips exactly these.
+    ``completed_prefix`` is the largest ``j`` with layers ``1..j`` all
+    valid (0 = nothing), reported as ``resumed_from_layer``.
+    ``rederive_layers`` are layers that *were* persisted but failed
+    validation (corrupt/torn slab) — they are also absent from
+    ``valid_layers``, listed separately so recovery is observable.
+    ``events`` are recovery-log entries describing what open had to do
+    (swept temp files, corrupt slabs, a rebuilt order file).
+    """
+
+    valid_layers: frozenset = frozenset()
+    completed_prefix: int = 0
+    rederive_layers: tuple = ()
+    resumed: bool = False
+    events: list = field(default_factory=list)
+
+
+class LayerStore:
+    """Base class: table ownership + the commit/validate lifecycle.
+
+    After ``open()`` a store exposes ``cost``, ``best``, ``p``,
+    ``order`` (each a length-``2^k`` array — shared memory, plain RAM,
+    or a file-backed memmap) and ``starts`` (the ``k + 2`` layer
+    offsets).  ``worker_spec()`` returns a picklable description pool
+    workers use to attach to the same tables, or ``None`` when this
+    store cannot be shared with workers (the solve then runs
+    single-process).  ``strict_kernel`` says whether shards computing
+    over these tables must run the fused kernel in strict mode (see
+    :mod:`repro.core.kernels` — required whenever the table may hold
+    garbage in the layer being computed, i.e. for file-backed resume).
+    """
+
+    kind: str = "?"
+    strict_kernel: bool = False
+
+    cost: np.ndarray
+    best: np.ndarray
+    p: np.ndarray
+    order: np.ndarray
+    starts: np.ndarray
+
+    def open(self) -> OpenReport:
+        raise NotImplementedError
+
+    def bounds(self, j: int) -> tuple[int, int]:
+        """``(lo, hi)`` such that ``order[lo:hi]`` is popcount layer ``j``."""
+        return int(self.starts[j]), int(self.starts[j + 1])
+
+    def worker_spec(self) -> dict | None:
+        return None
+
+    def commit_layer(self, j: int) -> None:
+        """Persist layer ``j`` (a no-op for an unpersisted store)."""
+
+    def run_parent_slice(self, lo, hi, subsets, costs, is_test, arena) -> int:
+        """Solve ``order[lo:hi]`` in-process over this store's tables."""
+        raise NotImplementedError
+
+    def finish(self, success: bool) -> None:
+        """Post-solve cleanup; ``success=False`` must leave resume state."""
+
+    def close(self) -> None:
+        """Release OS resources (idempotent)."""
+
+    def result_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(cost, best)`` arrays that stay valid after ``close()``."""
+        raise NotImplementedError
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Anonymous (non-reclaimable) bytes this store holds resident."""
+        return 0
+
+    def check_budget(self, need: int, what: str) -> None:
+        """Raise loudly when ``need`` anonymous bytes exceed the budget."""
+        budget = ram_budget()
+        if budget is not None and need > budget:
+            raise SolverError(
+                f"{what} needs {need} bytes of RAM but {RAM_BUDGET_ENV}="
+                f"{budget} — use --store=mmap with --spill-dir to run "
+                "out-of-core, or raise the budget"
+            )

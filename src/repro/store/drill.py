@@ -1,0 +1,142 @@
+"""Crash drills: prove resume-after-SIGKILL is bit-identical.
+
+A drill runs one ``--store=mmap`` solve in a *subprocess* with
+``REPRO_STORE_CRASH`` armed at a chosen point of the slab commit
+protocol (see :mod:`repro.core.faults`), lets the process SIGKILL itself
+there — a real, unhandleable kill, not an exception — then reopens the
+surviving spill directory in-process and compares the resumed tables
+byte-for-byte against an undisturbed solve of the same instance.
+
+The four crash points bracket the commit protocol's two durability
+boundaries:
+
+``mid-write``
+    Between the cost and best halves of the slab temp file: the temp is
+    swept on reopen, the layer has no manifest entry, it is recomputed.
+``pre-rename``
+    Slab fully written and fsync'd but still ``.tmp``: same outcome —
+    bytes without a manifest entry are not trusted.
+``post-rename``
+    Slab durable under its final name but the manifest not yet updated:
+    still recomputed (the manifest is the single source of truth).
+``post-commit``
+    Manifest entry durable: the layer is validated and *skipped* on
+    resume.
+
+Every point must end in bit-identical tables; they differ only in how
+much work the resume repeats.  All four fire in the parent process (the
+commit protocol is parent-side), so ``workers=1`` exercises them fully.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+from ..core.dispatch import solve
+from ..core.errors import InvalidProblem
+from ..core.faults import CRASH_POINT_ENV, CRASH_POINTS
+from .spill import MANIFEST_NAME
+
+__all__ = ["run_crash_drill"]
+
+
+def _committed_layers(spill_dir: str) -> int:
+    """How many layers the manifest vouches for (0 if none/unreadable)."""
+    try:
+        with open(os.path.join(spill_dir, MANIFEST_NAME), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        return len(manifest.get("layers", {}))
+    except (OSError, ValueError, AttributeError):
+        return 0
+
+
+def run_crash_drill(
+    problem,
+    point: str,
+    *,
+    workdir: str,
+    layer: int | None = None,
+    workers: int = 1,
+    timeout: float = 600.0,
+) -> dict:
+    """SIGKILL a spilled solve at ``point``, resume, compare bit-for-bit.
+
+    Returns a report dict: ``point``, ``layer``, ``killed`` (the
+    subprocess actually died by SIGKILL), ``committed_at_kill`` (layers
+    the surviving manifest vouches for), ``resumed_from_layer`` and
+    ``rederived`` (from the resume's recovery log), and ``identical``
+    (resumed tables == undisturbed tables, byte-for-byte).  A drill
+    *passes* iff ``killed and identical``.
+    """
+    if point not in CRASH_POINTS:
+        raise InvalidProblem(
+            f"unknown crash point {point!r}; expected one of {CRASH_POINTS}"
+        )
+    if layer is None:
+        layer = max(1, problem.k // 2)
+    if not (1 <= layer <= problem.k):
+        raise InvalidProblem(
+            f"crash layer must be in [1, {problem.k}], got {layer}"
+        )
+
+    os.makedirs(workdir, exist_ok=True)
+    spill_dir = os.path.join(workdir, "spill")
+    problem_file = os.path.join(workdir, "problem.json")
+    with open(problem_file, "w", encoding="utf-8") as fh:
+        fh.write(problem.to_json())
+
+    # The truth to resume toward: an undisturbed in-process solve.
+    expected = solve(problem)
+
+    env = dict(os.environ)
+    env[CRASH_POINT_ENV] = f"{point}:layer={layer}"
+    # The subprocess must import *this* repro, wherever it runs from.
+    pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "solve",
+            "--file", problem_file,
+            "--backend", "parallel",
+            "--workers", str(workers),
+            "--store", "mmap",
+            "--spill-dir", spill_dir,
+            "--json",
+        ],
+        env=env,
+        capture_output=True,
+        timeout=timeout,
+    )
+    killed = proc.returncode == -signal.SIGKILL
+    committed = _committed_layers(spill_dir)
+
+    # Resume in-process from whatever the kill left behind.  The crash
+    # trap is gone here (env untouched), so the resume runs to the end.
+    result = solve(
+        problem,
+        backend="parallel",
+        workers=workers,
+        store="mmap",
+        spill_dir=spill_dir,
+    )
+    recovery = result.recovery or {}
+    identical = (
+        result.cost.tobytes() == expected.cost.tobytes()
+        and result.best_action.tobytes() == expected.best_action.tobytes()
+    )
+    return {
+        "point": point,
+        "layer": layer,
+        "workers": workers,
+        "killed": killed,
+        "returncode": proc.returncode,
+        "committed_at_kill": committed,
+        "resumed_from_layer": recovery.get("resumed_from_layer"),
+        "rederived": recovery.get("rederived", 0),
+        "identical": identical,
+    }

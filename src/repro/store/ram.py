@@ -1,0 +1,175 @@
+"""In-RAM layer store: shared-memory tables + the legacy checkpoint.
+
+This wraps what the parallel engine always did — tables in
+``multiprocessing.shared_memory`` owned by a leak-proof
+:class:`~repro.core.supervisor.SharedTables`, with optional
+layer-granular ``.ckpt`` persistence — behind the :class:`LayerStore`
+contract, and adds the checkpoint-hygiene rules:
+
+* stale ``.ckpt.tmp`` files (a crash mid-write) are swept on open;
+* a finished solve removes its checkpoint unless the policy opts out
+  (``keep_checkpoint``) — checkpoints exist to survive crashes, not to
+  accumulate;
+* the RAM budget (``REPRO_RAM_BUDGET_BYTES``) is enforced up front: when
+  the four ``2^k`` tables exceed it, opening fails loudly and points at
+  the spill store.
+
+A second, shared-memory-free mode backs the ``ENOSPC`` degradation path:
+:meth:`RamStore.adopt` builds a store around plain-RAM copies of another
+store's tables so a solve whose spill directory filled up mid-run can
+finish single-process (when the budget allows).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.durable import sweep_tmp_files
+from ..core.kernels import layer_plan, solve_layer_kernel_fused
+from ..core.sequential import INF, subset_weights
+from ..core.supervisor import SharedTables, load_checkpoint, save_checkpoint
+from .base import LayerStore, OpenReport, tables_nbytes
+
+__all__ = ["RamStore"]
+
+
+class RamStore(LayerStore):
+    kind = "ram"
+    strict_kernel = False
+
+    def __init__(self, problem, *, policy=None, p=None, use_shm=True):
+        self._problem = problem
+        self._policy = policy
+        self._p_in = p
+        self._use_shm = use_shm
+        self._tables: SharedTables | None = None
+        self._ckpt = None
+        if policy is not None and policy.checkpoint is not None:
+            self._ckpt = os.fspath(policy.checkpoint)
+        self._ckpt_base = 1  # first non-resumed layer, for the every-Nth schedule
+        self.k = problem.k
+        self.n_sub = 1 << problem.k
+
+    def open(self) -> OpenReport:
+        self.check_budget(
+            tables_nbytes(self.k),
+            f"the in-RAM DP tables for k={self.k}",
+        )
+        plan = layer_plan(self.k)
+        self.starts = plan.starts
+
+        events: list = []
+        resume = None
+        if self._ckpt is not None:
+            swept = sweep_tmp_files([self._ckpt + ".tmp"])
+            if swept:
+                events.append({"kind": "tmp-swept", "count": len(swept)})
+            resume = load_checkpoint(self._ckpt, self._problem)
+
+        if self._use_shm:
+            self._tables = SharedTables(self.n_sub)
+            self.cost = self._tables.cost
+            self.best = self._tables.best
+            self.p = self._tables.p
+            self.order = self._tables.order
+        else:
+            self.cost = np.empty(self.n_sub, dtype=np.float64)
+            self.best = np.empty(self.n_sub, dtype=np.int64)
+            self.p = np.empty(self.n_sub, dtype=np.float64)
+            self.order = np.empty(self.n_sub, dtype=np.int64)
+
+        self.order[:] = plan.order
+        self.p[:] = subset_weights(self._problem) if self._p_in is None else self._p_in
+
+        completed = 0
+        if resume is not None:
+            ckpt_cost, ckpt_best, completed = resume
+            self.cost[:] = ckpt_cost
+            self.best[:] = ckpt_best
+        else:
+            self.cost[:] = INF
+            self.cost[0] = 0.0
+            self.best[:] = -1
+        self._ckpt_base = completed + 1
+        return OpenReport(
+            valid_layers=frozenset(range(1, completed + 1)),
+            completed_prefix=completed,
+            resumed=resume is not None,
+            events=events,
+        )
+
+    @classmethod
+    def adopt(cls, problem, cost, best, p, order, starts) -> "RamStore":
+        """A ready (already-open) store around RAM copies of live tables.
+
+        Used when a spill store dies mid-solve (``ENOSPC``): the solve
+        keeps the layers it already computed and finishes in RAM.  The
+        budget gate applies — degrading must not blow the limit the
+        spill store existed to honor.
+        """
+        self = cls(problem, use_shm=False)
+        self.check_budget(
+            tables_nbytes(problem.k),
+            "falling back from the spill store to in-RAM tables",
+        )
+        self.cost = np.array(cost, dtype=np.float64)
+        self.best = np.array(best, dtype=np.int64)
+        self.p = np.array(p, dtype=np.float64)
+        self.order = np.array(order, dtype=np.int64)
+        self.starts = np.asarray(starts)
+        return self
+
+    def worker_spec(self) -> dict | None:
+        if self._tables is None:
+            return None
+        return {"mode": "shm", "names": dict(self._tables.names), "n_sub": self.n_sub}
+
+    def commit_layer(self, j: int) -> None:
+        if self._ckpt is None:
+            return
+        policy = self._policy
+        if j == self.k or (j - self._ckpt_base) % policy.checkpoint_every == 0:
+            save_checkpoint(self._ckpt, self._problem, self.cost, self.best, j)
+
+    def run_parent_slice(self, lo, hi, subsets, costs, is_test, arena) -> int:
+        # Same private-snapshot discipline as the worker shards: copy the
+        # table and re-INF this slice so the fused kernel's table-state
+        # invariant holds even while a stale duplicate shard races us.
+        layer = self.order[lo:hi]
+        local = arena.table(self.n_sub)
+        np.copyto(local, self.cost)
+        local[layer] = INF
+        layer_best, layer_arg = solve_layer_kernel_fused(
+            layer, self.p[layer], local, subsets, costs, is_test, arena=arena
+        )
+        self.cost[layer] = layer_best
+        self.best[layer] = layer_arg
+        return hi - lo
+
+    def finish(self, success: bool) -> None:
+        if not success or self._ckpt is None:
+            return
+        if self._policy is not None and self._policy.keep_checkpoint:
+            return
+        for path in (self._ckpt, self._ckpt + ".tmp"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def result_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._tables is None:
+            return self.cost, self.best
+        return self.cost.copy(), self.best.copy()
+
+    def close(self) -> None:
+        if self._tables is not None:
+            self.cost = self.best = self.p = self.order = None
+            self._tables.close()
+            self._tables = None
+
+    @property
+    def resident_nbytes(self) -> int:
+        return tables_nbytes(self.k)

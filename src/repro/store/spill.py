@@ -1,0 +1,476 @@
+"""Memory-mapped spill store: out-of-core DP tables with durable layers.
+
+Layout of a spill directory::
+
+    <spill-dir>/
+      manifest.json     control state (see below) — atomic + fsync'd
+      cost.dat          float64[2^k]   C table        (np.memmap, r+)
+      best.dat          int64[2^k]     argmin table
+      p.dat             float64[2^k]   subset weights (recomputed on open)
+      order.dat         int64[2^k]     popcount-sorted masks (checksummed)
+      layers/
+        layer_07.slab   committed layer payloads (cost then best bytes,
+        ...             in layer order), one file per popcount layer
+
+The tables are plain ``MAP_SHARED`` file mappings, so pool workers
+attach by path and parent/worker writes are coherent; the pages are
+reclaimable page cache, which is what lets a ``k=26+`` solve run under a
+RAM budget far below ``32 * 2^k`` bytes.  All streaming I/O (order
+generation, slab commit/validate/scatter, the in-parent kernel path)
+moves through fixed-size chunks, never a full table.
+
+Durability model (DESIGN.md §5.5)
+---------------------------------
+
+The memmapped tables are *scratch*: nothing guarantees what subset of
+their pages hit disk before a crash.  Truth lives in the slab files and
+the manifest, and a layer counts as committed only after the full
+protocol ran::
+
+    write layer_J.slab.tmp -> flush -> fsync -> rename -> fsync(dir)
+    manifest.json gains layers[J] = {sha256, nbytes}   (same protocol)
+
+A crash at any point leaves either no manifest entry (the layer is
+simply recomputed — slab bytes without a manifest entry are ignored) or
+a full entry whose checksum the next open verifies.  ``open()`` trusts a
+layer only when its slab exists, has the recorded size, and hashes to
+the recorded sha256; everything else — torn writes, flipped bits,
+deleted slabs, a crashed process's half-written temp — lands in the
+re-derivation set and is recomputed from the layers below, which is
+always sound because layer ``j`` is a pure bit-reproducible function of
+layers ``< j``.  Only two failures are loud: a manifest that cannot be
+parsed (:class:`StoreCorruption` — control state is gone, nothing can
+be trusted) and a manifest written for a *different problem*
+(:class:`CheckpointMismatch` — resuming someone else's tables would be
+silent corruption).
+
+``order.dat`` is checksummed in the manifest too: every slab stores
+values *in layer order*, so a rotted order file would scatter good slabs
+to wrong masks.  A mismatch regenerates the file (it is derivable from
+``k`` alone) rather than failing.
+
+Storage faults from ``REPRO_FAULT_SPEC`` (``torn-write``, ``bitflip``,
+``enospc``, ``slow-io``) are applied at commit time; the first two
+corrupt the slab bytes while the manifest records the checksum of the
+*true* payload — exactly the shape of real torn writes and bit rot.
+``REPRO_STORE_CRASH`` SIGKILLs the process at a named point of the
+protocol (the crash-drill harness drives this).
+"""
+
+from __future__ import annotations
+
+import errno as errno_mod
+import hashlib
+import json
+import math
+import os
+import time
+from itertools import islice
+
+import numpy as np
+
+from ..core import faults
+from ..core.durable import atomic_write_bytes, fsync_dir, sweep_tmp_files
+from ..core.errors import CheckpointMismatch, StoreCorruption, StoreWriteError
+from ..core.kernels import solve_layer_kernel_fused
+from ..core.sequential import INF
+from ..core.supervisor import problem_content_hash
+from ..util.bitops import subsets_of_size
+from .base import LayerStore, OpenReport
+
+__all__ = ["MmapStore", "MANIFEST_NAME", "SPILL_FORMAT"]
+
+MANIFEST_NAME = "manifest.json"
+SPILL_FORMAT = 1
+
+# Subsets per streamed chunk for every table-sized pass (order
+# generation/hashing, slab gather/scatter): 2^18 masks = 2 MiB of
+# float64 per buffer, so the store's anonymous scratch stays a few MiB
+# regardless of k.
+CHUNK = 1 << 18
+
+# Subsets per in-parent kernel call: bounds the arena's full-layer
+# output buffers the same way (each subset's argmin is independent, so
+# chunking the layer cannot change a result).
+PARENT_CHUNK = 1 << 18
+
+_DATA_FILES = (
+    ("cost", np.float64),
+    ("best", np.int64),
+    ("p", np.float64),
+    ("order", np.int64),
+)
+
+
+class MmapStore(LayerStore):
+    kind = "mmap"
+    strict_kernel = True
+
+    def __init__(self, problem, *, spill_dir, fsync: bool = True):
+        self._problem = problem
+        self._dir = os.fspath(spill_dir)
+        self._layers_dir = os.path.join(self._dir, "layers")
+        self._fsync = fsync
+        self._sha = problem_content_hash(problem)
+        self._manifest: dict | None = None
+        self._commit_attempts: dict = {}
+        self.k = problem.k
+        self.n_sub = 1 << problem.k
+
+    # -- paths ----------------------------------------------------------
+
+    def _data_path(self, name: str) -> str:
+        return os.path.join(self._dir, name + ".dat")
+
+    def _slab_path(self, j: int) -> str:
+        return os.path.join(self._layers_dir, f"layer_{j:02d}.slab")
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self._dir, MANIFEST_NAME)
+
+    # -- open -----------------------------------------------------------
+
+    def open(self) -> OpenReport:
+        os.makedirs(self._layers_dir, exist_ok=True)
+        events: list = []
+        swept = sweep_tmp_files([self._dir, self._layers_dir])
+        if swept:
+            events.append({"kind": "tmp-swept", "count": len(swept)})
+
+        manifest = self._load_manifest()
+        fresh = manifest is None
+
+        self._allocate_data_files()
+        for name, dtype in _DATA_FILES:
+            setattr(
+                self,
+                name,
+                np.memmap(self._data_path(name), dtype=dtype, mode="r+",
+                          shape=(self.n_sub,)),
+            )
+        self.starts = np.cumsum(
+            [0] + [math.comb(self.k, j) for j in range(self.k + 1)], dtype=np.int64
+        )
+
+        if fresh:
+            order_sha = self._generate_order()
+            manifest = {
+                "format": SPILL_FORMAT,
+                "problem_sha": self._sha,
+                "k": self.k,
+                "order_sha": order_sha,
+                "layers": {},
+                "complete": False,
+            }
+        elif self._hash_order() != manifest["order_sha"]:
+            # order.dat rotted (or vanished into fresh zero pages): every
+            # slab indexes through it, but it is derivable from k alone —
+            # rebuild rather than fail.
+            manifest["order_sha"] = self._generate_order()
+            events.append({"kind": "order-rebuilt"})
+        self._manifest = manifest
+        self._write_manifest()
+
+        # The mapped tables are scratch: wipe and re-scatter only what
+        # the manifest can vouch for.
+        self.cost[:] = INF
+        self.cost[0] = 0.0
+        self.best[:] = -1
+        self._fill_p()
+
+        valid: set = set()
+        rederive: list = []
+        try:
+            layer_keys = sorted(manifest["layers"], key=int)
+        except (TypeError, ValueError) as exc:
+            raise StoreCorruption(
+                f"spill manifest {self._manifest_path!r} holds a non-integer "
+                f"layer key: {exc}"
+            ) from exc
+        for key in layer_keys:
+            j = int(key)
+            if not (1 <= j <= self.k):
+                raise StoreCorruption(
+                    f"spill manifest {self._manifest_path!r} records layer "
+                    f"{j}, outside [1, {self.k}]"
+                )
+            status = self._validate_slab(j, manifest["layers"][key])
+            if status == "ok":
+                self._scatter_slab(j)
+                valid.add(j)
+            else:
+                events.append({"kind": f"slab-{status}", "layer": j})
+                rederive.append(j)
+
+        completed = 0
+        while completed + 1 in valid:
+            completed += 1
+        return OpenReport(
+            valid_layers=frozenset(valid),
+            completed_prefix=completed,
+            rederive_layers=tuple(rederive),
+            resumed=not fresh and bool(valid),
+            events=events,
+        )
+
+    def _load_manifest(self) -> dict | None:
+        path = self._manifest_path
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise StoreCorruption(
+                f"unreadable spill manifest {path!r}: {exc} — the store's "
+                "control state cannot be trusted; remove the spill "
+                "directory to start over"
+            ) from exc
+        if not isinstance(data, dict) or data.get("format") != SPILL_FORMAT:
+            raise StoreCorruption(
+                f"spill manifest {path!r} has format "
+                f"{data.get('format') if isinstance(data, dict) else data!r}, "
+                f"expected {SPILL_FORMAT}"
+            )
+        for key, typ in (("problem_sha", str), ("k", int), ("order_sha", str),
+                         ("layers", dict)):
+            if not isinstance(data.get(key), typ):
+                raise StoreCorruption(
+                    f"spill manifest {path!r} is missing or mistypes {key!r}"
+                )
+        if data["problem_sha"] != self._sha or data["k"] != self.k:
+            raise CheckpointMismatch(
+                f"spill directory {self._dir!r} was written for a different "
+                "problem (content hash mismatch) — refusing to resume from "
+                "someone else's tables"
+            )
+        return data
+
+    def _allocate_data_files(self) -> None:
+        """Create + fully allocate the table files up front.
+
+        ``posix_fallocate`` (not just ftruncate) so a full disk surfaces
+        here as a loud :class:`StoreWriteError` instead of as a SIGBUS
+        the first time a sparse page cannot be materialized mid-kernel.
+        """
+        nbytes = self.n_sub * 8
+        for name, _ in _DATA_FILES:
+            path = self._data_path(name)
+            try:
+                fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+            except OSError as exc:
+                raise StoreWriteError(
+                    f"cannot create spill file {path!r}: {exc}", errno=exc.errno
+                ) from exc
+            try:
+                if os.fstat(fd).st_size < nbytes:
+                    try:
+                        if hasattr(os, "posix_fallocate"):
+                            os.posix_fallocate(fd, 0, nbytes)
+                        else:  # pragma: no cover - non-POSIX fallback
+                            os.ftruncate(fd, nbytes)
+                    except OSError as exc:
+                        raise StoreWriteError(
+                            f"cannot allocate {nbytes} bytes for spill file "
+                            f"{path!r}: {exc}", errno=exc.errno
+                        ) from exc
+            finally:
+                os.close(fd)
+
+    def _generate_order(self) -> str:
+        """Stream the popcount-sorted mask order into ``order.dat``.
+
+        Chunked Gosper enumeration — identical to ``LayerPlan.order``
+        (stable popcount sort keeps masks ascending within a layer, and
+        Gosper's hack walks each layer ascending) but never materializes
+        the ``2^k`` argsort in RAM.  Returns the sha256 of the bytes.
+        """
+        h = hashlib.sha256()
+        pos = 0
+        for j in range(self.k + 1):
+            gen = subsets_of_size(self.k, j)
+            remaining = math.comb(self.k, j)
+            while remaining:
+                n = min(CHUNK, remaining)
+                chunk = np.fromiter(islice(gen, n), dtype=np.int64, count=n)
+                self.order[pos:pos + n] = chunk
+                h.update(chunk.tobytes())
+                pos += n
+                remaining -= n
+        self.order.flush()
+        return h.hexdigest()
+
+    def _hash_order(self) -> str:
+        h = hashlib.sha256()
+        for lo in range(0, self.n_sub, CHUNK):
+            h.update(np.ascontiguousarray(self.order[lo:lo + CHUNK]).tobytes())
+        return h.hexdigest()
+
+    def _fill_p(self) -> None:
+        """Subset weights via the in-place butterfly, directly on p.dat."""
+        p = self.p
+        p[:] = 0.0
+        for j, w in enumerate(self._problem.weights):
+            half = 1 << j
+            p.reshape(-1, 2 * half)[:, half:] += w
+
+    # -- slabs ----------------------------------------------------------
+
+    def _validate_slab(self, j: int, entry: dict) -> str:
+        """``"ok"`` | ``"missing"`` | ``"corrupt"`` for one manifest entry."""
+        if not isinstance(entry, dict):
+            return "corrupt"
+        lo, hi = self.bounds(j)
+        expect = (hi - lo) * 16
+        path = self._slab_path(j)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return "missing"
+        if size != expect or entry.get("nbytes") != expect:
+            return "corrupt"
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                h.update(block)
+        return "ok" if h.hexdigest() == entry.get("sha256") else "corrupt"
+
+    def _scatter_slab(self, j: int) -> None:
+        """Stream a validated slab back into the mapped tables."""
+        lo, hi = self.bounds(j)
+        size = hi - lo
+        with open(self._slab_path(j), "rb") as fh:
+            for table, dtype in ((self.cost, np.float64), (self.best, np.int64)):
+                for off in range(0, size, CHUNK):
+                    n = min(CHUNK, size - off)
+                    block = np.frombuffer(fh.read(n * 8), dtype=dtype)
+                    table[self.order[lo + off:lo + off + n]] = block
+
+    def commit_layer(self, j: int) -> None:
+        """Durably persist layer ``j``: slab protocol + manifest entry."""
+        attempt = self._commit_attempts.get(j, 0)
+        self._commit_attempts[j] = attempt + 1
+        torn = flip = False
+        for fault in faults.storage_faults_for(j, attempt):
+            if fault.kind == "slow-io":
+                time.sleep(fault.ms / 1000.0)
+            elif fault.kind == "enospc":
+                raise StoreWriteError(
+                    f"injected ENOSPC committing layer {j}",
+                    layer=j, errno=errno_mod.ENOSPC,
+                )
+            elif fault.kind == "torn-write":
+                torn = True
+            elif fault.kind == "bitflip":
+                flip = True
+
+        lo, hi = self.bounds(j)
+        size = hi - lo
+        total = size * 16
+        # A torn write stops half-way; a bitflip corrupts the first byte.
+        # Both happen *after* hashing, so the manifest records the true
+        # payload's checksum and the next open must catch the mismatch.
+        write_budget = total // 2 if torn else total
+        written = 0
+        first = True
+        h = hashlib.sha256()
+        path = self._slab_path(j)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                for table in (self.cost, self.best):
+                    for off in range(0, size, CHUNK):
+                        n = min(CHUNK, size - off)
+                        idx = self.order[lo + off:lo + off + n]
+                        data = np.ascontiguousarray(table[idx]).tobytes()
+                        h.update(data)
+                        if flip and first:
+                            buf = bytearray(data)
+                            buf[0] ^= 0x01
+                            data = bytes(buf)
+                        first = False
+                        room = write_budget - written
+                        if room > 0:
+                            fh.write(data[:room])
+                            written += min(len(data), room)
+                    if table is self.cost:
+                        faults.maybe_crash("mid-write", j)
+                fh.flush()
+                if self._fsync:
+                    os.fsync(fh.fileno())
+            faults.maybe_crash("pre-rename", j)
+            os.replace(tmp, path)
+            if self._fsync:
+                fsync_dir(self._layers_dir)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise StoreWriteError(
+                f"slab write failed for layer {j}: {exc}",
+                layer=j, errno=exc.errno,
+            ) from exc
+        faults.maybe_crash("post-rename", j)
+        self._manifest["layers"][str(j)] = {"sha256": h.hexdigest(), "nbytes": total}
+        self._write_manifest()
+        faults.maybe_crash("post-commit", j)
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(self._manifest, indent=1, sort_keys=True).encode()
+        try:
+            atomic_write_bytes(self._manifest_path, payload, fsync=self._fsync)
+        except OSError as exc:
+            raise StoreWriteError(
+                f"manifest write failed: {exc}", errno=exc.errno
+            ) from exc
+
+    # -- solve-loop hooks -----------------------------------------------
+
+    def worker_spec(self) -> dict | None:
+        return {"mode": "mmap", "dir": self._dir, "n_sub": self.n_sub}
+
+    def run_parent_slice(self, lo, hi, subsets, costs, is_test, arena) -> int:
+        # Strict mode: gathers run directly against the file-backed
+        # table, whose entries inside this layer may be resume garbage —
+        # no snapshot, no re-INF pass, bounded scratch via chunking.
+        done = 0
+        for off in range(lo, hi, PARENT_CHUNK):
+            end = min(off + PARENT_CHUNK, hi)
+            layer = np.asarray(self.order[off:end])
+            layer_best, layer_arg = solve_layer_kernel_fused(
+                layer, self.p[layer], self.cost, subsets, costs, is_test,
+                arena=arena, strict=True,
+            )
+            self.cost[layer] = layer_best
+            self.best[layer] = layer_arg
+            done += end - off
+        return done
+
+    def finish(self, success: bool) -> None:
+        if success and self._manifest is not None:
+            self._manifest["complete"] = True
+            self._write_manifest()
+
+    def result_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        # Fresh read-only mappings: valid after close(), and the result
+        # stays page-cache-backed instead of forcing a 2 * 8 * 2^k RAM
+        # copy at the end of an out-of-core solve.
+        cost = np.memmap(self._data_path("cost"), dtype=np.float64, mode="r",
+                         shape=(self.n_sub,))
+        best = np.memmap(self._data_path("best"), dtype=np.int64, mode="r",
+                         shape=(self.n_sub,))
+        return cost, best
+
+    def close(self) -> None:
+        # Drop the r+ views; workers hold their own mappings and the
+        # result tables are independent read-only maps.
+        self.cost = self.best = self.p = self.order = None
+
+    @property
+    def resident_nbytes(self) -> int:
+        # Streaming scratch only: one gather chunk + its byte copy per
+        # pass.  The mapped tables are reclaimable page cache, not
+        # anonymous memory.
+        return CHUNK * 16

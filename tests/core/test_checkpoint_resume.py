@@ -25,6 +25,7 @@ from repro.core.supervisor import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.store import MmapStore, StoreSpec
 from repro.util.bitops import popcount_array
 
 PROBLEM = random_instance(6, n_tests=6, n_treatments=4, seed=11)
@@ -48,6 +49,25 @@ def partial_checkpoint(path, problem, ref, completed_layer):
     save_checkpoint(path, problem, cost, best, completed_layer)
 
 
+def partial_spill(spill_dir, problem, ref, completed_layer):
+    """Seed a spill directory with ``completed_layer`` committed layers.
+
+    Goes through the store's own commit protocol — the state on disk is
+    exactly what a solve SIGKILLed after that layer's commit leaves.
+    """
+    store = MmapStore(problem, spill_dir=spill_dir)
+    store.open()
+    try:
+        for j in range(1, completed_layer + 1):
+            lo, hi = store.bounds(j)
+            masks = np.asarray(store.order[lo:hi])
+            store.cost[masks] = ref.cost[masks]
+            store.best[masks] = ref.best_action[masks]
+            store.commit_layer(j)
+    finally:
+        store.close()
+
+
 class TestResumeAcrossWorkerCounts:
     @pytest.mark.parametrize("resume_workers", [1, 2, 3])
     def test_partial_resume_bit_identical(self, tmp_path, resume_workers):
@@ -62,7 +82,9 @@ class TestResumeAcrossWorkerCounts:
 
     def test_checkpoint_written_by_one_config_resumed_by_another(self, tmp_path):
         path = tmp_path / "cross.ckpt"
-        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        policy = dataclasses.replace(
+            QUICK, checkpoint=str(path), keep_checkpoint=True
+        )
         first = solve_dp_parallel(PROBLEM, workers=3, min_shard=1, policy=policy)
         assert path.exists()
         resumed = solve_dp_parallel(PROBLEM, workers=1, min_shard=1, policy=policy)
@@ -83,6 +105,51 @@ class TestResumeAcrossWorkerCounts:
         assert np.array_equal(result.cost, REF.cost)
 
 
+class TestEveryPrefixResume:
+    """Resume from *every* layer prefix, across both durable stores.
+
+    A crash can land after any layer's barrier, so every prefix length
+    must resume to bit-identical tables with exactly the remaining
+    layers recomputed — on the legacy ``.ckpt`` store and on the mmap
+    spill store, under both the in-parent and the pooled execution
+    paths.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("prefix", range(0, 7))
+    def test_ckpt_resume_from_every_prefix(self, tmp_path, prefix, workers):
+        path = tmp_path / "prefix.ckpt"
+        partial_checkpoint(path, PROBLEM, REF, completed_layer=prefix)
+        policy = dataclasses.replace(QUICK, checkpoint=str(path))
+        result = solve_dp_parallel(
+            PROBLEM, workers=workers, min_shard=1, policy=policy
+        )
+        assert np.array_equal(result.cost, REF.cost)
+        assert np.array_equal(result.best_action, REF.best_action)
+        assert result.recovery["resumed_from_layer"] == prefix
+        assert [e["layer"] for e in result.recovery["layers"]] == list(
+            range(prefix + 1, PROBLEM.k + 1)
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("prefix", range(0, 7))
+    def test_mmap_resume_from_every_prefix(self, tmp_path, prefix, workers):
+        spill = str(tmp_path / "spill")
+        partial_spill(spill, PROBLEM, REF, completed_layer=prefix)
+        spec = StoreSpec(kind="mmap", spill_dir=spill)
+        result = solve_dp_parallel(
+            PROBLEM, workers=workers, min_shard=1, store=spec
+        )
+        assert np.array_equal(result.cost, REF.cost)
+        assert np.array_equal(result.best_action, REF.best_action)
+        assert result.recovery["store"] == "mmap"
+        if prefix:
+            assert result.recovery["resumed_from_layer"] == prefix
+        assert [e["layer"] for e in result.recovery["layers"]] == list(
+            range(prefix + 1, PROBLEM.k + 1)
+        )
+
+
 class TestDispatchCheckpointRouting:
     def test_auto_backend_honours_checkpoint(self, tmp_path):
         # Below the auto parallel threshold: without the routing fix the
@@ -90,14 +157,19 @@ class TestDispatchCheckpointRouting:
         # appear on disk.
         small = random_instance(4, n_tests=3, n_treatments=3, seed=7)
         path = tmp_path / "auto.ckpt"
-        result = solve(small, backend="auto", workers=2, checkpoint=str(path))
+        keep = ResiliencePolicy(keep_checkpoint=True)
+        result = solve(
+            small, backend="auto", workers=2, checkpoint=str(path), policy=keep
+        )
         assert path.exists()
         cold = solve_dp_reference(small)
         assert np.array_equal(result.cost, cold.cost)
         assert np.array_equal(result.best_action, cold.best_action)
         # Resuming the finished checkpoint must be a no-op solve with
         # identical tables.
-        resumed = solve(small, backend="auto", workers=2, checkpoint=str(path))
+        resumed = solve(
+            small, backend="auto", workers=2, checkpoint=str(path), policy=keep
+        )
         assert np.array_equal(resumed.cost, cold.cost)
         assert np.array_equal(resumed.best_action, cold.best_action)
 

@@ -283,26 +283,85 @@ class TestCheckpointing:
 
     def test_completed_checkpoint_resumes_instantly(self, tmp_path):
         path = tmp_path / "solve.ckpt"
-        first = solve_dp_parallel(
-            PROBLEM, workers=2, min_shard=1,
-            policy=dataclasses.replace(QUICK, checkpoint=path),
-        )
+        keep = dataclasses.replace(QUICK, checkpoint=path, keep_checkpoint=True)
+        first = solve_dp_parallel(PROBLEM, workers=2, min_shard=1, policy=keep)
         assert_bit_for_bit(first)
-        again = solve_dp_parallel(
-            PROBLEM, workers=2, min_shard=1,
-            policy=dataclasses.replace(QUICK, checkpoint=path),
-        )
+        again = solve_dp_parallel(PROBLEM, workers=2, min_shard=1, policy=keep)
         assert_bit_for_bit(again)
         assert again.recovery["resumed_from_layer"] == PROBLEM.k
         assert again.recovery["layers"] == []  # nothing recomputed
 
     def test_checkpoint_through_solve_kwarg(self, tmp_path):
         path = tmp_path / "solve.ckpt"
-        result = solve(PROBLEM, backend="parallel", workers=2, checkpoint=str(path))
+        keep = ResiliencePolicy(keep_checkpoint=True)
+        result = solve(
+            PROBLEM, backend="parallel", workers=2,
+            checkpoint=str(path), policy=keep,
+        )
         assert_bit_for_bit(result)
         assert path.exists()
-        resumed = solve(PROBLEM, backend="parallel", workers=2, checkpoint=str(path))
+        resumed = solve(
+            PROBLEM, backend="parallel", workers=2,
+            checkpoint=str(path), policy=keep,
+        )
         assert resumed.recovery["resumed_from_layer"] == PROBLEM.k
+
+    def test_checkpoint_removed_after_success_by_default(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        result = solve(PROBLEM, backend="parallel", workers=2, checkpoint=str(path))
+        assert_bit_for_bit(result)
+        assert not path.exists()
+
+    def test_interrupted_solve_keeps_checkpoint(self, tmp_path):
+        # Deletion is success-only: a failed solve leaves the checkpoint
+        # for the next attempt even without keep_checkpoint.
+        path = tmp_path / "solve.ckpt"
+        policy = dataclasses.replace(
+            QUICK, timeout=0.3, max_retries=0, fallback=False, checkpoint=path
+        )
+        with pytest.raises(ShardTimeout):
+            solve_with_fault("hang:layer=4", policy)
+        assert path.exists()
+
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        stale = tmp_path / "solve.ckpt.tmp"
+        stale.write_bytes(b"half-written checkpoint from a dead process")
+        result = solve_dp_parallel(
+            PROBLEM, workers=2, min_shard=1,
+            policy=dataclasses.replace(QUICK, checkpoint=path),
+        )
+        assert_bit_for_bit(result)
+        assert not stale.exists()
+        assert {"kind": "tmp-swept", "count": 1} in result.recovery["events"]
+
+    def test_payload_checksum_detects_corruption(self, tmp_path):
+        # The npz container can be internally consistent while the
+        # payload it carries is not the payload that was saved; the
+        # checksum closes that gap.
+        path = tmp_path / "solve.ckpt"
+        save_checkpoint(path, PROBLEM, REF.cost, REF.best_action, 4)
+        with np.load(path) as npz:
+            data = {key: np.array(npz[key]) for key in npz.files}
+        data["cost"][3] += 1.0
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.raises(CheckpointMismatch, match="payload checksum"):
+            load_checkpoint(path, PROBLEM)
+
+    def test_version_1_checkpoint_rejected(self, tmp_path):
+        # Pre-checksum files cannot be verified, so they are refused
+        # (recomputing is always safe; trusting stale bytes is not).
+        path = tmp_path / "solve.ckpt"
+        save_checkpoint(path, PROBLEM, REF.cost, REF.best_action, 4)
+        with np.load(path) as npz:
+            data = {key: np.array(npz[key]) for key in npz.files}
+        data["version"] = np.int64(1)
+        del data["payload_sha"]
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.raises(CheckpointMismatch, match="version"):
+            load_checkpoint(path, PROBLEM)
 
     def test_atomic_write_leaves_no_tmp(self, tmp_path):
         path = tmp_path / "solve.ckpt"

@@ -1,0 +1,172 @@
+"""The LayerStore contract: spec routing, budgets, cold-solve identity.
+
+Both store backends sit behind one solve loop, so the observable
+contract is simple: any store, any worker count, same bytes as the
+reference oracle — and every misconfiguration (unknown kind, missing
+spill dir, checkpoint on the mmap store, tables over the RAM budget)
+fails loudly before any work is dispatched.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.errors import InvalidProblem, SolverError
+from repro.core.generators import random_instance
+from repro.core.parallel import solve_dp_parallel
+from repro.core.sequential import solve_dp_reference
+from repro.core.supervisor import ResiliencePolicy
+from repro.store import (
+    RAM_BUDGET_ENV,
+    MmapStore,
+    RamStore,
+    StoreSpec,
+    open_store,
+    ram_budget,
+    tables_nbytes,
+)
+
+PROBLEM = random_instance(6, n_tests=6, n_treatments=4, seed=21)
+REF = solve_dp_reference(PROBLEM)
+
+
+def assert_ref_tables(result):
+    assert np.array_equal(result.cost, REF.cost)
+    assert np.array_equal(result.best_action, REF.best_action)
+
+
+class TestStoreSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidProblem, match="unknown store kind"):
+            StoreSpec(kind="tape")
+
+    def test_mmap_requires_spill_dir(self):
+        with pytest.raises(InvalidProblem, match="spill directory"):
+            StoreSpec(kind="mmap")
+
+    def test_ram_rejects_spill_dir(self, tmp_path):
+        with pytest.raises(InvalidProblem, match="meaningless"):
+            StoreSpec(kind="ram", spill_dir=str(tmp_path))
+
+    def test_auto_resolution(self, tmp_path):
+        assert StoreSpec().resolve() == "ram"
+        assert StoreSpec(kind="ram").resolve() == "ram"
+        assert StoreSpec(kind="auto", spill_dir=str(tmp_path)).resolve() == "mmap"
+        assert StoreSpec(kind="mmap", spill_dir=str(tmp_path)).resolve() == "mmap"
+
+    def test_open_store_kinds(self, tmp_path):
+        assert isinstance(open_store(StoreSpec(), PROBLEM), RamStore)
+        spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "s"))
+        assert isinstance(open_store(spec, PROBLEM), MmapStore)
+
+    def test_open_store_rejects_checkpoint_with_mmap(self, tmp_path):
+        spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "s"))
+        policy = ResiliencePolicy(checkpoint=str(tmp_path / "c.ckpt"))
+        with pytest.raises(InvalidProblem, match="manifest already persists"):
+            open_store(spec, PROBLEM, policy=policy)
+
+
+class TestRamBudget:
+    def test_unset_means_unlimited(self, monkeypatch):
+        monkeypatch.delenv(RAM_BUDGET_ENV, raising=False)
+        assert ram_budget() is None
+
+    @pytest.mark.parametrize("bad", ["lots", "-1", "0"])
+    def test_garbage_budget_is_loud(self, monkeypatch, bad):
+        monkeypatch.setenv(RAM_BUDGET_ENV, bad)
+        with pytest.raises(InvalidProblem, match=RAM_BUDGET_ENV):
+            ram_budget()
+
+    def test_ram_store_refuses_over_budget(self, monkeypatch):
+        monkeypatch.setenv(RAM_BUDGET_ENV, str(tables_nbytes(PROBLEM.k) - 1))
+        with pytest.raises(SolverError, match="--store=mmap"):
+            solve_dp_parallel(PROBLEM, workers=1)
+
+    def test_mmap_store_runs_under_budget(self, monkeypatch, tmp_path):
+        # The same budget that stops the RAM store: file-backed tables
+        # are page cache, not anonymous memory, so the spill store runs.
+        monkeypatch.setenv(RAM_BUDGET_ENV, str(tables_nbytes(PROBLEM.k) - 1))
+        spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "spill"))
+        result = solve_dp_parallel(PROBLEM, workers=1, store=spec)
+        assert_ref_tables(result)
+
+    def test_mmap_resident_scratch_is_bounded(self, tmp_path):
+        store = MmapStore(PROBLEM, spill_dir=str(tmp_path / "spill"))
+        assert store.resident_nbytes < tables_nbytes(20)
+
+
+class TestColdSolveIdentity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("kind", ["ram", "mmap"])
+    def test_bit_identical_to_reference(self, tmp_path, kind, workers):
+        if kind == "mmap":
+            spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "spill"))
+        else:
+            spec = StoreSpec(kind="ram")
+        result = solve_dp_parallel(
+            PROBLEM, workers=workers, min_shard=1, store=spec
+        )
+        assert_ref_tables(result)
+        assert result.recovery["store"] == kind
+
+    def test_completed_spill_dir_resumes_instantly(self, tmp_path):
+        spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "spill"))
+        first = solve_dp_parallel(PROBLEM, workers=1, store=spec)
+        assert_ref_tables(first)
+        again = solve_dp_parallel(PROBLEM, workers=1, store=spec)
+        assert_ref_tables(again)
+        assert again.recovery["resumed_from_layer"] == PROBLEM.k
+        assert again.recovery["layers"] == []  # nothing recomputed
+
+
+class TestDispatchRouting:
+    def test_spill_dir_alone_selects_mmap(self, tmp_path):
+        result = solve(PROBLEM, spill_dir=str(tmp_path / "spill"))
+        assert_ref_tables(result)
+        assert result.recovery["store"] == "mmap"
+
+    def test_mmap_forces_parallel_under_auto(self, tmp_path):
+        # PROBLEM.k is far below the auto parallel threshold; without
+        # the routing rule the numpy backend would run and the spill
+        # directory silently never materialize.
+        small = random_instance(4, n_tests=3, n_treatments=3, seed=5)
+        result = solve(
+            small, backend="auto", store="mmap", spill_dir=str(tmp_path / "s")
+        )
+        cold = solve_dp_reference(small)
+        assert np.array_equal(result.cost, cold.cost)
+        assert (tmp_path / "s" / "manifest.json").exists()
+
+    @pytest.mark.parametrize("backend", ["numpy", "reference"])
+    def test_single_process_backend_with_mmap_raises(self, tmp_path, backend):
+        with pytest.raises(InvalidProblem, match="parallel backend"):
+            solve(
+                PROBLEM, backend=backend,
+                store="mmap", spill_dir=str(tmp_path / "s"),
+            )
+
+    def test_checkpoint_with_mmap_raises(self, tmp_path):
+        with pytest.raises(InvalidProblem, match="manifest already persists"):
+            solve(
+                PROBLEM,
+                checkpoint=str(tmp_path / "c.ckpt"),
+                store="mmap", spill_dir=str(tmp_path / "s"),
+            )
+
+    def test_spec_with_conflicting_spill_dir_kwarg_raises(self, tmp_path):
+        spec = StoreSpec(kind="mmap", spill_dir=str(tmp_path / "a"))
+        with pytest.raises(InvalidProblem, match="StoreSpec"):
+            solve(PROBLEM, store=spec, spill_dir=str(tmp_path / "b"))
+
+    def test_explicit_ram_store_still_solves(self):
+        result = solve(PROBLEM, backend="parallel", workers=2, store="ram")
+        assert_ref_tables(result)
+
+
+class TestPolicyKnobs:
+    def test_keep_checkpoint_default_off(self):
+        assert ResiliencePolicy().keep_checkpoint is False
+        kept = dataclasses.replace(ResiliencePolicy(), keep_checkpoint=True)
+        assert kept.keep_checkpoint is True

@@ -113,7 +113,7 @@ class TestResilienceFlags:
             "solve", "--workload", "medical", "--k", "5",
             "--backend", "parallel", "--workers", "2",
             "--timeout", "30", "--retries", "3",
-            "--checkpoint", str(ckpt), "--json",
+            "--checkpoint", str(ckpt), "--keep-checkpoint", "--json",
         )
         assert code == 0
         payload = json.loads(text)
@@ -126,10 +126,57 @@ class TestResilienceFlags:
         code, text = run_cli(
             "solve", "--workload", "medical", "--k", "5",
             "--backend", "parallel", "--workers", "2",
-            "--checkpoint", str(ckpt), "--json",
+            "--checkpoint", str(ckpt), "--keep-checkpoint", "--json",
         )
         assert code == 0
         assert json.loads(text)["recovery"]["resumed_from_layer"] == 5
+
+    def test_checkpoint_removed_after_success_by_default(self, tmp_path):
+        ckpt = tmp_path / "solve.ckpt"
+        code, _ = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--backend", "parallel", "--workers", "2",
+            "--checkpoint", str(ckpt), "--json",
+        )
+        assert code == 0
+        # Checkpoints exist to survive crashes, not to accumulate: a
+        # successful solve cleans up after itself unless --keep-checkpoint.
+        assert not ckpt.exists()
+        assert not (tmp_path / "solve.ckpt.tmp").exists()
+
+    def test_mmap_store_through_cli(self, tmp_path):
+        spill = tmp_path / "spill"
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--store", "mmap", "--spill-dir", str(spill), "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["backend"] == "parallel"
+        assert payload["recovery"]["store"] == "mmap"
+        assert (spill / "manifest.json").exists()
+        # A completed spill directory re-opens as an instant no-op solve.
+        code, text = run_cli(
+            "solve", "--workload", "medical", "--k", "5",
+            "--store", "mmap", "--spill-dir", str(spill), "--json",
+        )
+        assert code == 0
+        again = json.loads(text)
+        assert again["recovery"]["resumed_from_layer"] == 5
+        assert again["recovery"]["rederived"] == 0
+        assert again["optimal_cost"] == payload["optimal_cost"]
+
+    def test_crash_drill_subcommand_json(self, tmp_path):
+        code, text = run_cli(
+            "crash-drill", "--workload", "random", "--k", "6", "--seed", "3",
+            "--point", "post-commit", "--layer", "2",
+            "--dir", str(tmp_path), "--json",
+        )
+        assert code == 0
+        (report,) = json.loads(text)["drills"]
+        assert report["point"] == "post-commit"
+        assert report["killed"] is True
+        assert report["identical"] is True
 
     def test_no_fallback_flag_parses(self):
         code, text = run_cli(
