@@ -14,22 +14,28 @@ Test-and-Treatment Procedures Using Parallel Computation* (Duke CS TR,
   hypercube dataflow and as a bit-level BVM program, plus the complexity
   and speedup analysis.
 
-Quickstart::
+Quickstart (a runnable doctest):
 
-    from repro import Action, TTProblem, solve
-
-    problem = TTProblem.build(
-        weights=[3.0, 1.0, 2.0],
-        actions=[
-            Action.test({0, 1}, cost=1.0, name="swab"),
-            Action.treatment({0}, cost=4.0, name="drugA"),
-            Action.treatment({1, 2}, cost=5.0, name="drugB"),
-        ],
-    )
-    result = solve(problem)
-    print(result.optimal_cost)
-    print(result.tree().render())
+    >>> from repro import Action, TTProblem, solve
+    >>> problem = TTProblem.build(
+    ...     weights=[3.0, 1.0, 2.0],
+    ...     actions=[
+    ...         Action.test({0, 1}, cost=1.0, name="swab"),
+    ...         Action.treatment({0}, cost=4.0, name="drugA"),
+    ...         Action.treatment({1, 2}, cost=5.0, name="drugB"),
+    ...     ],
+    ... )
+    >>> result = solve(problem)
+    >>> result.optimal_cost
+    37.0
+    >>> print(result.tree().render())
+    swab [test] on {0,1,2} cost=1
+        + drugA [treatment] on {0,1} cost=4 =>treated {0}
+            fail drugB [treatment] on {1} cost=5 =>treated {1}
+        - drugB [treatment] on {2} cost=5 =>treated {2}
 """
+
+import logging as _logging
 
 from .core import (
     Action,
@@ -47,6 +53,10 @@ from .core import (
 )
 
 __version__ = "1.0.0"
+
+# Library etiquette: emit nothing unless the application configures
+# logging — handlers belong to the app, never to an imported package.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "Action",

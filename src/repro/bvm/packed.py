@@ -43,11 +43,13 @@ writes (``dst = dst``) are dropped.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from functools import lru_cache
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .isa import FN, Instruction, Operand, Reg
 from .topology import CCCTopology, pack_row, unpack_plane
 
@@ -280,10 +282,20 @@ class PackedBVM:
 
     def run_compiled(self, steps) -> int:
         """Replay pre-compiled steps; returns the cycles consumed."""
+        # One span per replay, never per step: _exec_step is the hot
+        # loop and must stay untouched by telemetry.
+        tr = _trace.current()
+        t0 = time.monotonic() if tr.collecting else 0.0
         start = self.cycles
         for step in steps:
             self._exec_step(step)
-        return self.cycles - start
+        cycles = self.cycles - start
+        if tr.collecting:
+            tr.complete(
+                "bvm.replay", "bvm", t0, time.monotonic(),
+                r=self.topology.r, steps=len(steps), cycles=cycles,
+            )
+        return cycles
 
     def _exec_step(self, step: tuple) -> None:
         (

@@ -47,13 +47,17 @@ class CompiledProgram:
     """
 
     def __init__(self, instructions, r: int, L: int):
+        from ..obs import trace as _trace
         from .packed import compile_step
 
         self.r = r
         self.L = L
         self.instructions = list(instructions)
         topo = CCCTopology.shared(r)
-        self.steps = [compile_step(i, topo, L) for i in self.instructions]
+        with _trace.current().span(
+            "bvm.compile", cat="bvm", r=r, L=L, instructions=len(self.instructions)
+        ):
+            self.steps = [compile_step(i, topo, L) for i in self.instructions]
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -43,6 +43,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import math
@@ -165,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
         "'packed' runs 64 PEs per machine word with identical cycle counts)",
     )
     p_solve.add_argument("--json", action="store_true", help="machine-readable output")
+    p_solve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record a solve trace here: '.jsonl' writes the line-oriented "
+        "event log, anything else a Chrome trace_event JSON loadable in "
+        "Perfetto / chrome://tracing (summarize either with trace-report)",
+    )
+    p_solve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="include the solve's metrics registry snapshot in the output "
+        "(shard/layer timings, store commit latency, cache hit rates)",
+    )
+    p_solve.add_argument(
+        "--progress",
+        action="store_true",
+        help="live per-layer progress line on stderr (layers done, ETA, "
+        "MB spilled) for long parallel solves",
+    )
 
     p_batch = sub.add_parser(
         "solve-batch",
@@ -298,6 +319,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_drill.add_argument("--json", action="store_true", help="machine-readable output")
 
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="summarize a solve trace into per-layer tables",
+        description="Read a trace recorded with `solve --trace-out` (either "
+        "the JSONL event log or the Chrome trace_event JSON) and print a "
+        "per-layer table: wall time, shard spans, worker count, store "
+        "commit time/bytes, fault and recovery event counts.",
+    )
+    p_trace.add_argument("trace", help="trace file written by solve --trace-out")
+    p_trace.add_argument("--json", action="store_true", help="machine-readable summary")
+
     sub.add_parser("workloads", help="list synthetic workload generators")
     sub.add_parser("figures", help="regenerate the paper's Figs. 3/4/6 patterns")
     sub.add_parser("claims", help="print the complexity-claim tables")
@@ -355,58 +387,84 @@ def _solve(args, out) -> int:
         }
         problem = report.problem
 
+    from .obs import ProgressReporter, Tracer, tracing, write_trace
+
+    tracer = Tracer() if args.trace_out else None
+    progress = ProgressReporter() if args.progress else None
+
     counters: dict = {}
-    if args.solver == "dp":
-        use_store = args.store != "auto" or args.spill_dir is not None
-        backend, workers = resolve_backend(problem, args.backend, args.workers)
-        if use_store and (args.store == "mmap" or args.spill_dir is not None):
-            backend = "parallel"  # the mmap store rides the parallel loop
-        result = solve(
-            problem,
-            backend=args.backend,
-            workers=args.workers,
-            policy=_policy(args),
-            store=args.store if use_store else None,
-            spill_dir=args.spill_dir,
+    # The tracer is made ambient around whichever solver runs, so even
+    # the BVM/hypercube paths (which take no tracer argument) land their
+    # spans on it; the dp path additionally gets it passed explicitly.
+    with tracing(tracer) if tracer is not None else contextlib.nullcontext():
+        if args.solver == "dp":
+            use_store = args.store != "auto" or args.spill_dir is not None
+            backend, workers = resolve_backend(problem, args.backend, args.workers)
+            if use_store and (args.store == "mmap" or args.spill_dir is not None):
+                backend = "parallel"  # the mmap store rides the parallel loop
+            result = solve(
+                problem,
+                backend=args.backend,
+                workers=args.workers,
+                policy=_policy(args),
+                store=args.store if use_store else None,
+                spill_dir=args.spill_dir,
+                tracer=tracer,
+                progress=progress,
+            )
+            counters["sequential_ops"] = result.op_count
+            counters["backend"] = backend
+            if backend == "parallel":
+                counters["workers"] = workers
+            # Uniform across backends: single-process solves carry the
+            # same recovery keys, zeroed (see DPResult).
+            counters["recovery"] = {
+                key: result.recovery[key]
+                for key in (
+                    "retries",
+                    "timeouts",
+                    "crashes",
+                    "respawns",
+                    "fallback_shards",
+                    "degraded",
+                    "resumed_from_layer",
+                    "rederived",
+                    "store",
+                )
+            }
+            if args.metrics:
+                counters["metrics"] = result.metrics
+        elif args.solver == "hypercube":
+            from .ttpar import solve_tt_hypercube
+
+            result = solve_tt_hypercube(problem)
+            counters["route_steps"] = result.stats.route_steps
+            counters["compute_steps"] = result.stats.compute_steps
+        elif args.solver == "ccc":
+            from .ttpar import solve_tt_ccc
+
+            result = solve_tt_ccc(problem)
+            counters["ccc_route_steps"] = result.ccc_stats.route_steps
+            counters["slowdown_vs_hypercube"] = round(result.ccc_stats.slowdown, 3)
+        else:
+            from .ttpar import solve_tt_bvm
+
+            result = solve_tt_bvm(problem, width=args.width, backend=args.bvm_backend)
+            counters["bvm_cycles"] = result.cycles
+            counters["ccc_r"] = result.r
+            counters["bvm_backend"] = result.backend
+
+    if tracer is not None:
+        write_trace(
+            args.trace_out,
+            tracer,
+            meta={
+                "solver": args.solver,
+                "problem": problem.name or "(unnamed)",
+                "k": problem.k,
+            },
         )
-        counters["sequential_ops"] = result.op_count
-        counters["backend"] = backend
-        if backend == "parallel":
-            counters["workers"] = workers
-            if result.recovery is not None:
-                counters["recovery"] = {
-                    key: result.recovery[key]
-                    for key in (
-                        "retries",
-                        "timeouts",
-                        "crashes",
-                        "respawns",
-                        "fallback_shards",
-                        "degraded",
-                        "resumed_from_layer",
-                        "rederived",
-                        "store",
-                    )
-                }
-    elif args.solver == "hypercube":
-        from .ttpar import solve_tt_hypercube
-
-        result = solve_tt_hypercube(problem)
-        counters["route_steps"] = result.stats.route_steps
-        counters["compute_steps"] = result.stats.compute_steps
-    elif args.solver == "ccc":
-        from .ttpar import solve_tt_ccc
-
-        result = solve_tt_ccc(problem)
-        counters["ccc_route_steps"] = result.ccc_stats.route_steps
-        counters["slowdown_vs_hypercube"] = round(result.ccc_stats.slowdown, 3)
-    else:
-        from .ttpar import solve_tt_bvm
-
-        result = solve_tt_bvm(problem, width=args.width, backend=args.bvm_backend)
-        counters["bvm_cycles"] = result.cycles
-        counters["ccc_r"] = result.r
-        counters["bvm_backend"] = result.backend
+        counters["trace"] = args.trace_out
 
     feasible = math.isfinite(result.optimal_cost)
     payload = {
@@ -557,6 +615,23 @@ def _verify_exhaustive(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _trace_report(args, out) -> int:
+    from .obs import load_trace, render_report, summarize_trace
+
+    try:
+        meta, events = load_trace(args.trace)
+    except OSError as exc:
+        raise InvalidProblem(f"cannot read trace {args.trace!r}: {exc}") from exc
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise InvalidProblem(f"invalid trace file {args.trace!r}: {exc}") from exc
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps({"meta": meta, **summary}, indent=2), file=out)
+    else:
+        print(render_report(summary), file=out)
+    return 0
+
+
 def _workloads(out) -> int:
     for name in sorted(WORKLOADS):
         doc = (WORKLOADS[name].__doc__ or "").strip().splitlines()
@@ -662,6 +737,8 @@ def _dispatch(args, out) -> int:
         return _crash_drill(args, out)
     if args.command == "verify-exhaustive":
         return _verify_exhaustive(args, out)
+    if args.command == "trace-report":
+        return _trace_report(args, out)
     if args.command == "workloads":
         return _workloads(out)
     if args.command == "figures":

@@ -31,6 +31,7 @@ All backends honour the same determinism contract (see
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import threading
@@ -38,7 +39,9 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from .errors import InvalidProblem
+from .kernels import plan_cache_stats
 from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
 from .problem import TTProblem
 from .sequential import DPResult, solve_dp, solve_dp_reference, subset_weights
@@ -49,6 +52,7 @@ __all__ = [
     "resolve_backend",
     "cached_subset_weights",
     "weights_cache_nbytes",
+    "weights_cache_stats",
     "BACKENDS",
     "WEIGHTS_CACHE_ENV",
     "DEFAULT_WEIGHTS_CACHE_BYTES",
@@ -64,6 +68,7 @@ WEIGHTS_CACHE_ENV = "REPRO_WEIGHTS_CACHE_BYTES"
 
 _WEIGHTS_LOCK = threading.Lock()
 _WEIGHTS_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_WEIGHTS_STATS = {"hits": 0, "misses": 0}
 
 
 def _weights_budget() -> int:
@@ -88,10 +93,18 @@ def weights_cache_nbytes() -> int:
         return sum(arr.nbytes for arr in _WEIGHTS_CACHE.values())
 
 
+def weights_cache_stats() -> dict:
+    """Lifetime hit/miss counts of the subset-weights cache (a copy)."""
+    with _WEIGHTS_LOCK:
+        return dict(_WEIGHTS_STATS)
+
+
 def _clear_weights_cache() -> None:
-    """Test hook: drop every cached weights vector."""
+    """Test hook: drop every cached weights vector (and its stats)."""
     with _WEIGHTS_LOCK:
         _WEIGHTS_CACHE.clear()
+        _WEIGHTS_STATS["hits"] = 0
+        _WEIGHTS_STATS["misses"] = 0
 
 
 def cached_subset_weights(problem: TTProblem) -> np.ndarray:
@@ -113,7 +126,9 @@ def cached_subset_weights(problem: TTProblem) -> np.ndarray:
         cached = _WEIGHTS_CACHE.get(key)
         if cached is not None:
             _WEIGHTS_CACHE.move_to_end(key)
+            _WEIGHTS_STATS["hits"] += 1
             return cached
+        _WEIGHTS_STATS["misses"] += 1
     p = subset_weights(problem)
     p.setflags(write=False)
     budget = _weights_budget()
@@ -161,6 +176,8 @@ def solve(
     store: str | None = None,
     spill_dir: str | None = None,
     engine=None,
+    tracer=None,
+    progress=None,
 ) -> DPResult:
     """Solve a TT instance with the selected (or auto-selected) backend.
 
@@ -195,6 +212,13 @@ def solve(
     engine path is bit-for-bit identical to a cold solve.  Checkpointed,
     custom-policy or spilled solves carry per-solve failure-domain state
     the warm engine cannot share, so they fall through to the cold path.
+
+    ``tracer`` / ``progress`` attach observability (see :mod:`repro.obs`):
+    a :class:`~repro.obs.trace.Tracer` is made ambient around whichever
+    backend runs (so even single-process solves record layer spans), and
+    a :class:`~repro.obs.progress.ProgressReporter` gets live per-layer
+    callbacks on the parallel path.  Both are observational only —
+    ``cost``/``best_action`` are bit-identical with them on or off.
     """
     spec = None
     store_kind = "ram"
@@ -213,13 +237,33 @@ def solve(
             )
         store_kind = spec.resolve()
 
+    # Cache traffic is process-global; snapshot before dispatch so the
+    # result's metrics carry the hits/misses *this* solve caused.
+    w0, pl0 = weights_cache_stats(), plan_cache_stats()
+
+    def _finish(result: DPResult) -> DPResult:
+        w1, pl1 = weights_cache_stats(), plan_cache_stats()
+        m = result.metrics
+        m["cache.weights_hits"] += w1["hits"] - w0["hits"]
+        m["cache.weights_misses"] += w1["misses"] - w0["misses"]
+        m["cache.plan_hits"] += pl1["hits"] - pl0["hits"]
+        m["cache.plan_misses"] += pl1["misses"] - pl0["misses"]
+        return result
+
+    # An explicit tracer becomes ambient for the backend call; without
+    # one, any tracer a caller already activated stays in effect.
+    ambient = (
+        obs_trace.tracing(tracer) if tracer is not None else contextlib.nullcontext()
+    )
+
     if (
         engine is not None
         and policy is None
         and checkpoint is None
         and store_kind != "mmap"
     ):
-        return engine.solve(problem)
+        with ambient:
+            return _finish(engine.solve(problem))
     if checkpoint is not None:
         policy = dataclasses.replace(
             policy or ResiliencePolicy(), checkpoint=checkpoint
@@ -246,12 +290,22 @@ def solve(
         backend = "parallel"
     backend, eff_workers = resolve_backend(problem, backend, workers)
     if backend == "reference":
-        return solve_dp_reference(problem)
+        with ambient:
+            return _finish(solve_dp_reference(problem))
     # The mmap store derives the weights into its own p.dat (out-of-core,
     # chunked); precomputing a 2^k RAM vector here would defeat the budget.
     p = None if store_kind == "mmap" else cached_subset_weights(problem)
     if backend == "parallel":
-        return solve_dp_parallel(
-            problem, workers=eff_workers, p=p, policy=policy, store=spec
+        return _finish(
+            solve_dp_parallel(
+                problem,
+                workers=eff_workers,
+                p=p,
+                policy=policy,
+                store=spec,
+                tracer=tracer,
+                progress=progress,
+            )
         )
-    return solve_dp(problem, p=p)
+    with ambient:
+        return _finish(solve_dp(problem, p=p))

@@ -45,6 +45,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import faults
 from . import parallel as _par
 from .dispatch import cached_subset_weights, resolve_backend
@@ -64,25 +66,37 @@ def _engine_shard(subsets, costs, is_test, task):
     Identical to :func:`repro.core.parallel._solve_shard` except the
     per-problem statics arrive *with the task* (bound via
     ``functools.partial`` in the parent) rather than from the pool
-    initializer — the pool outlives any one problem.  Signal masking and
-    fault injection follow the one-shot path exactly.
+    initializer — the pool outlives any one problem.  Signal masking,
+    fault injection and the optional trace flag (sixth task element,
+    flushed back as a third result element) follow the one-shot path
+    exactly.
     """
-    lo, hi, layer_idx, shard_idx, attempt = task
-    faults.inject(layer_idx, shard_idx, attempt)
-    blockable = {signal.SIGTERM, signal.SIGINT}
-    old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
-    try:
-        done = _par._shard_compute(
-            _par._WORKER,
-            lo,
-            hi,
-            np.asarray(subsets, dtype=np.int64),
-            np.asarray(costs, dtype=np.float64),
-            np.asarray(is_test, dtype=bool),
-        )
+    lo, hi, layer_idx, shard_idx, attempt = task[:5]
+    traced = len(task) > 5 and bool(task[5])
+    tracer = obs_trace.Tracer(max_events=obs_trace.WORKER_EVENT_CAP) if traced else None
+    t_start = time.monotonic()
+    with obs_trace.tracing(tracer):
+        faults.inject(layer_idx, shard_idx, attempt)
+        blockable = {signal.SIGTERM, signal.SIGINT}
+        old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
+        try:
+            done = _par._shard_compute(
+                _par._WORKER,
+                lo,
+                hi,
+                np.asarray(subsets, dtype=np.int64),
+                np.asarray(costs, dtype=np.float64),
+                np.asarray(is_test, dtype=bool),
+            )
+        finally:
+            signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
+    if tracer is None:
         return shard_idx, done
-    finally:
-        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
+    tracer.complete(
+        "shard", "shard", t_start, time.monotonic(),
+        layer=layer_idx, shard=shard_idx, attempt=attempt, masks=hi - lo,
+    )
+    return shard_idx, done, tracer.raw_events()
 
 
 class SolverEngine:
@@ -127,6 +141,9 @@ class SolverEngine:
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.min_shard = min_shard
         self.solves = 0
+        # Warm-state effectiveness counters, exposed on result.metrics:
+        # a healthy stream shows pool_reuses == solves - table_rebuilds.
+        self.stats = {"pool_reuses": 0, "table_rebuilds": 0}
         self._closed = False
         self._arena = LayerArena()
         self._k: int | None = None
@@ -159,10 +176,13 @@ class SolverEngine:
         self._plan = None
         self._pool_factory = None
 
-    def _ensure_tables(self, k: int) -> None:
-        """(Re)build the per-``k`` shared state; a ``k`` switch tears down."""
+    def _ensure_tables(self, k: int) -> bool:
+        """(Re)build the per-``k`` shared state; a ``k`` switch tears down.
+
+        Returns ``True`` when the warm state was reused as-is.
+        """
         if self._k == k:
-            return
+            return True
         self._teardown()
         n_sub = 1 << k
         self._plan = layer_plan(k)
@@ -185,6 +205,7 @@ class SolverEngine:
         self._tables = tables
         self._pool_factory = pool_factory
         self._k = k
+        return False
 
     # -- solving -------------------------------------------------------
 
@@ -213,10 +234,21 @@ class SolverEngine:
         n_sub = 1 << k
         # Validate any fault spec in the parent, like the one-shot path.
         faults.env_fault_spec()
-        self._ensure_tables(k)
+        # Telemetry rides the ambient tracer (the CLI / caller activates
+        # one around the solve); each solve gets its own registry so the
+        # result's metrics block describes this instance only.
+        tr = obs_trace.current()
+        reg = obs_metrics.MetricsRegistry()
+        t_solve0 = time.monotonic()
+        grows0 = self._arena.grows
+        reused = self._ensure_tables(k)
+        which = "pool_reuses" if reused else "table_rebuilds"
+        self.stats[which] += 1
+        reg.inc(f"engine.{which}")
         tables, plan, arena = self._tables, self._plan, self._arena
 
         log = RecoveryLog()
+        log.tracer = tr
         cost, best = tables.cost, tables.best
         cost[:] = INF
         cost[0] = 0.0
@@ -235,14 +267,19 @@ class SolverEngine:
             self._supervisor = None
             log.event("revive")
         if self._supervisor is None:
-            self._supervisor = Supervisor(self.policy, self._pool_factory, task, log)
+            self._supervisor = Supervisor(
+                self.policy, self._pool_factory, task, log, tracer=tr, metrics=reg
+            )
         supervisor = self._supervisor
-        supervisor.rebind(task, log)
+        supervisor.rebind(task, log, tracer=tr, metrics=reg)
 
         order, starts = plan.order, plan.starts
+        state = {"layer": 0}
+        reg.inc("layers.total", k)
 
         def solve_in_parent(lo: int, hi: int) -> int:
             layer = order[lo:hi]
+            ts = time.monotonic()
             local = arena.table(n_sub)
             np.copyto(local, cost)
             local[layer] = INF
@@ -251,9 +288,18 @@ class SolverEngine:
             )
             cost[layer] = layer_best
             best[layer] = layer_arg
+            dt = time.monotonic() - ts
+            reg.inc("time.kernel_s", dt)
+            reg.observe("shard.seconds", dt)
+            if tr.collecting:
+                tr.complete(
+                    "parent-slice", "shard", ts, ts + dt,
+                    layer=state["layer"], masks=hi - lo,
+                )
             return hi - lo
 
         for j in range(1, k + 1):
+            state["layer"] = j
             t0 = time.monotonic()
             lo, hi = int(starts[j]), int(starts[j + 1])
             shards = _shard_bounds(lo, hi, workers, self.min_shard)
@@ -267,14 +313,25 @@ class SolverEngine:
                 raise SolverError(
                     f"layer {j} incomplete: {done} of {hi - lo} masks solved"
                 )
-            log.layer(j, time.monotonic() - t0, len(shards), mode)
+            dt = time.monotonic() - t0
+            log.layer(j, dt, len(shards), mode)
+            reg.inc("layers.computed")
+            reg.observe("layer.seconds", dt)
+            if tr.collecting:
+                tr.complete(
+                    "layer", "layer", t0, t0 + dt,
+                    layer=j, masks=hi - lo, shards=len(shards), mode=mode,
+                )
 
+        reg.set_gauge("time.solve_s", round(time.monotonic() - t_solve0, 6))
+        reg.inc("arena.grows", arena.grows - grows0)
         return DPResult(
             problem=problem,
             cost=cost.copy(),
             best_action=best.copy(),
             op_count=(n_sub - 1) * n_act,
             recovery=log.as_dict(),
+            metrics=reg.as_dict(),
         )
 
     def solve_many(self, problems) -> list[DPResult]:
@@ -290,10 +347,23 @@ class SolverEngine:
         results: list[DPResult] = []
         if not problems:
             return results
+        tr = obs_trace.current()
         with ThreadPoolExecutor(max_workers=1) as pool:
             pending = None
             for idx, problem in enumerate(problems):
-                p = pending.result() if pending is not None else cached_subset_weights(problem)
+                if pending is not None:
+                    # A traced stall here means the precompute did *not*
+                    # overlap the previous solve — the span is the
+                    # pipeline's bubble, ideally ~0.
+                    tw = time.monotonic()
+                    p = pending.result()
+                    if tr.collecting:
+                        tr.complete(
+                            "pipeline.wait", "engine", tw, time.monotonic(),
+                            instance=idx,
+                        )
+                else:
+                    p = cached_subset_weights(problem)
                 if idx + 1 < len(problems):
                     pending = pool.submit(cached_subset_weights, problems[idx + 1])
                 results.append(self.solve(problem, p=p))

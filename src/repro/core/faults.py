@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..obs import trace as _trace
 from .errors import InvalidProblem
 
 __all__ = [
@@ -175,6 +176,14 @@ def inject(layer: int, shard: int, attempt: int = 0, *, spec: str | None = None)
     for fault in faults:
         if fault.is_storage or not fault.matches(layer, shard, attempt):
             continue
+        # Tag the timeline *before* firing: a traced worker's ring buffer
+        # carries the instant back through the result channel (except for
+        # "kill", whose buffer dies with the process — the supervisor's
+        # crash/retry events then tell the recovery side of the story).
+        _trace.current().instant(
+            f"fault.{fault.kind}", cat="fault",
+            layer=layer, shard=shard, attempt=attempt, ms=fault.ms,
+        )
         if fault.kind == "kill":
             # Bypass all cleanup, exactly like SIGKILL/OOM: the parent must
             # recover from a worker that never got to say goodbye.
@@ -204,9 +213,16 @@ def storage_faults_for(
     1), mirroring the shard-retry escape semantics of ``times=``.
     """
     faults = parse_fault_spec(spec) if spec is not None else env_fault_spec()
-    return tuple(
+    matched = tuple(
         f for f in faults if f.is_storage and f.matches(layer, 0, attempt)
     )
+    for f in matched:
+        # Parent-side: the solve loop keeps its tracer ambient, so these
+        # land directly on the main timeline next to the commit span.
+        _trace.current().instant(
+            f"fault.{f.kind}", cat="fault", layer=layer, attempt=attempt, ms=f.ms
+        )
+    return matched
 
 
 # ----------------------------------------------------------------------

@@ -111,6 +111,7 @@ from .errors import InvalidProblem
 __all__ = [
     "LayerPlan",
     "layer_plan",
+    "plan_cache_stats",
     "LayerArena",
     "solve_layer_kernel_fused",
     "DEFAULT_TILE",
@@ -202,6 +203,7 @@ class LayerPlan:
 
 _PLAN_LOCK = threading.Lock()
 _PLAN_CACHE: dict[int, LayerPlan] = {}
+_PLAN_STATS = {"hits": 0, "misses": 0}
 
 # A plan is 8 bytes per mask; 8 cached k's at k <= 20 is at most ~64 MiB
 # and in practice a handful of small ones.  Plans for distinct k are
@@ -219,17 +221,27 @@ def layer_plan(k: int) -> LayerPlan:
     with _PLAN_LOCK:
         plan = _PLAN_CACHE.get(k)
         if plan is None:
+            _PLAN_STATS["misses"] += 1
             plan = LayerPlan(k)
             _PLAN_CACHE[k] = plan
             while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
                 _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        else:
+            _PLAN_STATS["hits"] += 1
         return plan
 
 
+def plan_cache_stats() -> dict:
+    """Process-lifetime hit/miss counts of the layer-plan cache."""
+    with _PLAN_LOCK:
+        return dict(_PLAN_STATS)
+
+
 def _clear_plan_cache() -> None:
-    """Test hook: drop every cached plan."""
+    """Test hook: drop every cached plan (and its hit/miss stats)."""
     with _PLAN_LOCK:
         _PLAN_CACHE.clear()
+        _PLAN_STATS["hits"] = _PLAN_STATS["misses"] = 0
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +267,7 @@ class LayerArena:
         "_scratch_cap",
         "_strict_cap",
         "_table_cap",
+        "grows",
         "best",
         "arg",
         "masks32",
@@ -274,6 +287,10 @@ class LayerArena:
         self._scratch_cap = 0
         self._strict_cap = 0
         self._table_cap = 0
+        # Pool-growth count: a warm arena should stop growing after its
+        # first layer; a nonzero steady-state rate means churn (surfaced
+        # as the "arena.grows" metric).
+        self.grows = 0
         # Zero-capacity buffers so zero-length requests (empty layers,
         # k = 0 tables) return valid empty views without special-casing.
         self.best = np.empty(0, dtype=np.float64)
@@ -296,6 +313,7 @@ class LayerArena:
         memory-bound, and scattering into the int64 result table
         upcasts for free."""
         if n > self._out_cap:
+            self.grows += 1
             self.best = np.empty(n, dtype=np.float64)
             self.arg = np.empty(n, dtype=np.int32)
             self._out_cap = n
@@ -304,6 +322,7 @@ class LayerArena:
     def scratch(self, n: int) -> tuple[np.ndarray, ...]:
         """Views of the seven per-tile scratch rows, length ``n``."""
         if n > self._scratch_cap:
+            self.grows += 1
             self.masks32 = np.empty(n, dtype=np.int32)
             self.inter = np.empty(n, dtype=np.int32)
             self.rest = np.empty(n, dtype=np.int32)
@@ -325,6 +344,7 @@ class LayerArena:
     def strict_scratch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Views of the two bool validity-mask rows used by strict mode."""
         if n > self._strict_cap:
+            self.grows += 1
             self.invalid = np.empty(n, dtype=bool)
             self.invalid2 = np.empty(n, dtype=bool)
             self._strict_cap = n
@@ -342,6 +362,7 @@ class LayerArena:
         deterministically, whatever a concurrent duplicate writes.
         """
         if n > self._table_cap:
+            self.grows += 1
             self._table = np.empty(n, dtype=np.float64)
             self._table_cap = n
         return self._table[:n]

@@ -72,6 +72,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import faults
 from .errors import InvalidProblem, SolverError
 from .kernels import LayerArena, solve_layer_kernel_fused
@@ -220,12 +222,17 @@ def _shard_compute(w, lo, hi, subsets, costs, is_test):
     return hi - lo
 
 
-def _solve_shard(task: tuple[int, int, int, int, int]) -> tuple[int, int]:
+def _solve_shard(task: tuple) -> tuple:
     """Solve masks ``order[lo:hi]`` (a contiguous slice of one layer).
 
-    ``task`` is ``(lo, hi, layer_index, shard_index, attempt)``; the
-    extra coordinates drive deterministic fault injection and let the
-    supervisor attribute completions.  Returns ``(shard_index, count)``.
+    ``task`` is ``(lo, hi, layer_index, shard_index, attempt)`` plus an
+    optional sixth ``trace`` flag; the extra coordinates drive
+    deterministic fault injection and let the supervisor attribute
+    completions.  Returns ``(shard_index, count)`` — or, when tracing,
+    ``(shard_index, count, raw_events)``: the worker records its shard
+    span (and any fault instants) into a small private ring buffer and
+    flushes it back through the result channel, which is what makes the
+    cross-process trace one mergeable timeline with no extra IPC.
 
     Termination signals are blocked for the duration of the compute.
     This serves two supervision needs at once: the shard's table writes
@@ -240,19 +247,31 @@ def _solve_shard(task: tuple[int, int, int, int, int]) -> tuple[int, int]:
     the main thread is the only eligible recipient, its ``sem_wait`` is
     interrupted, and the handler runs promptly.
     """
-    lo, hi, layer_idx, shard_idx, attempt = task
-    # Injected faults run unmasked: a simulated hang is a Python-level
-    # sleep and should stay SIGTERM-interruptible (a real hang inside the
-    # C kernel below would not run Python handlers either way).
-    faults.inject(layer_idx, shard_idx, attempt)
-    blockable = {signal.SIGTERM, signal.SIGINT}
-    old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
-    try:
-        w = _WORKER
-        done = _shard_compute(w, lo, hi, w["subsets"], w["costs"], w["is_test"])
+    lo, hi, layer_idx, shard_idx, attempt = task[:5]
+    traced = len(task) > 5 and bool(task[5])
+    tracer = obs_trace.Tracer(max_events=obs_trace.WORKER_EVENT_CAP) if traced else None
+    t_start = time.monotonic()
+    # The worker tracer is made ambient around the whole shard body so
+    # deep sites (fault injection, kernels) land in it without plumbing.
+    with obs_trace.tracing(tracer):
+        # Injected faults run unmasked: a simulated hang is a Python-level
+        # sleep and should stay SIGTERM-interruptible (a real hang inside
+        # the C kernel below would not run Python handlers either way).
+        faults.inject(layer_idx, shard_idx, attempt)
+        blockable = {signal.SIGTERM, signal.SIGINT}
+        old_mask = signal.pthread_sigmask(signal.SIG_BLOCK, blockable)
+        try:
+            w = _WORKER
+            done = _shard_compute(w, lo, hi, w["subsets"], w["costs"], w["is_test"])
+        finally:
+            signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
+    if tracer is None:
         return shard_idx, done
-    finally:
-        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
+    tracer.complete(
+        "shard", "shard", t_start, time.monotonic(),
+        layer=layer_idx, shard=shard_idx, attempt=attempt, masks=hi - lo,
+    )
+    return shard_idx, done, tracer.raw_events()
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +314,9 @@ def solve_dp_parallel(
     min_shard: int = MIN_SHARD,
     policy: ResiliencePolicy | None = None,
     store=None,
+    tracer=None,
+    metrics=None,
+    progress=None,
 ) -> DPResult:
     """Supervised layer-parallel backward induction across ``workers`` processes.
 
@@ -314,6 +336,14 @@ def solve_dp_parallel(
     default, a :class:`repro.store.StoreSpec` (e.g. ``kind="mmap"`` +
     ``spill_dir`` for a durable out-of-core solve), or an unopened
     :class:`repro.store.LayerStore` instance.
+
+    Telemetry is observational only — a traced solve writes bit-identical
+    tables.  ``tracer`` is a :class:`repro.obs.Tracer` (``None`` inherits
+    the ambient tracer, disabled by default); ``metrics`` an optional
+    :class:`repro.obs.MetricsRegistry` to fill (one is created per solve
+    otherwise — the snapshot lands on ``DPResult.metrics`` either way);
+    ``progress`` an optional :class:`repro.obs.ProgressReporter` pinged
+    at each layer barrier.
     """
     from .. import store as store_mod  # runtime import: store builds on core
 
@@ -332,7 +362,10 @@ def solve_dp_parallel(
     faults.env_fault_spec()
     faults.env_crash_spec()
 
+    tr = tracer if tracer is not None else obs_trace.current()
+    reg = metrics if metrics is not None else obs_metrics.MetricsRegistry()
     log = RecoveryLog()
+    log.tracer = tr  # recovery events double as trace instants
     log.checkpoint = os.fspath(policy.checkpoint) if policy.checkpoint else None
 
     if k == 0:  # degenerate empty universe: nothing to diagnose
@@ -345,6 +378,7 @@ def solve_dp_parallel(
         store = store_mod.StoreSpec()
     if isinstance(store, store_mod.StoreSpec):
         store = store_mod.open_store(store, problem, policy=policy, p=p)
+    store.bind_telemetry(tr, reg)
     log.store = store.kind
 
     subsets = problem.subset_array
@@ -370,6 +404,7 @@ def solve_dp_parallel(
                 f"spill store failed ({exc}) and falling back to RAM is not "
                 f"possible: {budget_exc}"
             ) from exc
+        adopted.bind_telemetry(tr, reg)
         current.close()
         log.degraded = True
         log.event("store-degraded", reason=str(exc), fallback="ram")
@@ -379,13 +414,16 @@ def solve_dp_parallel(
     # (ENOSPC up front) degrades to a fresh in-RAM solve when the tables
     # fit the budget; otherwise the original failure surfaces.
     try:
-        report = store.open()
+        with tr.span("store.open", cat="store", kind=store.kind):
+            report = store.open()
     except store_mod.StoreWriteError as exc:
         if store.kind != "mmap":
             raise
         fallback = store_mod.RamStore(problem, policy=policy, p=p)
+        fallback.bind_telemetry(tr, reg)
         try:
-            report = fallback.open()
+            with tr.span("store.open", cat="store", kind=fallback.kind):
+                report = fallback.open()
         except SolverError as budget_exc:
             raise SolverError(
                 f"spill store failed to open ({exc}) and falling back to "
@@ -397,83 +435,121 @@ def solve_dp_parallel(
         log.degraded = True
         log.event("store-degraded", reason=str(exc), fallback="ram")
 
-    state = {"store": store}
+    state = {"store": store, "layer": 0}
     supervisor = None
-    try:
-        valid = report.valid_layers
-        if report.resumed:
-            log.resumed_from_layer = report.completed_prefix
-            log.event("resume", completed_layer=report.completed_prefix)
-        if report.rederive_layers:
-            log.rederived += len(report.rederive_layers)
-            log.event("rederive", layers=list(report.rederive_layers))
-        log.events.extend(report.events)
+    t_solve0 = time.monotonic()
+    reg.inc("layers.total", k)
+    # The solve's tracer is ambient for the whole loop so parent-side
+    # deep sites (storage fault injection, kernels) reach it without
+    # parameter threading; workers activate their own (see _solve_shard).
+    with obs_trace.tracing(tr):
+        try:
+            valid = report.valid_layers
+            if report.resumed:
+                log.resumed_from_layer = report.completed_prefix
+                log.event("resume", completed_layer=report.completed_prefix)
+            if report.rederive_layers:
+                log.rederived += len(report.rederive_layers)
+                reg.inc("store.rederived", len(report.rederive_layers))
+                log.event("rederive", layers=list(report.rederive_layers))
+            log.events.extend(report.events)
 
-        def solve_in_parent(lo: int, hi: int) -> int:
-            """The small-layer/degraded/fallback path: same kernel, same
-            bytes, running over whichever store currently holds the
-            tables (the store picks snapshot vs strict discipline)."""
-            return state["store"].run_parent_slice(
-                lo, hi, subsets, costs, is_test, arena
-            )
+            def solve_in_parent(lo: int, hi: int) -> int:
+                """The small-layer/degraded/fallback path: same kernel,
+                same bytes, running over whichever store currently holds
+                the tables (the store picks snapshot vs strict
+                discipline)."""
+                ts = time.monotonic()
+                n = state["store"].run_parent_slice(
+                    lo, hi, subsets, costs, is_test, arena
+                )
+                dt = time.monotonic() - ts
+                reg.inc("time.kernel_s", dt)
+                reg.observe("shard.seconds", dt)
+                tr.complete("parent-slice", "shard", ts, ts + dt,
+                            layer=state["layer"], masks=n)
+                return n
 
-        access = store.worker_spec()
-        if access is not None and workers > 1:
-            def pool_factory():
-                return _mp_context().Pool(
-                    workers,
-                    initializer=_init_worker,
-                    initargs=(access, subsets, costs, is_test),
+            access = store.worker_spec()
+            if access is not None and workers > 1:
+                def pool_factory():
+                    return _mp_context().Pool(
+                        workers,
+                        initializer=_init_worker,
+                        initargs=(access, subsets, costs, is_test),
+                    )
+
+                supervisor = Supervisor(
+                    policy, pool_factory, _solve_shard, log,
+                    tracer=tr, metrics=reg,
                 )
 
-            supervisor = Supervisor(policy, pool_factory, _solve_shard, log)
+            if progress is not None:
+                progress.begin(k, n_sub)
+            for j in range(1, k + 1):
+                state["layer"] = j
+                if j in valid:
+                    reg.inc("layers.skipped")
+                    if progress is not None:
+                        progress.layer_done(
+                            j, state["store"].bounds(j)[1],
+                            state["store"].spilled_nbytes,
+                        )
+                    continue
+                st = state["store"]
+                t0 = time.monotonic()
+                lo, hi = st.bounds(j)
+                shards = _shard_bounds(lo, hi, workers, min_shard)
+                if len(shards) == 1 or supervisor is None or supervisor.degraded:
+                    # Layer too small to amortize IPC (or the pool is gone,
+                    # or this store cannot share tables with workers): solve
+                    # in-process on the same tables — identical kernel,
+                    # still a barrier.
+                    done = solve_in_parent(lo, hi)
+                    mode = "degraded" if log.degraded or (
+                        supervisor is not None and supervisor.degraded
+                    ) else "parent"
+                else:
+                    done = supervisor.run_layer(j, shards, solve_in_parent)
+                    mode = "pool"
+                if done != hi - lo:
+                    # Must survive `python -O`: a lost shard is silent
+                    # corruption, the one failure that may never be quiet.
+                    raise SolverError(
+                        f"layer {j} incomplete: {done} of {hi - lo} masks solved"
+                    )
+                dt = time.monotonic() - t0
+                log.layer(j, dt, len(shards), mode)
+                reg.inc("layers.computed")
+                reg.observe("layer.seconds", dt)
+                tr.complete("layer", "layer", t0, t0 + dt,
+                            layer=j, masks=hi - lo, shards=len(shards), mode=mode)
+                try:
+                    st.commit_layer(j)
+                except store_mod.StoreWriteError as exc:
+                    # Mid-solve disk failure: the layer's *values* are fine
+                    # (they live in the tables; only persistence failed), so
+                    # carry everything into RAM and finish single-process.
+                    if supervisor is not None:
+                        supervisor.shutdown()
+                        supervisor = None
+                    state["store"] = degrade_to_ram(st, exc)
+                if progress is not None:
+                    progress.layer_done(j, hi, state["store"].spilled_nbytes)
+            final = state["store"]
+            final.finish(True)
+            out_cost, out_best = final.result_tables()
+        finally:
+            # Terminate the pool *before* the store tears down its tables,
+            # so a worker being repopulated can never attach vanished blocks.
+            if supervisor is not None:
+                supervisor.shutdown()
+            state["store"].close()
+            if progress is not None:
+                progress.finish()
 
-        for j in range(1, k + 1):
-            if j in valid:
-                continue
-            st = state["store"]
-            t0 = time.monotonic()
-            lo, hi = st.bounds(j)
-            shards = _shard_bounds(lo, hi, workers, min_shard)
-            if len(shards) == 1 or supervisor is None or supervisor.degraded:
-                # Layer too small to amortize IPC (or the pool is gone,
-                # or this store cannot share tables with workers): solve
-                # in-process on the same tables — identical kernel,
-                # still a barrier.
-                done = solve_in_parent(lo, hi)
-                mode = "degraded" if log.degraded or (
-                    supervisor is not None and supervisor.degraded
-                ) else "parent"
-            else:
-                done = supervisor.run_layer(j, shards, solve_in_parent)
-                mode = "pool"
-            if done != hi - lo:
-                # Must survive `python -O`: a lost shard is silent
-                # corruption, the one failure that may never be quiet.
-                raise SolverError(
-                    f"layer {j} incomplete: {done} of {hi - lo} masks solved"
-                )
-            log.layer(j, time.monotonic() - t0, len(shards), mode)
-            try:
-                st.commit_layer(j)
-            except store_mod.StoreWriteError as exc:
-                # Mid-solve disk failure: the layer's *values* are fine
-                # (they live in the tables; only persistence failed), so
-                # carry everything into RAM and finish single-process.
-                if supervisor is not None:
-                    supervisor.shutdown()
-                    supervisor = None
-                state["store"] = degrade_to_ram(st, exc)
-        final = state["store"]
-        final.finish(True)
-        out_cost, out_best = final.result_tables()
-    finally:
-        # Terminate the pool *before* the store tears down its tables,
-        # so a worker being repopulated can never attach vanished blocks.
-        if supervisor is not None:
-            supervisor.shutdown()
-        state["store"].close()
-
+    reg.set_gauge("time.solve_s", round(time.monotonic() - t_solve0, 6))
+    reg.inc("arena.grows", arena.grows)
     op_count = (n_sub - 1) * n_act
     return DPResult(
         problem=problem,
@@ -481,4 +557,5 @@ def solve_dp_parallel(
         best_action=out_best,
         op_count=op_count,
         recovery=log.as_dict(),
+        metrics=reg.as_dict(),
     )

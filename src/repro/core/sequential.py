@@ -40,10 +40,13 @@ multiprocess engine in :mod:`repro.core.parallel`):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import zeroed_metrics, zeroed_recovery
 from ..util.bitops import subsets_of_size
 from .kernels import LayerArena, layer_plan, solve_layer_kernel_fused
 from .problem import TTProblem
@@ -100,8 +103,14 @@ class DPResult:
     recovery:
         Machine-readable recovery log from the supervised parallel engine
         (retries, respawns, fallbacks, per-layer wall clock; see
-        :class:`repro.core.supervisor.RecoveryLog`).  ``None`` for the
-        single-process backends — they have no failure domain to report.
+        :class:`repro.core.supervisor.RecoveryLog`).  Single-process
+        backends report the same keys with everything zeroed — consumers
+        never have to guard against absent fields.
+    metrics:
+        Flat metrics snapshot from the solve's
+        :class:`repro.obs.metrics.MetricsRegistry` (shard/layer timings,
+        store commit latency, cache hit rates).  Same uniformity rule:
+        single-process backends carry the full key set, zeroed.
     """
 
     problem: TTProblem
@@ -109,6 +118,16 @@ class DPResult:
     best_action: np.ndarray
     op_count: int
     recovery: dict | None = None
+    metrics: dict | None = None
+
+    def __post_init__(self) -> None:
+        # Uniform observability contract: every backend's result exposes
+        # the full recovery/metrics key set, so `result.recovery["retries"]`
+        # is always valid — no `is not None` guards, no missing keys.
+        if self.recovery is None:
+            self.recovery = zeroed_recovery()
+        if self.metrics is None:
+            self.metrics = zeroed_metrics()
 
     @property
     def optimal_cost(self) -> float:
@@ -224,8 +243,10 @@ def solve_dp(
     if arena is None:
         arena = LayerArena()
 
+    tr = _trace.current()
     for j in range(1, k + 1):
         layer = plan.layer(j)
+        t0 = time.monotonic() if tr.collecting else 0.0
         # The kernel's table-state invariant holds by construction here:
         # layer j's entries are still INF until the scatter below.
         layer_best, layer_arg = solve_layer_kernel_fused(
@@ -233,6 +254,11 @@ def solve_dp(
         )
         cost[layer] = layer_best
         best[layer] = layer_arg
+        if tr.collecting:
+            tr.complete(
+                "layer", "layer", t0, time.monotonic(),
+                layer=j, masks=int(layer.size), shards=1, mode="numpy",
+            )
 
     op_count = (n_sub - 1) * n_act
     return DPResult(problem=problem, cost=cost, best_action=best, op_count=op_count)

@@ -3,14 +3,15 @@
 A solved procedure is used *one action at a time* against the real
 world: run the prescribed test, observe the outcome, move on.  A
 :class:`DiagnosisSession` walks a :class:`~repro.core.tree.TTTree` that
-way — the API a clinical/maintenance front-end would drive:
+way — the API a clinical/maintenance front-end would drive::
 
     session = DiagnosisSession(tree)
     while not session.done:
-        act = session.current_action          # what to do next
-        outcome = run_in_the_real_world(act)  # "positive"/"negative"/...
-        session.record(outcome)
-    print(session.treated_set, session.total_cost)
+        action = session.current_action
+        # ... perform the test/treatment out in the world, then feed the
+        # observed outcome ("positive"/"negative"/"cured"/...) back in:
+        session.record(observed_outcome)
+    treated, spent = session.treated_set, session.total_cost
 
 Outcomes are validated against the action kind; the session tracks the
 live candidate set, accumulated cost and the transcript, and enforces

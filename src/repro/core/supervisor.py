@@ -49,6 +49,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs.metrics import NULL_METRICS
+from ..obs.trace import NULL
 from .durable import atomic_write_file
 from .errors import CheckpointMismatch, ShardTimeout, SolverError, WorkerCrash
 from .problem import TTProblem
@@ -140,6 +142,13 @@ class ResiliencePolicy:
 class RecoveryLog:
     """Machine-readable account of everything the supervisor had to do."""
 
+    # Optional mirror target (class attribute, not a dataclass field, so
+    # it stays out of as_dict): when the solve loop attaches its tracer
+    # here, every recovery event doubles as a trace instant — retries,
+    # respawns, degradations, slab re-derivations all land on the
+    # timeline without a second call site.
+    tracer = None
+
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -155,6 +164,8 @@ class RecoveryLog:
 
     def event(self, kind: str, **detail) -> None:
         self.events.append({"kind": kind, **detail})
+        if self.tracer is not None:
+            self.tracer.instant(kind, cat="recovery", **detail)
 
     def layer(self, index: int, seconds: float, shards: int, mode: str) -> None:
         self.layers.append(
@@ -458,29 +469,46 @@ class Supervisor:
 
     ``pool_factory`` creates a fresh initialized pool (used lazily and on
     every respawn); ``task`` is the picklable worker function receiving
-    ``(lo, hi, layer_index, shard_index, attempt)`` and returning
-    ``(shard_index, n_masks_solved)``.
+    ``(lo, hi, layer_index, shard_index, attempt, trace)`` and returning
+    ``(shard_index, n_masks_solved)`` — or, when the ``trace`` flag was
+    set, ``(shard_index, n_masks_solved, raw_events)`` with the worker's
+    telemetry flushed back through the same result channel.
     """
 
-    def __init__(self, policy: ResiliencePolicy, pool_factory, task, log: RecoveryLog):
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        pool_factory,
+        task,
+        log: RecoveryLog,
+        tracer=None,
+        metrics=None,
+    ):
         self.policy = policy
         self._pool_factory = pool_factory
         self._task = task
         self.log = log
+        self._tracer = tracer if tracer is not None else NULL
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._max_shard_s = 0.0
         self._pool = None
         self._pids: set[int] = set()
         self.degraded = False  # pool unusable: rest of the solve runs in-process
 
-    def rebind(self, task, log: RecoveryLog) -> None:
+    def rebind(self, task, log: RecoveryLog, tracer=None, metrics=None) -> None:
         """Point a warm supervisor at the next solve's task and log.
 
         The :class:`~repro.core.engine.SolverEngine` keeps one supervisor
         (and its pool) alive across many solves; each solve carries its
-        own per-problem task closure and its own recovery log, while the
-        pool, worker PIDs and degraded state persist.
+        own per-problem task closure, recovery log, and telemetry sinks
+        (reset to disabled when omitted, so a traced solve never leaks
+        its tracer into the next), while the pool, worker PIDs and
+        degraded state persist.
         """
         self._task = task
         self.log = log
+        self._tracer = tracer if tracer is not None else NULL
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- pool lifecycle ------------------------------------------------
 
@@ -504,6 +532,7 @@ class Supervisor:
             self.degraded = True
             return False
         self.log.respawns += 1
+        self._metrics.inc("pool.respawns")
         self.log.event("respawn", reason=reason)
         return True
 
@@ -567,8 +596,19 @@ class Supervisor:
         for _ in range(2):  # one respawn attempt if the pool is broken
             try:
                 result = self._ensure_pool().apply_async(
-                    self._task, ((bounds[0], bounds[1], layer_idx, sid, attempt),)
+                    self._task,
+                    (
+                        (
+                            bounds[0],
+                            bounds[1],
+                            layer_idx,
+                            sid,
+                            attempt,
+                            self._tracer.collecting,
+                        ),
+                    ),
                 )
+                self._metrics.inc("shard.dispatched")
                 return _Pending(result, bounds, attempt, self._deadline())
             except (OSError, ValueError, AssertionError) as exc:
                 # ValueError("Pool not running") / AssertionError from a
@@ -589,11 +629,14 @@ class Supervisor:
         self.log.event(kind, **detail)
         if kind == "timeout":
             self.log.timeouts += 1
+            self._metrics.inc("shard.timeouts")
         else:
             self.log.crashes += 1
+            self._metrics.inc("shard.crashes")
         pd.last_failure = kind
         if pd.attempt < self.policy.max_retries and not self.degraded:
             self.log.retries += 1
+            self._metrics.inc("shard.retries")
             replacement = self._dispatch(layer_idx, sid, pd.bounds, pd.attempt + 1)
             if replacement is not None:
                 replacement.last_failure = kind
@@ -602,6 +645,7 @@ class Supervisor:
         pending.pop(sid, None)
         if self.policy.fallback:
             self.log.fallback_shards += 1
+            self._metrics.inc("shard.fallbacks")
             self.log.event("fallback", **detail)
             return fallback(*pd.bounds)
         exc_cls = ShardTimeout if kind == "timeout" else WorkerCrash
@@ -620,14 +664,18 @@ class Supervisor:
         """
         if self.degraded:
             self.log.fallback_shards += len(shards)
+            self._metrics.inc("shard.fallbacks", len(shards))
             return sum(fallback(lo, hi) for lo, hi in shards)
 
+        layer_t0 = time.monotonic()
+        self._max_shard_s = 0.0
         done = 0
         pending: dict[int, _Pending] = {}
         for sid, bounds in enumerate(shards):
             pd = self._dispatch(layer_idx, sid, bounds, attempt=0)
             if pd is None:  # pool died before the layer even started
                 self.log.fallback_shards += 1
+                self._metrics.inc("shard.fallbacks")
                 done += fallback(*bounds)
             else:
                 pending[sid] = pd
@@ -640,11 +688,16 @@ class Supervisor:
                     continue
                 progressed = True
                 try:
-                    _, n = pd.result.get()
-                    done += n
-                    pending.pop(sid)
+                    res = pd.result.get()
                 except Exception:
                     done += self._shard_failed(layer_idx, sid, pd, "crash", pending, fallback)
+                else:
+                    done += res[1]
+                    pending.pop(sid)
+                    # Traced workers flush their telemetry as a third
+                    # tuple element through this same result channel.
+                    if len(res) > 2 and res[2]:
+                        self._ingest_events(res[2])
             if not pending:
                 break
 
@@ -706,4 +759,21 @@ class Supervisor:
                 # wait per completed shard is wasted.
                 next(iter(pending.values())).result.wait(_POLL_SECONDS)
 
+        if self._max_shard_s > 0.0:
+            # Barrier time: parent wall clock past the longest shard — the
+            # cost of waiting for the layer's straggler.  Only computable
+            # when tracing (worker spans carry the shard durations).
+            wall = time.monotonic() - layer_t0
+            self._metrics.inc("time.barrier_s", max(0.0, wall - self._max_shard_s))
         return done
+
+    def _ingest_events(self, events) -> None:
+        """Merge a worker's flushed events into the parent telemetry."""
+        self._tracer.ingest(events)
+        for ev in events:
+            if ev.get("ph") == "X" and ev.get("cat") == "shard":
+                dur = ev["t1"] - ev["t0"]
+                self._metrics.observe("shard.seconds", dur)
+                self._metrics.inc("time.kernel_s", dur)
+                if dur > self._max_shard_s:
+                    self._max_shard_s = dur

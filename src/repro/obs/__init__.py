@@ -1,0 +1,66 @@
+"""Solver telemetry: tracing, metrics, exporters, live progress.
+
+This package is the observation substrate for the solve stack — spans
+and counters recorded in the parent and in pool workers, merged into
+one timeline, exported as JSONL or Chrome ``trace_event`` JSON, and
+summarized by ``repro trace-report``.  Telemetry is **observational
+only**: a traced solve produces bit-identical cost/action tables to an
+untraced one (enforced by test), and with tracing disabled every
+instrumentation site degrades to a no-op on the :data:`~repro.obs.trace.NULL`
+singleton.
+
+Import discipline: :mod:`repro.obs` depends only on the standard
+library — never on :mod:`repro.core` — so any core module (including
+:mod:`repro.core.faults` and the kernels) can emit telemetry without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace,
+    load_trace,
+    normalized_events,
+    render_report,
+    summarize_trace,
+    write_trace,
+)
+from .metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    zeroed_metrics,
+    zeroed_recovery,
+)
+from .progress import ProgressReporter
+from .trace import (
+    NULL,
+    TRACE_SCHEMA_VERSION,
+    WORKER_EVENT_CAP,
+    NullTracer,
+    Tracer,
+    current,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL",
+    "current",
+    "tracing",
+    "TRACE_SCHEMA_VERSION",
+    "WORKER_EVENT_CAP",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "zeroed_metrics",
+    "zeroed_recovery",
+    "ProgressReporter",
+    "write_trace",
+    "load_trace",
+    "chrome_trace",
+    "normalized_events",
+    "summarize_trace",
+    "render_report",
+]

@@ -1,0 +1,263 @@
+"""Low-overhead event recorder: spans, instants, and counters.
+
+The solve stack is observational-only instrumented: every record call
+goes through a :class:`Tracer` whose disabled form (:data:`NULL`) is a
+set of no-op methods sharing one reusable context manager, so a solve
+with tracing off pays a handful of attribute lookups per *layer* (never
+per mask).  Timestamps are raw ``time.monotonic()`` floats; on Linux
+``CLOCK_MONOTONIC`` is system-wide, so spans recorded inside forked or
+spawned worker processes are directly comparable to the parent's and
+merge into one timeline without clock translation.  Export-time code
+(:mod:`repro.obs.export`) converts them to microsecond offsets relative
+to the owning tracer's epoch.
+
+Cross-process flush path: workers never share the parent tracer.  A
+traced shard task carries a ``trace`` flag; the worker builds a small
+capped :class:`Tracer` of its own, records its events (the shard span,
+any fault instants), and returns the raw event list as a third element
+of the shard result tuple.  The supervisor ingests those events into
+the parent tracer through the existing result channel — no extra pipes,
+no shared buffers, no signal handlers.
+
+Events are plain dicts (JSON-safe by construction)::
+
+    {"ph": "X"|"i"|"C", "name": str, "cat": str,
+     "t0": float, "t1": float|None, "pid": int, "tid": int,
+     "args": dict|None}
+
+``ph`` follows the Chrome ``trace_event`` phase letters: ``X`` complete
+span, ``i`` instant, ``C`` counter sample.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "NULL",
+    "current",
+    "tracing",
+]
+
+#: Bump when the event dict shape or the JSONL export framing changes.
+#: Guarded by the golden-schema test in ``tests/obs/``.
+TRACE_SCHEMA_VERSION = 1
+
+#: Ring-buffer cap for worker-side tracers: a shard records one span
+#: plus at most a few fault instants, so a small cap bounds the bytes
+#: pickled back through the result channel even under event storms.
+WORKER_EVENT_CAP = 64
+
+
+class _Span:
+    """Context manager recording one complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict | None):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.complete(
+            self._name, self._cat, self._t0, time.monotonic(), args=self._args
+        )
+
+
+class Tracer:
+    """Collecting event recorder with a hard cap on retained events.
+
+    Appends are GIL-atomic ``list.append`` calls; the lock only guards
+    the cap/drop bookkeeping and bulk :meth:`ingest`, keeping the hot
+    record path to one allocation and one append.
+    """
+
+    collecting = True
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.epoch = time.monotonic()
+        self.max_events = int(max_events)
+        self.dropped = 0
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, cat: str = "solve", **args):
+        """Context manager timing a block as a complete event."""
+        return _Span(self, name, cat, args or None)
+
+    def instant(self, name: str, cat: str = "solve", **args) -> None:
+        self._append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "t0": time.monotonic(),
+                "t1": None,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": args or None,
+            }
+        )
+
+    def counter(self, name: str, value: float, cat: str = "counter") -> None:
+        self._append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": cat,
+                "t0": time.monotonic(),
+                "t1": None,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": {"value": value},
+            }
+        )
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        *,
+        args: dict | None = None,
+        **extra,
+    ) -> None:
+        """Record a span from explicit raw-monotonic endpoints."""
+        if extra:
+            args = {**(args or {}), **extra}
+        self._append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": cat,
+                "t0": t0,
+                "t1": t1,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": args,
+            }
+        )
+
+    def _append(self, ev: dict) -> None:
+        if len(self._events) >= self.max_events:
+            with self._lock:
+                self.dropped += 1
+            return
+        self._events.append(ev)
+
+    # -- flush / merge -------------------------------------------------
+    def raw_events(self) -> list[dict]:
+        """Snapshot of the raw event dicts (for the result channel)."""
+        return list(self._events)
+
+    def ingest(self, events) -> int:
+        """Merge raw events from another tracer (typically a worker's).
+
+        Returns the number of events accepted (the rest were dropped
+        against ``max_events``).
+        """
+        if not events:
+            return 0
+        with self._lock:
+            room = self.max_events - len(self._events)
+            accepted = list(events[:room]) if room > 0 else []
+            if accepted:
+                self._events.extend(accepted)
+            self.dropped += len(events) - len(accepted)
+            return len(accepted)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class _NullSpan:
+    """Shared reusable no-op context manager (zero allocation per use)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every method is a no-op, ``collecting`` is False.
+
+    This is what :func:`current` returns when no trace is active, so
+    instrumentation sites can call it unconditionally.
+    """
+
+    collecting = False
+    epoch = 0.0
+    dropped = 0
+    max_events = 0
+
+    def span(self, name, cat="solve", **args):
+        return _NULL_SPAN
+
+    def instant(self, name, cat="solve", **args):
+        return None
+
+    def counter(self, name, value, cat="counter"):
+        return None
+
+    def complete(self, name, cat, t0, t1, *, args=None, **extra):
+        return None
+
+    def raw_events(self):
+        return []
+
+    def ingest(self, events):
+        return 0
+
+    def __len__(self):
+        return 0
+
+
+NULL = NullTracer()
+
+# Ambient tracer: deep sites (kernels, BVM replay, fault injection)
+# where threading a parameter through every signature is impractical
+# read the process-wide active tracer instead.  Per-process, not
+# per-thread, on purpose: worker processes activate their own tracer
+# around the shard body, and the parent activates the solve's tracer
+# around the layer loop.
+_ACTIVE: Tracer | NullTracer = NULL
+
+
+def current() -> Tracer | NullTracer:
+    """The ambient tracer (the :data:`NULL` singleton when disabled)."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Tracer | NullTracer | None):
+    """Make ``tracer`` ambient for the duration of the block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev

@@ -165,11 +165,27 @@ class LayerStore:
     kind: str = "?"
     strict_kernel: bool = False
 
+    # Telemetry sinks (see repro.obs): disabled until the solve loop
+    # calls bind_telemetry.  Class-level defaults keep every subclass
+    # constructor untouched and the unbound cost at attribute lookups.
+    _tracer = None
+    _metrics = None
+
     cost: np.ndarray
     best: np.ndarray
     p: np.ndarray
     order: np.ndarray
     starts: np.ndarray
+
+    def bind_telemetry(self, tracer, metrics) -> None:
+        """Attach the solve's tracer/metrics registry (observational only)."""
+        self._tracer = tracer
+        self._metrics = metrics
+
+    @property
+    def spilled_nbytes(self) -> int:
+        """Bytes durably written to the spill directory so far (0 for RAM)."""
+        return 0
 
     def open(self) -> OpenReport:
         raise NotImplementedError

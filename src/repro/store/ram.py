@@ -23,6 +23,7 @@ finish single-process (when the budget allows).
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
@@ -131,7 +132,17 @@ class RamStore(LayerStore):
             return
         policy = self._policy
         if j == self.k or (j - self._ckpt_base) % policy.checkpoint_every == 0:
+            t0 = time.monotonic()
             save_checkpoint(self._ckpt, self._problem, self.cost, self.best, j)
+            t1 = time.monotonic()
+            if self._metrics is not None:
+                self._metrics.inc("store.commits")
+                self._metrics.observe("store.checkpoint_s", t1 - t0)
+            if self._tracer is not None and self._tracer.collecting:
+                self._tracer.complete(
+                    "store.checkpoint", "store", t0, t1,
+                    layer=j, bytes=int(self.cost.nbytes + self.best.nbytes),
+                )
 
     def run_parent_slice(self, lo, hi, subsets, costs, is_test, arena) -> int:
         # Same private-snapshot discipline as the worker shards: copy the

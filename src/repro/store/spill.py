@@ -114,8 +114,13 @@ class MmapStore(LayerStore):
         self._sha = problem_content_hash(problem)
         self._manifest: dict | None = None
         self._commit_attempts: dict = {}
+        self._spilled = 0
         self.k = problem.k
         self.n_sub = 1 << problem.k
+
+    @property
+    def spilled_nbytes(self) -> int:
+        return self._spilled
 
     # -- paths ----------------------------------------------------------
 
@@ -330,10 +335,13 @@ class MmapStore(LayerStore):
             return "missing"
         if size != expect or entry.get("nbytes") != expect:
             return "corrupt"
+        t0 = time.monotonic()
         h = hashlib.sha256()
         with open(path, "rb") as fh:
             for block in iter(lambda: fh.read(1 << 20), b""):
                 h.update(block)
+        if self._metrics is not None:
+            self._metrics.observe("store.rehash_s", time.monotonic() - t0)
         return "ok" if h.hexdigest() == entry.get("sha256") else "corrupt"
 
     def _scatter_slab(self, j: int) -> None:
@@ -349,6 +357,7 @@ class MmapStore(LayerStore):
 
     def commit_layer(self, j: int) -> None:
         """Durably persist layer ``j``: slab protocol + manifest entry."""
+        t0 = time.monotonic()
         attempt = self._commit_attempts.get(j, 0)
         self._commit_attempts[j] = attempt + 1
         torn = flip = False
@@ -397,12 +406,15 @@ class MmapStore(LayerStore):
                     if table is self.cost:
                         faults.maybe_crash("mid-write", j)
                 fh.flush()
+                t_write = time.monotonic()
                 if self._fsync:
                     os.fsync(fh.fileno())
+                t_fsync = time.monotonic()
             faults.maybe_crash("pre-rename", j)
             os.replace(tmp, path)
             if self._fsync:
                 fsync_dir(self._layers_dir)
+            t_rename = time.monotonic()
         except OSError as exc:
             try:
                 os.unlink(tmp)
@@ -415,6 +427,25 @@ class MmapStore(LayerStore):
         faults.maybe_crash("post-rename", j)
         self._manifest["layers"][str(j)] = {"sha256": h.hexdigest(), "nbytes": total}
         self._write_manifest()
+        t_manifest = time.monotonic()
+        self._spilled += written
+        if self._metrics is not None:
+            m = self._metrics
+            m.inc("store.commits")
+            m.inc("store.bytes_written", written)
+            m.observe("store.commit_s", t_manifest - t0)
+            m.observe("store.fsync_s", t_fsync - t_write)
+        if self._tracer is not None and self._tracer.collecting:
+            # One span per commit with the protocol phases broken out in
+            # args: write+hash, fsync, rename+dirsync, manifest.
+            self._tracer.complete(
+                "store.commit", "store", t0, t_manifest,
+                layer=j, bytes=written,
+                write_ms=round((t_write - t0) * 1e3, 3),
+                fsync_ms=round((t_fsync - t_write) * 1e3, 3),
+                rename_ms=round((t_rename - t_fsync) * 1e3, 3),
+                manifest_ms=round((t_manifest - t_rename) * 1e3, 3),
+            )
         faults.maybe_crash("post-commit", j)
 
     def _write_manifest(self) -> None:

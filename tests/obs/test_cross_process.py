@@ -1,0 +1,132 @@
+"""Cross-process tracing: worker spans merge into one coherent timeline.
+
+Workers record into private capped tracers and flush through the result
+channel; these tests prove the merged timeline is consistent — distinct
+worker pids, shard spans nested inside their layer span, layers in
+order — and that injected faults leave tagged events on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WORKLOADS
+from repro.core.parallel import solve_dp_parallel
+from repro.obs import Tracer
+from repro.obs.export import normalized_events, summarize_trace
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _solve_traced(k=8, workers=4, min_shard=1, **kw):
+    problem = WORKLOADS["random"](k, seed=0)
+    tracer = Tracer()
+    result = solve_dp_parallel(
+        problem, workers=workers, min_shard=min_shard, tracer=tracer, **kw
+    )
+    return problem, tracer, result
+
+
+class TestCrossProcessTimeline:
+    def test_worker_spans_merge_with_distinct_pids(self):
+        _, tracer, result = _solve_traced()
+        events = normalized_events(tracer)
+        shard = [e for e in events if e["cat"] == "shard" and e["ph"] == "X"]
+        layer = [e for e in events if e["cat"] == "layer" and e["ph"] == "X"]
+        assert len(layer) == 8
+        # Pool layers were actually dispatched (min_shard=1 forces it).
+        assert result.metrics["shard.dispatched"] > 0
+        pids = {e["pid"] for e in shard}
+        assert len(pids) >= 2, "expected spans from more than one process"
+
+    def test_shard_spans_nest_inside_their_layer(self):
+        _, tracer, _ = _solve_traced()
+        events = normalized_events(tracer)
+        layer_bounds = {
+            e["args"]["layer"]: (e["ts"], e["ts"] + e["dur"])
+            for e in events
+            if e["cat"] == "layer" and e["ph"] == "X"
+        }
+        shard = [e for e in events if e["cat"] == "shard" and e["ph"] == "X"]
+        assert shard
+        slack = 2000  # µs: rounding + result-channel delivery jitter
+        for ev in shard:
+            lo, hi = layer_bounds[ev["args"]["layer"]]
+            assert ev["ts"] >= lo - slack
+            assert ev["ts"] + ev["dur"] <= hi + slack
+
+    def test_layers_appear_in_ascending_order(self):
+        _, tracer, _ = _solve_traced()
+        layer_events = [
+            e
+            for e in normalized_events(tracer)
+            if e["cat"] == "layer" and e["ph"] == "X"
+        ]
+        starts = [e["ts"] for e in sorted(layer_events, key=lambda e: e["args"]["layer"])]
+        assert starts == sorted(starts), "layer spans out of order"
+        # Barriers: layer j ends before layer j+1 begins.
+        ordered = sorted(layer_events, key=lambda e: e["args"]["layer"])
+        for prev, nxt in zip(ordered, ordered[1:]):
+            assert prev["ts"] + prev["dur"] <= nxt["ts"]
+
+    def test_shard_metrics_follow_ingested_spans(self):
+        _, tracer, result = _solve_traced()
+        events = normalized_events(tracer)
+        worker_spans = [
+            e
+            for e in events
+            if e["cat"] == "shard" and e["ph"] == "X" and "shard" in (e["args"] or {})
+        ]
+        assert result.metrics["shard.seconds"]["count"] >= len(worker_spans)
+
+    def test_tracing_off_result_is_untouched(self):
+        problem = WORKLOADS["random"](8, seed=0)
+        plain = solve_dp_parallel(problem, workers=4, min_shard=1)
+        _, _, traced = _solve_traced()
+        assert np.array_equal(plain.cost, traced.cost)
+        assert np.array_equal(plain.best_action, traced.best_action)
+
+
+class TestFaultEvents:
+    def test_worker_fault_instant_flushed_through_result_channel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "slow:layer=4:shard=0:ms=30")
+        _, tracer, result = _solve_traced()
+        faults = [
+            e
+            for e in normalized_events(tracer)
+            if e["cat"] == "fault" and e["name"] == "fault.slow"
+        ]
+        assert len(faults) == 1
+        args = faults[0]["args"]
+        assert args["layer"] == 4 and args["shard"] == 0
+        # Observational only: the slow shard still completed correctly.
+        assert result.metrics["layers.computed"] == 8
+
+    def test_worker_crash_leaves_recovery_events(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "exc:layer=3:shard=1")
+        _, tracer, result = _solve_traced()
+        recov = [
+            e for e in normalized_events(tracer) if e["cat"] == "recovery"
+        ]
+        kinds = {e["name"] for e in recov}
+        assert "crash" in kinds or "retry" in kinds
+        assert result.recovery["retries"] + result.recovery["fallback_shards"] >= 1
+
+    def test_storage_fault_instant_lands_parent_side(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "torn-write:layer=2")
+        from repro.store import StoreSpec
+
+        problem = WORKLOADS["random"](8, seed=0)
+        tracer = Tracer()
+        result = solve_dp_parallel(
+            problem,
+            workers=1,
+            tracer=tracer,
+            store=StoreSpec(kind="mmap", spill_dir=tmp_path / "spill"),
+        )
+        events = normalized_events(tracer)
+        torn = [e for e in events if e["name"] == "fault.torn-write"]
+        assert torn and torn[0]["args"]["layer"] == 2
+        # The summary counts the fault on its layer's row.
+        rows = {r["layer"]: r for r in summarize_trace(events)["layers"]}
+        assert rows[2]["faults"] >= 1
+        assert result.recovery["rederived"] >= 0  # uniform keys present
