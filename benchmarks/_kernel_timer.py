@@ -1,10 +1,23 @@
-"""Subprocess body for the kernel-fusion benchmark.
+"""Paired-adjacent timing helpers + the kernel-fusion subprocess body.
 
-Run as ``python -m benchmarks._kernel_timer --order {legacy-first,
-fused-first} ...``; times BOTH kernel variants over the middle layers
-of a reference instance and prints a JSON summary on stdout.
+Every comparative bench in this repo uses the same methodology — the
+two sides of a comparison are timed **adjacently** (back to back, so a
+host-wide slow burst lands on both sides of a ratio instead of one),
+the order **alternates** between reps (cancelling the second runner's
+warm-cache edge), and the reported speedup is the **median of the
+per-rep ratios** rather than a ratio of totals (so one outlier rep
+cannot skew the claim).  :func:`alternate`, :func:`timed` and
+:func:`summarize_pairs` carry that methodology once; the bench modules
+(``bench_kernel_fusion``, ``bench_bvm_packed``, ``bench_bvm_batch``,
+``bench_engine_throughput``) only decide *what* to time.
 
-Methodology notes:
+This module is also runnable as ``python -m benchmarks._kernel_timer
+--order {legacy-first,fused-first} ...`` — the fresh-subprocess rep
+body of the kernel-fusion bench; it times BOTH kernel variants over
+the middle layers of a reference instance and prints a JSON summary
+on stdout.
+
+Subprocess methodology notes:
 
 * **Fresh process per rep** keeps the comparison honest: the legacy
   kernel's dominant cost is allocator traffic (eight-plus full-layer
@@ -32,6 +45,32 @@ import numpy as np
 from repro.core.generators import random_instance
 from repro.core.kernels import LayerArena, layer_plan, solve_layer_kernel_fused
 from repro.core.sequential import solve_layer_kernel, subset_weights
+
+
+def alternate(rep: int, a, b) -> tuple:
+    """``(first, second)`` for this rep — flipped on odd reps so neither
+    side systematically inherits the other's warm caches."""
+    return (a, b) if rep % 2 == 0 else (b, a)
+
+
+def timed(fn, *args, **kwargs) -> float:
+    """Wall-clock seconds of one single-shot call."""
+    t0 = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - t0
+
+
+def summarize_pairs(pairs) -> dict:
+    """Reduce per-rep ``(baseline_s, candidate_s)`` pairs to the shared
+    summary: per-side medians plus the median-of-ratios speedup (each
+    ratio pairs adjacent timings, so host drift cancels inside it)."""
+    ratios = sorted(base / cand for base, cand in pairs)
+    return {
+        "baseline_s": float(np.median(sorted(base for base, _ in pairs))),
+        "candidate_s": float(np.median(sorted(cand for _, cand in pairs))),
+        "speedup": float(np.median(ratios)),
+        "ratios": [round(x, 3) for x in ratios],
+    }
 
 
 def build_tables(problem, plan, p):
@@ -86,21 +125,20 @@ def main() -> None:
     arena = LayerArena()
 
     def run_legacy(layer, p_layer, cost):
-        t0 = time.perf_counter()
-        solve_layer_kernel(layer, p_layer, cost, subsets, costs, is_test)
-        return time.perf_counter() - t0
+        return timed(
+            solve_layer_kernel, layer, p_layer, cost, subsets, costs, is_test
+        )
 
     def run_fused(layer, p_layer, cost):
-        t0 = time.perf_counter()
-        solve_layer_kernel_fused(
-            layer, p_layer, cost, subsets, costs, is_test, arena=arena
+        return timed(
+            solve_layer_kernel_fused,
+            layer, p_layer, cost, subsets, costs, is_test, arena=arena,
         )
-        return time.perf_counter() - t0
 
-    first, second = (
-        (("legacy", run_legacy), ("fused", run_fused))
-        if args.order == "legacy-first"
-        else (("fused", run_fused), ("legacy", run_legacy))
+    first, second = alternate(
+        0 if args.order == "legacy-first" else 1,
+        ("legacy", run_legacy),
+        ("fused", run_fused),
     )
 
     totals = {"legacy": 0.0, "fused": 0.0}

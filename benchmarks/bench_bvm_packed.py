@@ -31,9 +31,9 @@ import os
 import pathlib
 import time
 
-import numpy as np
 import pytest
 
+from benchmarks._kernel_timer import alternate, summarize_pairs, timed
 from benchmarks.bench_bvm_tt_end2end import integral_instance
 from benchmarks.conftest import merge_bench_json, print_table
 from repro.bvm.isa import A, B, E, Reg
@@ -97,21 +97,17 @@ def test_bvm_packed_replay():
     pairs = []
     for rep in range(_reps()):
         sides = {}
-        order = ("bool", "packed") if rep % 2 == 0 else ("packed", "bool")
-        for backend in order:
+        for backend in alternate(rep, "bool", "packed"):
             m = _fresh(plan, backend)
-            t0 = time.perf_counter()
             if backend == "packed":
-                compiled.run(m)
+                sides[backend] = timed(compiled.run, m)
             else:
-                m.run(instructions)
-            sides[backend] = time.perf_counter() - t0
+                sides[backend] = timed(m.run, instructions)
         pairs.append((sides["bool"], sides["packed"]))
 
-    ratios = sorted(b / p for b, p in pairs)
-    speedup = float(np.median(ratios))
-    bool_s = float(np.median(sorted(b for b, _ in pairs)))
-    packed_s = float(np.median(sorted(p for _, p in pairs)))
+    stats = summarize_pairs(pairs)
+    speedup = stats["speedup"]
+    bool_s, packed_s = stats["baseline_s"], stats["candidate_s"]
 
     payload = {
         "bench": "BVM-PACKED",
@@ -124,7 +120,7 @@ def test_bvm_packed_replay():
         "compile_s": round(compile_s, 6),
         "speedup": round(speedup, 3),
         "reps": _reps(),
-        "pair_ratios": [round(x, 3) for x in ratios],
+        "pair_ratios": stats["ratios"],
         "methodology": (
             "fresh machines per rep, backends timed adjacently, order "
             "alternating; median of per-rep ratios; bit-identical state "

@@ -24,6 +24,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._kernel_timer import alternate, summarize_pairs, timed
 from benchmarks.conftest import merge_bench_json, print_table
 from repro.core import Action, TTProblem, solve_dp
 from repro.ttpar.bvm_tt import solve_tt_bvm
@@ -128,16 +129,14 @@ def test_e2e_backend_speedup():
     pairs = []
     for rep in range(_e2e_reps()):
         sides = {}
-        order = ("bool", "packed") if rep % 2 == 0 else ("packed", "bool")
-        for backend in order:
-            t0 = time.perf_counter()
-            solve_tt_bvm(problem, width=16, backend=backend)
-            sides[backend] = time.perf_counter() - t0
+        for backend in alternate(rep, "bool", "packed"):
+            sides[backend] = timed(
+                solve_tt_bvm, problem, width=16, backend=backend
+            )
         pairs.append((sides["bool"], sides["packed"]))
-    ratios = sorted(b / p for b, p in pairs)
-    speedup = float(np.median(ratios))
-    bool_s = float(np.median(sorted(b for b, _ in pairs)))
-    packed_s = float(np.median(sorted(p for _, p in pairs)))
+    stats = summarize_pairs(pairs)
+    speedup = stats["speedup"]
+    bool_s, packed_s = stats["baseline_s"], stats["candidate_s"]
 
     payload = {
         "bench": "E2E-BVM",
@@ -149,7 +148,7 @@ def test_e2e_backend_speedup():
         "packed_s": round(packed_s, 6),
         "speedup": round(speedup, 3),
         "reps": _e2e_reps(),
-        "pair_ratios": [round(x, 3) for x in ratios],
+        "pair_ratios": stats["ratios"],
         "methodology": (
             "full solve_tt_bvm per side (build + compile + run + decode), "
             "timed adjacently, order alternating; median of per-rep ratios"

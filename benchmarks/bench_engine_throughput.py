@@ -30,6 +30,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._kernel_timer import summarize_pairs, timed
 from benchmarks.conftest import print_table
 from repro.core import SolverEngine, solve
 from repro.core.dispatch import _clear_weights_cache
@@ -58,19 +59,24 @@ def test_engine_throughput():
     # Cold: the pre-engine serving story — every call forks a pool,
     # allocates shared segments, tears both down.  The weights cache is
     # cleared so neither path inherits the other's precompute.
-    _clear_weights_cache()
     cold_results = []
-    t0 = time.perf_counter()
-    for problem in stream:
-        cold_results.append(solve(problem, backend="parallel", workers=workers))
-    cold_s = time.perf_counter() - t0
 
-    # Warm: one engine for the whole stream.
+    def _cold_stream():
+        for problem in stream:
+            cold_results.append(
+                solve(problem, backend="parallel", workers=workers)
+            )
+
+    warm_results = []
+
+    def _warm_stream():
+        with SolverEngine(workers=workers, backend="parallel") as engine:
+            warm_results.extend(engine.solve_many(stream))
+
     _clear_weights_cache()
-    t0 = time.perf_counter()
-    with SolverEngine(workers=workers, backend="parallel") as engine:
-        warm_results = engine.solve_many(stream)
-    warm_s = time.perf_counter() - t0
+    cold_s = timed(_cold_stream)
+    _clear_weights_cache()
+    warm_s = timed(_warm_stream)
 
     # Amortization must never cost correctness.
     for cold, warm in zip(cold_results, warm_results):
@@ -78,7 +84,11 @@ def test_engine_throughput():
         assert np.array_equal(cold.best_action, warm.best_action)
         assert cold.op_count == warm.op_count
 
-    speedup = cold_s / warm_s
+    # One adjacent (cold, warm) pair: the two sides each stream all
+    # `count` instances back to back, so summarize_pairs degenerates to
+    # the single ratio — but the summary path is the shared one.
+    stats = summarize_pairs([(cold_s, warm_s)])
+    speedup = stats["speedup"]
     payload = {
         "bench": "ENGINE-THROUGHPUT",
         "k": k,

@@ -1,0 +1,226 @@
+"""Instance-batched word-packed BVM: B machines in one uint64 array.
+
+:class:`~repro.bvm.packed.PackedBVM` already runs 64 PEs per machine
+word, but one machine still simulates one problem instance at a time.
+This backend adds the axis the paper's sizing claim (§5: a 2^20-PE
+machine runs ~15 TT candidates *simultaneously*) actually talks about:
+the register file becomes an ``(L + 3, B, n_words)`` uint64 array, and
+every lowered operation — the Shannon-lowered truth-table expressions,
+the E-gated masked merges, the :class:`~repro.bvm.topology.PackedPlan`
+OR-of-masked-shift gathers, the funnel-shift ``I`` row — broadcasts over
+the ``B`` axis, so one :class:`~repro.bvm.program.CompiledProgram`
+replay executes ``B`` independent instances in lockstep.
+
+The batch axis is *free at the semantics level* because the BVM has no
+data-dependent control flow: every instance executes the identical
+instruction stream, only the register contents differ.  Instances must
+therefore share the program (the same shape: ``r``, register layout,
+instruction count); per-instance data is host-poked per lane
+(:meth:`PackedBatchBVM.poke_lane`), exactly the paper's "``T_i`` should
+be input to the BVM" host-load step.
+
+Each lane is bit-for-bit identical to a ``B = 1`` replay and to the
+:class:`~repro.bvm.packed.PackedBVM` big-int backend (the differential
+suite runs all three in lockstep).  Telemetry: one ``bvm.replay`` span
+per replay carrying a ``batch`` attribute — never a span per lane or
+per step.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from ..obs import trace as _trace
+from .isa import Reg
+from .packed import F_CONST0, F_CONST1, F_GENERIC, _slot_of, compile_step
+from .topology import (
+    CCCTopology,
+    pack_row_words,
+    plane_to_words,
+    shift_words,
+    unpack_words,
+    words_to_plane,
+)
+
+__all__ = ["PackedBatchBVM"]
+
+
+class PackedBatchBVM:
+    """``B`` lockstep CCC(r) BVMs sharing one uint64 register file.
+
+    Consumes the same compiled-step tuples as
+    :class:`~repro.bvm.packed.PackedBVM` (via
+    :class:`~repro.bvm.program.CompiledProgram` or ``run``), with host
+    access per lane: ``poke_lane``/``read_lane``/``plane_lane``/
+    ``feed_input_lane``.  ``cycles`` counts machine cycles of the
+    lockstep ensemble (all lanes advance together), not cycles x B.
+    """
+
+    backend = "packed-batch"
+
+    def __init__(self, r: int, batch: int, L: int = 256):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.topology = CCCTopology.shared(r)
+        self.L = L
+        self.batch = batch
+        nw = self.n_words
+        self.mask_words = plane_to_words(self.topology.full_mask, nw)
+        # Row slots: R[0..L-1], then A, B, E (same map as PackedBVM).
+        self.planes = np.zeros((L + 3, batch, nw), dtype=np.uint64)
+        self.planes[L + 2] = self.mask_words  # fully enabled at power-on
+        self.cycles = 0
+        self.input_queues: list[deque[bool]] = [deque() for _ in range(batch)]
+        self.output_logs: list[list[bool]] = [[] for _ in range(batch)]
+        self._d_buf = np.empty((batch, nw), dtype=np.uint64)
+        self._s_buf = np.empty((batch, nw), dtype=np.uint64)
+        self._act_words: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection / host access
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def Q(self) -> int:
+        return self.topology.Q
+
+    @property
+    def n_words(self) -> int:
+        """64-bit words per plane per lane."""
+        return (self.n + 63) // 64
+
+    def read_lane(self, reg: Reg, lane: int) -> np.ndarray:
+        """Host read of one lane's register row (unpacked bool copy)."""
+        return unpack_words(self.planes[_slot_of(reg, self.L), lane], self.n)
+
+    def plane_lane(self, reg: Reg, lane: int) -> int:
+        """One lane's register row as a big-int bit-plane (differentials)."""
+        return words_to_plane(self.planes[_slot_of(reg, self.L), lane])
+
+    def poke_lane(self, reg: Reg, lane: int, values) -> None:
+        """Host write of one lane's register row (costs no machine cycles)."""
+        row = np.asarray(values, dtype=bool)
+        if row.shape != (self.n,):
+            raise ValueError(f"row must have shape ({self.n},)")
+        self.planes[_slot_of(reg, self.L), lane] = pack_row_words(row, self.n_words)
+
+    def feed_input_lane(self, lane: int, bits) -> None:
+        """Queue bits for one lane's ``I`` input port (consumed FIFO)."""
+        for b in bits:
+            self.input_queues[lane].append(bool(b))
+
+    def _act(self, plane: int) -> np.ndarray:
+        """Activation bit-plane -> cached ``(n_words,)`` word array."""
+        words = self._act_words.get(plane)
+        if words is None:
+            words = plane_to_words(plane, self.n_words)
+            self._act_words[plane] = words
+        return words
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, instr) -> None:
+        """Run one instruction (one lockstep machine cycle)."""
+        self._exec_step(compile_step(instr, self.topology, self.L))
+
+    def run(self, instructions) -> int:
+        """Execute a sequence; returns the cycles it consumed."""
+        topo, L = self.topology, self.L
+        return self.run_compiled(
+            [compile_step(i, topo, L) for i in instructions]
+        )
+
+    def run_compiled(self, steps) -> int:
+        """Replay pre-compiled steps; returns the cycles consumed.
+
+        One span per replay with a ``batch`` attribute, never per lane:
+        the lanes advance in lockstep inside each vectorized operation,
+        so there is no per-lane timeline to report.
+        """
+        tr = _trace.current()
+        t0 = time.monotonic() if tr.collecting else 0.0
+        start = self.cycles
+        for step in steps:
+            self._exec_step(step)
+        cycles = self.cycles - start
+        if tr.collecting:
+            tr.complete(
+                "bvm.replay", "bvm", t0, time.monotonic(),
+                r=self.topology.r, steps=len(steps), cycles=cycles,
+                batch=self.batch,
+            )
+        return cycles
+
+    def _exec_step(self, step: tuple) -> None:
+        (
+            dest_slot, is_e, f_mode, f_fn, g_fn, act,
+            fsrc_slot, d_slot, d_plan, d_is_input,
+        ) = step
+        planes = self.planes
+        M = self.mask_words
+        L = self.L
+        # Operand fetch (the I shift's port traffic happens regardless
+        # of activation, exactly as on the single-instance machines).
+        if d_is_input:
+            src = planes[d_slot]
+            out_w, out_b = divmod(self.n - 1, 64)
+            for lane in range(self.batch):
+                self.output_logs[lane].append(
+                    bool((int(src[lane, out_w]) >> out_b) & 1)
+                )
+            d_plane = shift_words(src, -1, self._d_buf)
+            for lane, queue in enumerate(self.input_queues):
+                if queue and queue.popleft():
+                    d_plane[lane, 0] |= np.uint64(1)
+            d_plane &= M
+        elif d_plan is not None:
+            d_plane = d_plan.apply_words(planes[d_slot], self._d_buf, self._s_buf)
+        else:
+            d_plane = planes[d_slot]
+        e = planes[L + 2]
+        gate = e if act is None else self._act(act) & e  # old E gates this cycle
+        f_plane = planes[fsrc_slot]
+        b_plane = planes[L + 1]
+
+        # Evaluate both truth tables against the *pre-instruction* state
+        # before committing either write: the dual assignment is
+        # simultaneous on the real machine.  The big-int backend gets
+        # this for free (ints are immutable snapshots); here f/b/e are
+        # live views into ``planes``, so a write-then-read would leak
+        # post-state into the g evaluation.
+        new_f = new_b = None
+        if is_e:
+            # E ignores both deactivation and disable (always enabled).
+            if f_mode == F_CONST0:
+                new_f = np.uint64(0)
+            elif f_mode == F_CONST1:
+                new_f = M
+            else:
+                new_f = f_fn(f_plane, d_plane, b_plane, M)
+        elif f_mode == F_CONST0:
+            new_f = planes[dest_slot] & (M ^ gate)
+        elif f_mode == F_CONST1:
+            new_f = planes[dest_slot] | gate
+        elif f_mode == F_GENERIC:
+            out_f = f_fn(f_plane, d_plane, b_plane, M)
+            new_f = (planes[dest_slot] & (M ^ gate)) | (out_f & gate)
+        # F_SKIP: dst = dst — nothing to compute.
+
+        if g_fn is not None:
+            out_b = g_fn(f_plane, d_plane, b_plane, M)
+            new_b = (b_plane & (M ^ gate)) | (out_b & gate)
+
+        if new_f is not None:
+            planes[L + 2 if is_e else dest_slot] = new_f
+        if new_b is not None:
+            planes[L + 1] = new_b
+        self.cycles += 1

@@ -52,11 +52,30 @@ _TT_BITS = np.array(
 
 
 def resolve_backend(backend: str | None = None) -> str:
-    """Pick the execution backend: explicit arg, else ``REPRO_BVM_BACKEND``."""
-    chosen = backend or os.environ.get("REPRO_BVM_BACKEND") or "bool"
+    """Pick the execution backend: explicit arg, else ``REPRO_BVM_BACKEND``.
+
+    Unknown values fail loudly and name their source (argument vs env
+    var) instead of falling back: a typo'd ``REPRO_BVM_BACKEND=packd``
+    that silently ran the boolean machine would turn a 64x word-packed
+    run into a 64x slowdown nobody notices.  The error is
+    :class:`~repro.core.errors.InvalidProblem` — the CLI's taxonomy
+    reports it as a one-line user error (exit 2), and it still
+    ``isinstance`` ``ValueError`` for older callers.  A set-but-blank
+    env var means "default", matching the ``REPRO_WORKERS`` precedent.
+    """
+    from ..core.errors import InvalidProblem
+
+    if backend is not None:
+        chosen, source = backend, "backend argument"
+    else:
+        env = os.environ.get("REPRO_BVM_BACKEND")
+        if env is None or not env.strip():
+            return "bool"
+        chosen, source = env.strip(), "REPRO_BVM_BACKEND"
     if chosen not in BACKENDS:
-        raise ValueError(
-            f"unknown BVM backend {chosen!r} (choose from {BACKENDS})"
+        raise InvalidProblem(
+            f"unknown BVM backend {chosen!r} from {source} "
+            f"(choose from {BACKENDS})"
         )
     return chosen
 

@@ -63,8 +63,8 @@ class CompiledProgram:
         return len(self.instructions)
 
     def run(self, machine) -> int:
-        """Replay on a packed machine; returns cycles consumed."""
-        if getattr(machine, "backend", "bool") != "packed":
+        """Replay on a packed (or batched) machine; returns cycles consumed."""
+        if getattr(machine, "backend", "bool") not in ("packed", "packed-batch"):
             # The boolean oracle has no compiled form; replay the source.
             return machine.run(self.instructions)
         if machine.topology.r != self.r or machine.L != self.L:
@@ -236,7 +236,7 @@ class ProgramBuilder:
             raise ValueError("machine geometry does not match program")
         if self.pool.high_water > machine.L:
             raise ValueError("program uses more registers than the machine has")
-        if getattr(machine, "backend", "bool") == "packed":
+        if getattr(machine, "backend", "bool") in ("packed", "packed-batch"):
             return self.compiled(machine.L).run(machine)
         return machine.run(self.instructions)
 

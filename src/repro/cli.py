@@ -8,14 +8,19 @@ Commands
     format) or a named synthetic workload — with any of the four solvers
     (``dp``, ``hypercube``, ``ccc``, ``bvm``), optionally printing the
     optimal procedure and machine counters.  For ``--solver dp`` the host
-    engine is selectable with ``--backend {auto,numpy,parallel,reference}``
-    and ``--workers N`` (the multi-core shared-memory engine).
+    engine is selectable with
+    ``--backend {auto,numpy,parallel,native,reference}`` and
+    ``--workers N`` (the multi-core shared-memory engine; ``native`` is
+    the optional numba-jitted kernel tier).
 
 ``solve-batch``
     Solve a stream of instances (one ``TTProblem`` JSON document per
     line) on a single warm :class:`~repro.core.engine.SolverEngine` —
     shared tables and worker pool amortized across the stream — writing
-    one JSON result per line in input order.
+    one JSON result per line in input order.  ``--solver bvm`` routes
+    the stream through the instance-batched packed BVM instead: shapes
+    are grouped and each compiled program replays all its instances in
+    lockstep.
 
 ``verify-exhaustive``
     Bounded-model verification: enumerate every TT instance inside small
@@ -93,8 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default="auto",
         help="host DP engine for --solver dp: auto-select, single-process "
-        "numpy, multi-core shared-memory parallel, or the plain-Python "
-        "reference oracle",
+        "numpy, multi-core shared-memory parallel, the optional "
+        "numba-jitted native kernel (falls back loudly to numpy when "
+        "numba is missing), or the plain-Python reference oracle",
     )
     p_solve.add_argument(
         "--workers",
@@ -211,15 +217,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--backend",
-        choices=("auto", "numpy", "parallel"),
+        choices=("auto", "numpy", "parallel", "native"),
         default="auto",
-        help="engine backend per instance (no reference oracle in batch mode)",
+        help="engine backend per instance for --solver dp (no reference "
+        "oracle in batch mode; 'native' falls back loudly to numpy when "
+        "numba is missing)",
     )
     p_batch.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker processes for the engine's parallel path",
+    )
+    p_batch.add_argument(
+        "--solver",
+        choices=("dp", "bvm"),
+        default="dp",
+        help="dp: warm host engine per instance; bvm: group the stream "
+        "by machine shape and replay one compiled program over all "
+        "instances of a shape in lockstep (instance-batched packed BVM)",
+    )
+    p_batch.add_argument(
+        "--width", type=int, default=16, help="BVM word width for --solver bvm"
+    )
+    p_batch.add_argument(
+        "--bvm-backend",
+        choices=("packed", "bool"),
+        default="packed",
+        help="simulation backend for --solver bvm: packed (vectorized "
+        "uint64 bit-planes, lanes in lockstep) or bool (per-instance "
+        "boolean oracle; slow, for cross-checks)",
     )
 
     p_verify = sub.add_parser(
@@ -523,7 +550,12 @@ def _solve_batch(args, out) -> int:
     ]
 
     with SolverEngine(workers=args.workers, backend=args.backend) as engine:
-        results = engine.solve_many(problems)
+        results = engine.solve_many(
+            problems,
+            solver=args.solver,
+            width=args.width,
+            bvm_backend=args.bvm_backend,
+        )
 
     sink = out if args.outfile == "-" else open(args.outfile, "w")
     try:
@@ -535,8 +567,13 @@ def _solve_batch(args, out) -> int:
                 # inf is not valid JSON; an infeasible instance reports null.
                 "optimal_cost": result.optimal_cost if result.feasible else None,
                 "feasible": bool(result.feasible),
-                "sequential_ops": result.op_count,
             }
+            if args.solver == "bvm":
+                payload["bvm_cycles"] = result.cycles
+                payload["ccc_r"] = result.r
+                payload["bvm_backend"] = result.backend
+            else:
+                payload["sequential_ops"] = result.op_count
             print(json.dumps(payload), file=sink)
     finally:
         if sink is not out:

@@ -15,6 +15,11 @@ Backends
     :func:`~repro.core.parallel.solve_dp_parallel` — multi-core
     shared-memory layer-parallel engine.  Worth the fork/IPC overhead
     once the middle layers hold tens of thousands of subsets.
+``"native"``
+    :func:`~repro.core.sequential.solve_dp` driven by the numba-jitted
+    layer kernel (:mod:`repro.core.native`).  numba is an optional
+    dependency; when it is absent the request degrades loudly (one
+    ``RuntimeWarning``) to ``"numpy"`` — never silently.
 ``"reference"``
     :func:`~repro.core.sequential.solve_dp_reference` — the plain-Python
     oracle; exposed here so differential tests and debugging sessions go
@@ -22,7 +27,9 @@ Backends
 ``"auto"``
     ``"parallel"`` iff the instance is large enough
     (``k >= PARALLEL_MIN_K``) *and* more than one worker is actually
-    available; otherwise ``"numpy"``.
+    available; otherwise ``"numpy"``.  ``"native"`` is opt-in only: the
+    auto ladder never selects it, so default behaviour is independent of
+    which optional extras happen to be installed.
 
 All backends honour the same determinism contract (see
 :mod:`repro.core.sequential`), so switching backends never changes
@@ -42,6 +49,7 @@ import numpy as np
 from ..obs import trace as obs_trace
 from .errors import InvalidProblem
 from .kernels import plan_cache_stats
+from .native import native_available, warn_native_fallback
 from .parallel import PARALLEL_MIN_K, default_workers, solve_dp_parallel
 from .problem import TTProblem
 from .sequential import DPResult, solve_dp, solve_dp_reference, subset_weights
@@ -58,7 +66,7 @@ __all__ = [
     "DEFAULT_WEIGHTS_CACHE_BYTES",
 ]
 
-BACKENDS = ("auto", "numpy", "parallel", "reference")
+BACKENDS = ("auto", "numpy", "parallel", "native", "reference")
 
 # Byte budget for the subset-weights cache; override via the env var.
 # At k = 20 one vector is 8 MiB, so the default keeps roughly eight of
@@ -161,6 +169,9 @@ def resolve_backend(
     if backend == "auto":
         big = problem.k >= PARALLEL_MIN_K
         backend = "parallel" if (big and eff_workers > 1) else "numpy"
+    elif backend == "native" and not native_available():
+        warn_native_fallback()
+        backend = "numpy"
     if backend != "parallel":
         eff_workers = 1
     return backend, max(1, eff_workers)
@@ -275,14 +286,14 @@ def solve(
                 "spill directory's manifest already persists every layer "
                 "durably (resume simply reopens the same spill_dir)"
             )
-        if backend in ("numpy", "reference"):
+        if backend in ("numpy", "native", "reference"):
             raise InvalidProblem(
                 f"the mmap store requires the parallel backend, got {backend!r}; "
                 "single-process backends have no layer store to spill from"
             )
         backend = "parallel"
     if policy is not None and policy.checkpoint is not None:
-        if backend in ("numpy", "reference"):
+        if backend in ("numpy", "native", "reference"):
             raise InvalidProblem(
                 f"checkpointing requires the parallel backend, got {backend!r}; "
                 "single-process backends would silently skip the checkpoint"
@@ -307,5 +318,10 @@ def solve(
                 progress=progress,
             )
         )
+    if backend == "native":
+        from .native import solve_layer_kernel_native
+
+        with ambient:
+            return _finish(solve_dp(problem, p=p, kernel=solve_layer_kernel_native))
     with ambient:
         return _finish(solve_dp(problem, p=p))

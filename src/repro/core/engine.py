@@ -50,7 +50,7 @@ from ..obs import trace as obs_trace
 from . import faults
 from . import parallel as _par
 from .dispatch import cached_subset_weights, resolve_backend
-from .errors import SolverError
+from .errors import InvalidProblem, SolverError
 from .kernels import LayerArena, LayerPlan, layer_plan, solve_layer_kernel_fused
 from .parallel import MIN_SHARD, _init_worker, _mp_context, _shard_bounds
 from .problem import TTProblem
@@ -109,8 +109,10 @@ class SolverEngine:
         :func:`~repro.core.parallel.default_workers`).  ``1`` keeps every
         solve single-process (arena reuse only).
     backend:
-        ``"auto"`` (default), ``"numpy"`` or ``"parallel"`` — resolved
-        per instance exactly like :func:`repro.core.solve`.
+        ``"auto"`` (default), ``"numpy"``, ``"native"`` or ``"parallel"``
+        — resolved per instance exactly like :func:`repro.core.solve`
+        (including the loud numpy fallback when ``"native"`` is requested
+        without numba installed).
     policy:
         :class:`~repro.core.supervisor.ResiliencePolicy` for the warm
         pool's fault handling.  Checkpointing is not supported on the
@@ -223,7 +225,12 @@ class SolverEngine:
         if backend == "reference":
             raise SolverError("SolverEngine has no reference backend")
         if backend != "parallel":
-            result = solve_dp(problem, p=p, arena=self._arena)
+            kernel = None
+            if backend == "native":
+                from .native import solve_layer_kernel_native
+
+                kernel = solve_layer_kernel_native
+            result = solve_dp(problem, p=p, arena=self._arena, kernel=kernel)
         else:
             result = self._solve_parallel(problem, p, eff_workers)
         self.solves += 1
@@ -334,7 +341,14 @@ class SolverEngine:
             metrics=reg.as_dict(),
         )
 
-    def solve_many(self, problems) -> list[DPResult]:
+    def solve_many(
+        self,
+        problems,
+        *,
+        solver: str = "dp",
+        width: int = 16,
+        bvm_backend: str = "packed",
+    ) -> list:
         """Solve a stream of instances, pipelining the weight precompute.
 
         While instance ``i`` runs (mostly C-level kernel and pool work),
@@ -342,7 +356,27 @@ class SolverEngine:
         instance ``i + 1`` — the butterfly accumulation is pure numpy
         and overlaps cleanly.  Results are returned in input order and
         are bit-for-bit what per-instance :meth:`solve` calls produce.
+
+        ``solver="bvm"`` routes the whole stream through the
+        instance-batched packed BVM instead
+        (:func:`~repro.ttpar.bvm_tt.solve_tt_bvm_batch`): instances are
+        grouped by machine shape and each group replays one compiled
+        program over all its lanes in lockstep, returning
+        :class:`~repro.ttpar.bvm_tt.BVMTTResult` rows (still in input
+        order).  ``width`` / ``bvm_backend`` configure the fixed-point
+        cost lattice and the simulation backend for that path and are
+        ignored for ``solver="dp"``.
         """
+        if solver == "bvm":
+            from ..ttpar.bvm_tt import solve_tt_bvm_batch
+
+            return solve_tt_bvm_batch(
+                list(problems), width=width, backend=bvm_backend
+            )
+        if solver != "dp":
+            raise InvalidProblem(
+                f"unknown solver {solver!r}; expected 'dp' or 'bvm'"
+            )
         problems = list(problems)
         results: list[DPResult] = []
         if not problems:

@@ -211,6 +211,7 @@ def solve_dp(
     *,
     p: np.ndarray | None = None,
     arena: LayerArena | None = None,
+    kernel=None,
 ) -> DPResult:
     """Vectorized backward-induction solve of the TT recurrence.
 
@@ -223,6 +224,12 @@ def solve_dp(
     :class:`~repro.core.kernels.LayerArena` (e.g. from a
     :class:`~repro.core.engine.SolverEngine`) to reuse kernel scratch
     across solves.
+
+    ``kernel`` swaps the layer kernel for a drop-in alternative (the
+    ``backend="native"`` tier passes
+    :func:`~repro.core.native.solve_layer_kernel_native`); any substitute
+    must honour the determinism contract above — the layer spans report
+    which kernel ran via their ``mode`` attribute.
     """
     k, n_act = problem.k, problem.n_actions
     n_sub = 1 << k
@@ -242,6 +249,9 @@ def solve_dp(
     plan = layer_plan(k)
     if arena is None:
         arena = LayerArena()
+    if kernel is None:
+        kernel = solve_layer_kernel_fused
+    mode = getattr(kernel, "kernel_mode", "numpy")
 
     tr = _trace.current()
     for j in range(1, k + 1):
@@ -249,7 +259,7 @@ def solve_dp(
         t0 = time.monotonic() if tr.collecting else 0.0
         # The kernel's table-state invariant holds by construction here:
         # layer j's entries are still INF until the scatter below.
-        layer_best, layer_arg = solve_layer_kernel_fused(
+        layer_best, layer_arg = kernel(
             layer, p[layer], cost, subsets, costs, is_test, arena=arena
         )
         cost[layer] = layer_best
@@ -257,7 +267,7 @@ def solve_dp(
         if tr.collecting:
             tr.complete(
                 "layer", "layer", t0, time.monotonic(),
-                layer=j, masks=int(layer.size), shards=1, mode="numpy",
+                layer=j, masks=int(layer.size), shards=1, mode=mode,
             )
 
     op_count = (n_sub - 1) * n_act

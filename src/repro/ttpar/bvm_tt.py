@@ -29,20 +29,31 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..bvm import bitserial as bs
+from ..bvm.batch import PackedBatchBVM
 from ..bvm.hyperops import route_dim
 from ..bvm.isa import FN, Reg
 from ..bvm.machine import BVM
 from ..bvm.primitives import processor_id
 from ..bvm.program import ProgramBuilder
+from ..core.errors import InvalidProblem
 from ..core.problem import TTProblem
+from ..obs import trace as _trace
+from ..util.bitops import popcount_array
 from ..util.fixedpoint import FixedPointScale, choose_scale
 from .layout import TTLayout, pad_actions
 
-__all__ = ["BVMTTResult", "build_bvm_tt", "solve_tt_bvm"]
+__all__ = [
+    "BVMTTResult",
+    "build_bvm_tt",
+    "build_bvm_tt_batch",
+    "solve_tt_bvm",
+    "solve_tt_bvm_batch",
+]
 
 
 @dataclass
@@ -102,21 +113,18 @@ class _Plan:
         return [0] * self.prog.Q  # consumed by cycle-ID inside processor-ID
 
 
-def build_bvm_tt(problem: TTProblem, width: int = 16, r: int | None = None) -> _Plan:
-    """Emit the full TT program for ``problem`` (no execution)."""
-    problem.require_adequate()
-    padded = pad_actions(problem)
-    layout = TTLayout.for_problem(problem)
-    k, p = layout.k, layout.p
-    r = _choose_r(layout.dims) if r is None else r
-    if r + (1 << r) < layout.dims:
-        raise ValueError(f"CCC(r={r}) too small for {layout.dims} dims")
+def _encode_instance(
+    problem: TTProblem, padded: TTProblem, k: int, width: int
+) -> tuple[FixedPointScale, list[int], list[int]]:
+    """Fixed-point encode one instance's costs and weights.
 
+    Split scaling: the machine multiplies encoded costs by encoded
+    weights, so the two factors must carry *square roots* of the overall
+    scale — encoding both at ``scale.scale`` would square it and
+    overflow.
+    """
     finite_costs = [a.cost for a in problem.actions if math.isfinite(a.cost)]
     scale = choose_scale(finite_costs or [1.0], problem.weights, k, width)
-    # Split scaling: the machine multiplies encoded costs by encoded
-    # weights, so the two factors must carry *square roots* of the overall
-    # scale — encoding both at `scale.scale` would square it and overflow.
     m_exp = int(round(math.log2(scale.scale)))
     scale_w = 2.0 ** (m_exp - m_exp // 2)
     scale_c = 2.0 ** (m_exp // 2)
@@ -129,6 +137,20 @@ def build_bvm_tt(problem: TTProblem, width: int = 16, r: int | None = None) -> _
         w > scale.max_value for w in enc_weights
     ):
         raise OverflowError("split-scale encoding overflows the word width")
+    return scale, enc_costs, enc_weights
+
+
+def build_bvm_tt(problem: TTProblem, width: int = 16, r: int | None = None) -> _Plan:
+    """Emit the full TT program for ``problem`` (no execution)."""
+    problem.require_adequate()
+    padded = pad_actions(problem)
+    layout = TTLayout.for_problem(problem)
+    k, p = layout.k, layout.p
+    r = _choose_r(layout.dims) if r is None else r
+    if r + (1 << r) < layout.dims:
+        raise ValueError(f"CCC(r={r}) too small for {layout.dims} dims")
+
+    scale, enc_costs, enc_weights = _encode_instance(problem, padded, k, width)
 
     prog = ProgramBuilder(r, L=256)
     pool = prog.pool
@@ -265,15 +287,19 @@ def build_bvm_tt(problem: TTProblem, width: int = 16, r: int | None = None) -> _
     return _Plan(prog=prog, layout=layout, scale=scale, M=M, ARG=ARG, r=r, width=width)
 
 
-def _decode(plan: _Plan, machine: BVM, problem: TTProblem) -> tuple[np.ndarray, np.ndarray]:
-    layout, scale = plan.layout, plan.scale
+def _decode_tables(
+    M_rows, ARG_rows, read, n: int, layout: TTLayout,
+    scale: FixedPointScale, problem: TTProblem,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read the M/ARG planes (via ``read(row) -> bool array``) and decode
+    them into the DP-shaped cost/best-action tables."""
     n_sub = 1 << layout.k
-    m_words = np.zeros(machine.n, dtype=np.int64)
-    for w, row in enumerate(plan.M):
-        m_words |= machine.read(row).astype(np.int64) << w
-    args = np.zeros(machine.n, dtype=np.int64)
-    for w, row in enumerate(plan.ARG):
-        args |= machine.read(row).astype(np.int64) << w
+    m_words = np.zeros(n, dtype=np.int64)
+    for w, row in enumerate(M_rows):
+        m_words |= read(row).astype(np.int64) << w
+    args = np.zeros(n, dtype=np.int64)
+    for w, row in enumerate(ARG_rows):
+        args |= read(row).astype(np.int64) << w
 
     masks = np.arange(n_sub, dtype=np.int64)
     addr0 = masks << layout.p
@@ -284,6 +310,12 @@ def _decode(plan: _Plan, machine: BVM, problem: TTProblem) -> tuple[np.ndarray, 
     # Clamp pad indices (only reachable on infeasible subsets anyway).
     best = np.where(best >= problem.n_actions, -1, best)
     return cost, best
+
+
+def _decode(plan: _Plan, machine: BVM, problem: TTProblem) -> tuple[np.ndarray, np.ndarray]:
+    return _decode_tables(
+        plan.M, plan.ARG, machine.read, machine.n, plan.layout, plan.scale, problem
+    )
 
 
 def solve_tt_bvm(
@@ -318,3 +350,294 @@ def solve_tt_bvm(
         width=width,
         backend=machine.backend,
     )
+
+
+# ----------------------------------------------------------------------
+# Instance batching: one shape-generic program, B lockstep instances
+# ----------------------------------------------------------------------
+#
+# ``build_bvm_tt`` folds the per-problem constants (action membership,
+# encoded weights and costs) into instruction truth tables, so two
+# different instances never share a program.  The batch path splits the
+# two concerns: a *shape-generic* program — a pure function of
+# ``(r, k, p, width)`` — carries the whole §6/§7 dataflow, and the
+# per-instance data lands in host-poked register rows (the paper's
+# "T_i should be input to the BVM" host-load, which costs no machine
+# cycles).  Every instance of the same shape then replays the identical
+# compiled instruction stream, which is exactly what lets a
+# :class:`~repro.bvm.batch.PackedBatchBVM` run B of them in lockstep.
+
+BATCH_BACKENDS = ("packed", "bool")
+
+
+@dataclass
+class _BatchPlan:
+    """Shape-generic program plus the rows the host pokes per lane."""
+
+    prog: ProgramBuilder
+    layout: TTLayout
+    M: list
+    ARG: list
+    IWORD: list
+    SBITS: list
+    LAYER: list
+    TB: list
+    IS_TEST: Reg
+    PS: list
+    CW: list
+    INFM: Reg
+    r: int
+    width: int
+    # Shape-level PE decodes (action index / subset / popcount per PE).
+    i_pe: np.ndarray
+    s_pe: np.ndarray
+    layer_pe: np.ndarray
+
+
+@lru_cache(maxsize=64)
+def _batch_plan(r: int, k: int, p: int, width: int) -> _BatchPlan:
+    """Emit the shape-generic TT program for ``(r, k, p, width)``.
+
+    The emitted stream is *identical* for every instance of the shape:
+    all immediates are shape facts (the INF sentinel of the word width,
+    the layer indices, the subset dimensions), never problem data — so
+    the compiled program and its replay cycle count are properties of
+    the shape, and one compile serves every batch of that shape.
+    """
+    layout = TTLayout(k=k, p=p)
+    if r + (1 << r) < layout.dims:
+        raise ValueError(f"CCC(r={r}) too small for {layout.dims} dims")
+    inf = (1 << width) - 1  # FixedPointScale's INF sentinel for this width
+    prog = ProgramBuilder(r, L=256)
+    pool = prog.pool
+    W = width
+
+    # ------------------------------------------------------------------
+    # Register map — every host-poked row allocated before any macro
+    # emits (see the allocation discipline note in bvm.program).
+    # ------------------------------------------------------------------
+    M = pool.alloc(W)
+    Rw = pool.alloc(W)
+    Qw = pool.alloc(W)
+    TP = pool.alloc(W)
+    PB = pool.alloc(W)       # shared partner-copy buffer (R/Q/M routes)
+    ARG = pool.alloc(p)
+    ARG0 = pool.alloc(p)
+    PARG = pool.alloc(p)
+    lk = max(1, k.bit_length())
+    LAYER = pool.alloc(lk)   # poked: popcount of S per PE
+    TB = pool.alloc(k)       # poked: TB[e] = (e ∈ T_i) per PE
+    IS_TEST = pool.alloc1()  # poked
+    GATE = pool.alloc1()
+    GATE2 = pool.alloc1()
+    IWORD = pool.alloc(p)    # poked: action-index bits of the PE address
+    SBITS = pool.alloc(k)    # poked: subset-membership bits of the address
+    PS = pool.alloc(W)       # poked: encoded p(S) per PE
+    CW = pool.alloc(W)       # poked: encoded cost t_i per PE
+    INFM = pool.alloc1()     # poked: 1 where t_i = INF (pads, user INF)
+
+    # ------------------------------------------------------------------
+    # Arithmetic: TP = t_i * p(S), with the INF sentinel forced.
+    # ------------------------------------------------------------------
+    prog.mark("arith-inputs")
+    bs.mult_into(prog, TP, PS, CW)
+    # Infinite-cost actions force TP = INF directly — the sentinel must
+    # not depend on p(S)'s encoding.
+    prog.enable_from(INFM)
+    bs.set_word_const(prog, TP, inf)
+    prog.enable_all()
+    pool.free(*PS, *CW, INFM)
+
+    # M init: INF everywhere, 0 on the empty set's PEs.
+    prog.mark("m-init")
+    bs.set_word_const(prog, M, inf)
+    bs.equals_const(prog, LAYER, 0, GATE)
+    prog.enable_from(GATE)
+    bs.set_word_const(prog, M, 0)
+    prog.enable_all()
+    bs.copy_word(prog, ARG0, IWORD)
+    bs.copy_word(prog, ARG, ARG0)
+
+    # ------------------------------------------------------------------
+    # The §6 TT() loop — verbatim the single-instance phase 3.
+    # ------------------------------------------------------------------
+    for j in range(1, k + 1):
+        prog.mark("copy-buffers")
+        bs.copy_word(prog, Rw, M)
+        bs.copy_word(prog, Qw, M)
+
+        prog.mark("e-loop")
+        for e in range(k):
+            dim = layout.subset_dim(e)
+            route_dim(prog, Rw, PB, dim)
+            prog.logic(GATE2, FN.AND, SBITS[e], TB[e])
+            bs.select_word(prog, Rw, GATE2, PB, Rw)
+            route_dim(prog, Qw, PB, dim)
+            prog.logic(GATE2, FN.ANDN, SBITS[e], TB[e])
+            bs.select_word(prog, Qw, GATE2, PB, Qw)
+
+        prog.mark("finalize")
+        bs.equals_const(prog, LAYER, j, GATE)
+        prog.enable_from(GATE)
+        bs.copy_word(prog, M, Rw)
+        bs.add_into(prog, M, TP)
+        prog.enable_all()
+        prog.logic(GATE2, FN.AND, GATE, IS_TEST)
+        prog.enable_from(GATE2)
+        bs.add_into(prog, M, Qw)
+        prog.enable_all()
+        prog.enable_from(GATE)
+        bs.copy_word(prog, ARG, ARG0)
+        prog.enable_all()
+
+        prog.mark("min-ascend")
+        for t in range(p):
+            route_dim(prog, M, PB, t)
+            route_dim(prog, ARG, PARG, t)
+            bs.min_tagged_into(prog, M, ARG, PB, PARG, gate=GATE)
+
+    n = (1 << r) * (1 << (1 << r))
+    q = np.arange(n, dtype=np.int64)
+    i_pe = q & ((1 << p) - 1)
+    s_pe = (q >> p) & ((1 << k) - 1)
+    layer_pe = popcount_array(s_pe, k)
+    return _BatchPlan(
+        prog=prog, layout=layout, M=M, ARG=ARG,
+        IWORD=IWORD, SBITS=SBITS, LAYER=LAYER, TB=TB, IS_TEST=IS_TEST,
+        PS=PS, CW=CW, INFM=INFM, r=r, width=width,
+        i_pe=i_pe, s_pe=s_pe, layer_pe=layer_pe,
+    )
+
+
+def build_bvm_tt_batch(r: int, k: int, p: int, width: int = 16) -> _BatchPlan:
+    """Public wrapper of the cached shape-generic batch program."""
+    return _batch_plan(r, k, p, width)
+
+
+def _saturating_subset_sums(enc_weights: list[int], k: int, width: int) -> np.ndarray:
+    """Encoded p(S) for every subset, replicating the machine's sticky
+    saturating bit-serial adds (element order, all-ones absorbing)."""
+    limit = 1 << width
+    inf = limit - 1
+    acc = np.zeros(1 << k, dtype=np.int64)
+    sub = np.arange(1 << k, dtype=np.int64)
+    for e in range(k):
+        sel = ((sub >> e) & 1) == 1
+        acc[sel] += enc_weights[e]
+        acc[acc >= limit] = inf
+    return acc
+
+
+def _poke_lane(poke, plan: _BatchPlan, padded: TTProblem, scale, enc_costs, enc_weights) -> None:
+    """Load one instance's data rows (host pokes, zero machine cycles)."""
+    i_pe, s_pe = plan.i_pe, plan.s_pe
+    for w, row in enumerate(plan.IWORD):
+        poke(row, ((i_pe >> w) & 1).astype(bool))
+    for e, row in enumerate(plan.SBITS):
+        poke(row, ((s_pe >> e) & 1).astype(bool))
+    for w, row in enumerate(plan.LAYER):
+        poke(row, ((plan.layer_pe >> w) & 1).astype(bool))
+    subs = np.array([a.subset for a in padded.actions], dtype=np.int64)
+    tests = np.array([a.is_test for a in padded.actions], dtype=bool)
+    for e, row in enumerate(plan.TB):
+        poke(row, ((subs[i_pe] >> e) & 1).astype(bool))
+    poke(plan.IS_TEST, tests[i_pe])
+    ps = _saturating_subset_sums(enc_weights, plan.layout.k, plan.width)[s_pe]
+    for w, row in enumerate(plan.PS):
+        poke(row, ((ps >> w) & 1).astype(bool))
+    cw = np.array([min(c, scale.inf) for c in enc_costs], dtype=np.int64)[i_pe]
+    for w, row in enumerate(plan.CW):
+        poke(row, ((cw >> w) & 1).astype(bool))
+    is_inf = np.array([c == scale.inf for c in enc_costs], dtype=bool)
+    poke(plan.INFM, is_inf[i_pe])
+
+
+def solve_tt_bvm_batch(
+    problems,
+    width: int = 16,
+    r: int | None = None,
+    backend: str = "packed",
+) -> list[BVMTTResult]:
+    """Solve many TT instances through lockstep batched replays.
+
+    Instances are grouped by shape ``(r, k, p)``; each group pokes its
+    per-lane data into one :class:`~repro.bvm.batch.PackedBatchBVM` and
+    replays the shape's compiled program *once*, so B instances cost one
+    replay's interpreter overhead.  Ragged batches (mixed ``k``/``N``)
+    simply form several groups.  Results come back in input order, each
+    lane bit-identical to a ``B = 1`` run and to
+    :func:`solve_tt_bvm` on the same instance.
+
+    ``backend="bool"`` runs each lane of the *same* shape-generic poked
+    program on the boolean oracle machine instead (slow; differential
+    use).  ``cycles`` is the lockstep replay's machine-cycle count — a
+    shape property, identical for every lane of a group.
+    """
+    if backend not in BATCH_BACKENDS:
+        raise InvalidProblem(
+            f"unknown batch backend {backend!r} (choose from {BATCH_BACKENDS})"
+        )
+    problems = list(problems)
+    results: list[BVMTTResult | None] = [None] * len(problems)
+    groups: dict[tuple[int, int, int], list] = {}
+    for idx, problem in enumerate(problems):
+        problem.require_adequate()
+        padded = pad_actions(problem)
+        layout = TTLayout.for_problem(problem)
+        rr = _choose_r(layout.dims) if r is None else r
+        if rr + (1 << rr) < layout.dims:
+            raise ValueError(f"CCC(r={rr}) too small for {layout.dims} dims")
+        scale, enc_costs, enc_weights = _encode_instance(
+            problem, padded, layout.k, width
+        )
+        groups.setdefault((rr, layout.k, layout.p), []).append(
+            (idx, problem, padded, scale, enc_costs, enc_weights)
+        )
+
+    tr = _trace.current()
+    for (rr, k, p), lanes in groups.items():
+        plan = _batch_plan(rr, k, p, width)
+        B = len(lanes)
+        if tr.collecting:
+            with tr.span(
+                "bvm.compile", cat="bvm", r=rr, k=k, p=p, batch=B,
+                instructions=len(plan.prog.instructions),
+            ):
+                compiled = plan.prog.compiled()
+        else:
+            compiled = plan.prog.compiled()
+
+        if backend == "packed":
+            machine = PackedBatchBVM(rr, batch=B, L=plan.prog.L)
+            for lane, (_, _, padded, scale, enc_costs, enc_weights) in enumerate(lanes):
+                _poke_lane(
+                    lambda row, bits, lane=lane: machine.poke_lane(row, lane, bits),
+                    plan, padded, scale, enc_costs, enc_weights,
+                )
+            cycles = compiled.run(machine)
+            for lane, (idx, problem, padded, scale, enc_costs, enc_weights) in enumerate(lanes):
+                cost, best = _decode_tables(
+                    plan.M, plan.ARG,
+                    lambda row, lane=lane: machine.read_lane(row, lane),
+                    machine.n, plan.layout, scale, problem,
+                )
+                results[idx] = BVMTTResult(
+                    problem=problem, layout=plan.layout, scale=scale,
+                    cost=cost, best_action=best, cycles=cycles,
+                    r=rr, width=width, backend="packed-batch",
+                )
+        else:
+            for idx, problem, padded, scale, enc_costs, enc_weights in lanes:
+                machine = plan.prog.build_machine(backend="bool")
+                _poke_lane(machine.poke, plan, padded, scale, enc_costs, enc_weights)
+                cycles = plan.prog.run(machine)
+                cost, best = _decode_tables(
+                    plan.M, plan.ARG, machine.read, machine.n,
+                    plan.layout, scale, problem,
+                )
+                results[idx] = BVMTTResult(
+                    problem=problem, layout=plan.layout, scale=scale,
+                    cost=cost, best_action=best, cycles=cycles,
+                    r=rr, width=width, backend="bool",
+                )
+    return results  # type: ignore[return-value]

@@ -211,6 +211,15 @@ class _MmapStoreBackend(VerifyBackend):
             shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _bvm_accepts(problem: TTProblem) -> bool:
+    """The BVM simulators' bit-exact domain (see :class:`_BVMBackend`)."""
+    return (
+        problem.is_adequate()
+        and all(float(w).is_integer() for w in problem.weights)
+        and all(float(a.cost).is_integer() for a in problem.actions)
+    )
+
+
 class _BVMBackend(VerifyBackend):
     """Bit-serial BVM simulator (bool or word-packed execution).
 
@@ -229,11 +238,7 @@ class _BVMBackend(VerifyBackend):
         self._bvm_backend = bvm_backend
 
     def accepts(self, problem):
-        return (
-            problem.is_adequate()
-            and all(float(w).is_integer() for w in problem.weights)
-            and all(float(a.cost).is_integer() for a in problem.actions)
-        )
+        return _bvm_accepts(problem)
 
     def tables(self, problem):
         if not self.accepts(problem):
@@ -241,6 +246,78 @@ class _BVMBackend(VerifyBackend):
         from ..ttpar.bvm_tt import solve_tt_bvm
 
         r = solve_tt_bvm(problem, backend=self._bvm_backend)
+        return r.cost, r.best_action
+
+
+class _BVMBatchBackend(VerifyBackend):
+    """The instance-batched packed BVM, exercised as genuine batches.
+
+    :meth:`tables_batch` hands the whole accepted chunk to
+    :func:`~repro.ttpar.bvm_tt.solve_tt_bvm_batch` — instances grouped
+    by machine shape, one compiled replay per group with all lanes in
+    lockstep (``B > 1`` whenever the chunk allows it) — so the harness
+    checks each *lane* of a real batched replay against the oracle, not
+    a degenerate stream of one-lane batches.  Same bit-exact domain as
+    :class:`_BVMBackend`.
+    """
+
+    scope = "sampled"
+    name = "bvm-packed-batch"
+
+    def accepts(self, problem):
+        return _bvm_accepts(problem)
+
+    def tables(self, problem):
+        return self.tables_batch([problem])[0]
+
+    def tables_batch(self, problems):
+        from ..ttpar.bvm_tt import solve_tt_bvm_batch
+
+        taken = [i for i, p in enumerate(problems) if self.accepts(p)]
+        out: list[Tables | None] = [None] * len(problems)
+        if taken:
+            results = solve_tt_bvm_batch([problems[i] for i in taken])
+            for i, r in zip(taken, results):
+                out[i] = (r.cost, r.best_action)
+        return out
+
+
+class _NativeBackend(VerifyBackend):
+    """The numba-jitted layer kernel driven through ``solve_dp``.
+
+    numba is optional: without it this backend warns loudly at
+    construction and declines every instance (the report counts the
+    declines), so a sweep that *claims* to have verified ``native``
+    can never have silently run numpy instead.
+    :func:`default_backend_names` only includes it when numba is
+    importable; requesting it explicitly always works.
+    """
+
+    name = "native"
+
+    def __init__(self):
+        from ..core.native import NATIVE_FALLBACK_MSG, native_available
+
+        self._available = native_available()
+        if not self._available:
+            import warnings
+
+            warnings.warn(
+                "verify backend 'native' will decline every instance: "
+                + NATIVE_FALLBACK_MSG,
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def accepts(self, problem):
+        return self._available
+
+    def tables(self, problem):
+        if not self._available:
+            return None
+        from ..core.native import solve_layer_kernel_native
+
+        r = solve_dp(problem, kernel=solve_layer_kernel_native)
         return r.cost, r.best_action
 
 
@@ -254,12 +331,25 @@ BACKEND_FACTORIES: dict[str, type | object] = {
     "store-mmap": _MmapStoreBackend,
     "bvm-bool": lambda: _BVMBackend("bool"),
     "bvm-packed": lambda: _BVMBackend("packed"),
+    "bvm-packed-batch": _BVMBatchBackend,
+    "native": _NativeBackend,
 }
 
 
 def default_backend_names() -> list[str]:
-    """Every registered backend except the reference oracle itself."""
-    return [n for n in BACKEND_FACTORIES if n != REFERENCE]
+    """Every registered backend except the reference oracle itself.
+
+    ``native`` appears only when its optional numba dependency is
+    importable — a default sweep should not warn about extras the
+    environment never promised — but an explicit ``--backends native``
+    request always constructs it (and is loudly declined without numba).
+    """
+    from ..core.native import native_available
+
+    names = [n for n in BACKEND_FACTORIES if n != REFERENCE]
+    if not native_available():
+        names.remove("native")
+    return names
 
 
 def make_backends(names: list[str]) -> list[VerifyBackend]:

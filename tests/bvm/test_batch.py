@@ -1,0 +1,231 @@
+"""The instance-batched packed backend against the single-instance machines.
+
+Every lane of a :class:`PackedBatchBVM` must be bit-for-bit the machine
+state a standalone :class:`PackedBVM` (itself differential-tested against
+the boolean oracle) reaches on the same program and the same lane data —
+registers, output log and cycle count.  The word-plane helpers that
+carry the batch backend are checked against big-int arithmetic directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvm.batch import PackedBatchBVM
+from repro.bvm.isa import A, B, E, R
+from repro.bvm.machine import BVM
+from repro.bvm.topology import (
+    CCCTopology,
+    pack_row_words,
+    plane_to_words,
+    shift_words,
+    unpack_words,
+    words_to_plane,
+)
+from repro.obs import trace as obs_trace
+from tests.bvm.test_differential import instructions
+
+
+class TestWordHelpers:
+    @pytest.mark.parametrize("n_words", [1, 2, 4])
+    def test_pack_unpack_roundtrip(self, n_words):
+        rng = np.random.default_rng(n_words)
+        for n in (1, 17, 64 * n_words - 3, 64 * n_words):
+            bits = rng.integers(0, 2, n).astype(bool)
+            words = pack_row_words(bits, n_words)
+            assert words.shape == (n_words,)
+            assert unpack_words(words, n).tolist() == bits.tolist()
+
+    def test_plane_word_roundtrip(self):
+        rng = np.random.default_rng(7)
+        for n_words in (1, 2, 3):
+            plane = int(rng.integers(0, 1 << 62)) | (1 << (64 * n_words - 1))
+            words = plane_to_words(plane, n_words)
+            assert words_to_plane(words) == plane
+
+    @pytest.mark.parametrize(
+        "d", [-130, -65, -64, -63, -1, 0, 1, 63, 64, 65, 130]
+    )
+    def test_shift_words_matches_bigint(self, d):
+        rng = np.random.default_rng(abs(d))
+        for n_words in (1, 2, 3):
+            width = 64 * n_words
+            plane = int.from_bytes(rng.bytes(8 * n_words), "little")
+            x = plane_to_words(plane, n_words)
+            out = np.empty_like(x)
+            shift_words(x, d, out)
+            if d >= 0:
+                expect = plane >> d
+            else:
+                expect = (plane << -d) & ((1 << width) - 1)
+            assert words_to_plane(out) == expect
+            # The source operand is never clobbered.
+            assert words_to_plane(x) == plane
+
+    def test_packed_plans_match_bigint_apply(self):
+        topo = CCCTopology.shared(2)
+        rng = np.random.default_rng(5)
+        nw = (topo.n + 63) // 64
+        for name, plan in topo.packed_plans.items():
+            plane = int.from_bytes(rng.bytes(8 * nw), "little") & topo.full_mask
+            x = plane_to_words(plane, nw)[None, :]
+            out = np.empty_like(x)
+            scratch = np.empty_like(x)
+            plan.apply_words(x, out, scratch)
+            assert words_to_plane(out[0]) == plan.apply(plane), name
+
+
+REGS_TO_CHECK = [R(j) for j in range(4)] + [A, B, E]
+
+
+def _seed_lanes(batch, singles, rng):
+    for lane, m in enumerate(singles):
+        for reg in REGS_TO_CHECK:
+            row = rng.integers(0, 2, batch.n).astype(bool)
+            m.poke(reg, row)
+            batch.poke_lane(reg, lane, row)
+        bits = rng.integers(0, 2, 8).astype(bool).tolist()
+        m.feed_input(bits)
+        batch.feed_input_lane(lane, bits)
+
+
+def _lanes_agree(batch, singles):
+    for lane, m in enumerate(singles):
+        for reg in REGS_TO_CHECK:
+            if batch.plane_lane(reg, lane) != m.plane(reg):
+                return False
+        if [bool(x) for x in batch.output_logs[lane]] != [
+            bool(x) for x in m.output_log
+        ]:
+            return False
+        if batch.cycles != m.cycles:
+            return False
+    return True
+
+
+class TestLockstepDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_match_packed_r1(self, data, seed):
+        r, Q, lanes = 1, 2, 3
+        batch = PackedBatchBVM(r, batch=lanes, L=16)
+        singles = [BVM(r, L=16, backend="packed") for _ in range(lanes)]
+        rng = np.random.default_rng(seed)
+        _seed_lanes(batch, singles, rng)
+        program = data.draw(st.lists(instructions(Q), min_size=1, max_size=8))
+        for instr in program:
+            batch.execute(instr)
+            for m in singles:
+                m.execute(instr)
+        assert _lanes_agree(batch, singles)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_match_packed_r2(self, data, seed):
+        r, Q, lanes = 2, 4, 2
+        batch = PackedBatchBVM(r, batch=lanes, L=16)
+        singles = [BVM(r, L=16, backend="packed") for _ in range(lanes)]
+        rng = np.random.default_rng(seed)
+        _seed_lanes(batch, singles, rng)
+        program = data.draw(st.lists(instructions(Q), min_size=1, max_size=5))
+        for instr in program:
+            batch.execute(instr)
+            for m in singles:
+                m.execute(instr)
+        assert _lanes_agree(batch, singles)
+
+    def test_batch_of_one_equals_single(self):
+        from repro.bvm.isa import FN, Instruction, Operand
+
+        r = 2
+        batch = PackedBatchBVM(r, batch=1, L=16)
+        single = BVM(r, L=16, backend="packed")
+        rng = np.random.default_rng(3)
+        _seed_lanes(batch, [single], rng)
+        program = [
+            Instruction(dest=R(0), f=FN.XOR, fsrc=R(0), dsrc=Operand(R(1), "S")),
+            Instruction(dest=R(2), f=FN.D, fsrc=R(2), dsrc=Operand(R(0), "I")),
+            Instruction(dest=E, f=FN.F, fsrc=R(3), dsrc=Operand(R(3))),
+            Instruction(dest=R(1), f=FN.OR, fsrc=R(1), dsrc=Operand(R(2), "L"),
+                        g=FN.AND),
+            Instruction(dest=E, f=FN.ONE, fsrc=E, dsrc=Operand(E)),
+        ]
+        for instr in program:
+            batch.execute(instr)
+            single.execute(instr)
+        assert _lanes_agree(batch, [single])
+
+
+class TestHostAccess:
+    def test_poke_read_roundtrip_per_lane(self):
+        batch = PackedBatchBVM(1, batch=3, L=8)
+        rng = np.random.default_rng(0)
+        rows = [rng.integers(0, 2, batch.n).astype(bool) for _ in range(3)]
+        for lane, row in enumerate(rows):
+            batch.poke_lane(R(0), lane, row)
+        for lane, row in enumerate(rows):
+            assert batch.read_lane(R(0), lane).tolist() == row.tolist()
+
+    def test_poke_lane_shape_checked(self):
+        batch = PackedBatchBVM(1, batch=2, L=8)
+        with pytest.raises(ValueError, match="shape"):
+            batch.poke_lane(R(0), 0, np.zeros(batch.n + 1, dtype=bool))
+
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch"):
+            PackedBatchBVM(1, batch=0)
+
+    def test_tail_bits_stay_zero(self):
+        # The tail invariant (bits >= n are zero) must survive pokes of
+        # all-ones rows and constant-1 writes.
+        batch = PackedBatchBVM(1, batch=2, L=8)
+        batch.poke_lane(R(0), 0, np.ones(batch.n, dtype=bool))
+        full = batch.topology.full_mask
+        assert batch.plane_lane(R(0), 0) == full
+        from repro.bvm.isa import FN, Instruction, Operand
+
+        batch.execute(
+            Instruction(dest=R(1), f=FN.ONE, fsrc=R(1), dsrc=Operand(R(1)))
+        )
+        for lane in range(2):
+            assert batch.plane_lane(R(1), lane) == full
+
+
+class TestTelemetry:
+    def test_replay_emits_one_span_with_batch_attr(self):
+        from repro.bvm.isa import FN, Instruction, Operand
+
+        program = [
+            Instruction(dest=R(0), f=FN.ONE, fsrc=R(0), dsrc=Operand(R(0)))
+        ] * 3
+        batch = PackedBatchBVM(1, batch=5, L=8)
+        tracer = obs_trace.Tracer()
+        with obs_trace.tracing(tracer):
+            batch.run(program)
+        replays = [e for e in tracer.raw_events() if e["name"] == "bvm.replay"]
+        assert len(replays) == 1
+        assert replays[0]["args"]["batch"] == 5
+        assert replays[0]["args"]["cycles"] == 3
+
+    def test_tracing_does_not_change_state(self):
+        from repro.bvm.isa import FN, Instruction, Operand
+
+        program = [
+            Instruction(dest=R(0), f=FN.XOR, fsrc=R(0), dsrc=Operand(R(1)))
+        ] * 4
+        rng = np.random.default_rng(11)
+
+        def run(traced):
+            batch = PackedBatchBVM(1, batch=2, L=8)
+            r = np.random.default_rng(11)
+            for lane in range(2):
+                batch.poke_lane(R(1), lane, r.integers(0, 2, batch.n).astype(bool))
+            if traced:
+                with obs_trace.tracing(obs_trace.Tracer()):
+                    batch.run(program)
+            else:
+                batch.run(program)
+            return [batch.plane_lane(R(0), lane) for lane in range(2)]
+
+        assert run(False) == run(True)

@@ -45,7 +45,7 @@ class TestResolveBackend:
             resolve_backend(problem, "cuda")
 
     def test_backend_names_exported(self):
-        assert set(BACKENDS) == {"auto", "numpy", "parallel", "reference"}
+        assert set(BACKENDS) == {"auto", "numpy", "parallel", "native", "reference"}
 
 
 class TestSolveParity:

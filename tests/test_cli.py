@@ -227,6 +227,36 @@ class TestErrorPaths:
         assert code == 2
         assert "REPRO_WORKERS" in capsys.readouterr().err
 
+    def test_bad_bvm_backend_env_exits_2(self, monkeypatch, capsys):
+        # A typo'd env var must fail loudly and name its source, not
+        # silently run the boolean machine (REPRO_WORKERS precedent).
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "packd")
+        code, _ = run_cli(
+            "solve", "--workload", "random", "--k", "3", "--solver", "bvm"
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "REPRO_BVM_BACKEND" in err and "packd" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_blank_bvm_backend_env_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "   ")
+        code, text = run_cli(
+            "solve", "--workload", "random", "--k", "3", "--solver", "bvm",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["bvm_backend"] == "bool"
+
+    def test_bvm_backend_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BVM_BACKEND", "bogus")
+        code, text = run_cli(
+            "solve", "--workload", "random", "--k", "3", "--solver", "bvm",
+            "--bvm-backend", "packed", "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["bvm_backend"] == "packed"
+
 
 class TestOtherCommands:
     def test_workloads_lists_all(self):
@@ -354,3 +384,73 @@ class TestSolveBatch:
         )
         assert code == 0
         assert len(out.splitlines()) == 2
+
+    def test_native_backend_parses_and_falls_back(self, tmp_path):
+        import warnings
+
+        from repro.core.generators import random_instance
+
+        problems = [random_instance(3, 2, 2, seed=0)]
+        infile = self._write_stream(tmp_path, problems)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            code, out = run_cli(
+                "solve-batch", "--in", str(infile), "--backend", "native"
+            )
+        assert code == 0
+        assert json.loads(out.splitlines()[0])["feasible"] is True
+
+    def _integral_problems(self, count):
+        import numpy as np
+
+        from repro.core.problem import Action, TTProblem
+
+        out = []
+        for seed in range(count):
+            rng = np.random.default_rng(seed)
+            full = 0b111
+            acts = [
+                Action.test(int(rng.integers(1, full)), float(rng.integers(0, 5))),
+                Action.treatment(full, float(rng.integers(1, 5))),
+            ]
+            out.append(
+                TTProblem.build(rng.integers(1, 5, 3).astype(float), acts)
+            )
+        return out
+
+    def test_bvm_solver_batches_the_stream(self, tmp_path):
+        from repro.core import solve_dp
+
+        problems = self._integral_problems(3)
+        infile = self._write_stream(tmp_path, problems)
+        code, out = run_cli(
+            "solve-batch", "--in", str(infile), "--solver", "bvm"
+        )
+        assert code == 0
+        lines = out.splitlines()
+        assert len(lines) == 3
+        for problem, line in zip(problems, lines):
+            payload = json.loads(line)
+            assert payload["bvm_backend"] == "packed-batch"
+            assert payload["bvm_cycles"] > 0
+            assert "ccc_r" in payload
+            assert payload["optimal_cost"] == pytest.approx(
+                solve_dp(problem).optimal_cost
+            )
+
+    def test_bvm_solver_bool_oracle_agrees(self, tmp_path):
+        problems = self._integral_problems(2)
+        infile = self._write_stream(tmp_path, problems)
+        _, packed_out = run_cli(
+            "solve-batch", "--in", str(infile), "--solver", "bvm"
+        )
+        _, bool_out = run_cli(
+            "solve-batch", "--in", str(infile),
+            "--solver", "bvm", "--bvm-backend", "bool",
+        )
+        packed = [json.loads(l) for l in packed_out.splitlines()]
+        plain = [json.loads(l) for l in bool_out.splitlines()]
+        for a, b in zip(packed, plain):
+            assert a["optimal_cost"] == b["optimal_cost"]
+            assert a["bvm_cycles"] == b["bvm_cycles"]
+            assert b["bvm_backend"] == "bool"
