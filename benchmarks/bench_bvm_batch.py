@@ -39,7 +39,7 @@ import pytest
 
 from benchmarks._kernel_timer import alternate, summarize_pairs, timed
 from benchmarks.bench_bvm_tt_end2end import integral_instance
-from benchmarks.conftest import merge_bench_json, print_table
+from benchmarks.conftest import bench_payload, merge_bench_json, print_table
 from repro.bvm.batch import PackedBatchBVM
 from repro.ttpar.bvm_tt import (
     _choose_r,
@@ -149,8 +149,7 @@ def test_bvm_batch_replay():
     speedup = stats["speedup"]
     singles_s, batched_s = stats["baseline_s"], stats["candidate_s"]
 
-    payload = {
-        "bench": "BVM-BATCH",
+    payload = bench_payload("BVM-BATCH", {
         "r": rr,
         "n_pes": (1 << rr) * (1 << (1 << rr)),
         "k": k,
@@ -175,7 +174,7 @@ def test_bvm_batch_replay():
         ),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"BVM batch replay, CCC({rr}) ({payload['n_pes']} PEs), "

@@ -35,7 +35,7 @@ import pytest
 
 from benchmarks._kernel_timer import alternate, summarize_pairs, timed
 from benchmarks.bench_bvm_tt_end2end import integral_instance
-from benchmarks.conftest import merge_bench_json, print_table
+from benchmarks.conftest import bench_payload, merge_bench_json, print_table
 from repro.bvm.isa import A, B, E, Reg
 from repro.bvm.topology import pack_row
 from repro.ttpar.bvm_tt import build_bvm_tt
@@ -109,8 +109,7 @@ def test_bvm_packed_replay():
     speedup = stats["speedup"]
     bool_s, packed_s = stats["baseline_s"], stats["candidate_s"]
 
-    payload = {
-        "bench": "BVM-PACKED",
+    payload = bench_payload("BVM-PACKED", {
         "r": r,
         "n_pes": (1 << r) * (1 << (1 << r)),
         "k": _K_FOR_R[r],
@@ -128,7 +127,7 @@ def test_bvm_packed_replay():
         ),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"BVM replay, CCC({r}) ({payload['n_pes']} PEs), "

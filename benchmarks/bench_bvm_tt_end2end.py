@@ -25,7 +25,7 @@ import numpy as np
 import pytest
 
 from benchmarks._kernel_timer import alternate, summarize_pairs, timed
-from benchmarks.conftest import merge_bench_json, print_table
+from benchmarks.conftest import bench_payload, merge_bench_json, print_table
 from repro.core import Action, TTProblem, solve_dp
 from repro.ttpar.bvm_tt import solve_tt_bvm
 
@@ -138,8 +138,7 @@ def test_e2e_backend_speedup():
     speedup = stats["speedup"]
     bool_s, packed_s = stats["baseline_s"], stats["candidate_s"]
 
-    payload = {
-        "bench": "E2E-BVM",
+    payload = bench_payload("E2E-BVM", {
         "k": k,
         "r": ref.r,
         "n_pes": (1 << ref.r) * (1 << (1 << ref.r)),
@@ -155,7 +154,7 @@ def test_e2e_backend_speedup():
         ),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"E2E-BVM backends, k={k} on CCC({ref.r}) ({payload['n_pes']} PEs)",

@@ -31,7 +31,7 @@ import numpy as np
 import pytest
 
 from benchmarks._kernel_timer import summarize_pairs, timed
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_payload, print_table
 from repro.core import SolverEngine, solve
 from repro.core.dispatch import _clear_weights_cache
 from repro.core.generators import random_instance
@@ -89,8 +89,7 @@ def test_engine_throughput():
     # the single ratio — but the summary path is the shared one.
     stats = summarize_pairs([(cold_s, warm_s)])
     speedup = stats["speedup"]
-    payload = {
-        "bench": "ENGINE-THROUGHPUT",
+    payload = bench_payload("ENGINE-THROUGHPUT", {
         "k": k,
         "count": count,
         "workers": workers,
@@ -101,7 +100,7 @@ def test_engine_throughput():
         "warm_per_solve_s": round(warm_s / count, 4),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"engine throughput, k={k}, {count} instances, {workers} workers",

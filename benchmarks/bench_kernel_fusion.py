@@ -52,7 +52,7 @@ import numpy as np
 import pytest
 
 from benchmarks._kernel_timer import alternate, summarize_pairs, timed
-from benchmarks.conftest import merge_bench_json, print_table
+from benchmarks.conftest import bench_payload, merge_bench_json, print_table
 from repro.core.generators import random_instance
 from repro.core.kernels import LayerArena, layer_plan, solve_layer_kernel_fused
 from repro.core.native import native_available, solve_layer_kernel_native
@@ -150,8 +150,7 @@ def test_kernel_fusion():
     middle = [
         j for j in range(1, k + 1) if plan.layer(j).size >= plan.max_layer_size // 2
     ]
-    payload = {
-        "bench": "KERNEL-FUSION",
+    payload = bench_payload("KERNEL-FUSION", {
         "k": k,
         "n_actions": problem.n_actions,
         "middle_layers": middle,
@@ -166,7 +165,7 @@ def test_kernel_fusion():
         ),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"kernel fusion, k={k}, N={problem.n_actions} (middle layers)",
@@ -254,8 +253,7 @@ def test_kernel_native():
     speedup = stats["speedup"]
     fused_s, native_s = stats["baseline_s"], stats["candidate_s"]
 
-    payload = {
-        "bench": "KERNEL-NATIVE",
+    payload = bench_payload("KERNEL-NATIVE", {
         "k": k,
         "n_actions": problem.n_actions,
         "middle_layers": middle,
@@ -271,7 +269,7 @@ def test_kernel_native():
         ),
         "bit_identical": True,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"native kernel, k={k}, N={problem.n_actions} (middle layers)",

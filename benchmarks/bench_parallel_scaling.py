@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import bench_workers, print_table
+from benchmarks.conftest import bench_payload, bench_workers, print_table
 from repro.core import random_instance, solve_dp
 from repro.core.parallel import solve_dp_parallel
 
@@ -64,14 +64,13 @@ def test_parallel_scaling_table():
         ["workers", "ms", "speedup"],
         rows,
     )
-    payload = {
-        "bench": "PAR-SCALE",
+    payload = bench_payload("PAR-SCALE", {
         "k": k,
         "n_actions": problem.n_actions,
         "cpu_count": os.cpu_count(),
         "baseline_s": round(baseline, 4),
         "series": series,
-    }
+    })
     print("BENCH_JSON " + json.dumps(payload))
 
     cores = os.cpu_count() or 1

@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_payload, print_table
 from repro.core import random_instance
 from repro.core.errors import SolverError
 from repro.core.parallel import solve_dp_parallel
@@ -88,8 +88,7 @@ def test_spill_solve_under_ram_budget():
     assert identical, "spilled tables diverged from the in-RAM tables"
     slowdown = spill_s / ram_s if ram_s > 0 else float("inf")
 
-    payload = {
-        "bench": "SPILL",
+    payload = bench_payload("SPILL", {
         "k": k,
         "tables_bytes": tables,
         "budget_bytes": budget,
@@ -100,7 +99,7 @@ def test_spill_solve_under_ram_budget():
         "bit_identical": True,
         "store": str(spilled.recovery.get("store")),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"out-of-core solve, k={k}, budget {budget >> 20} MiB "

@@ -29,7 +29,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_payload, print_table
 from repro.core import random_instance
 from repro.core.parallel import solve_dp_parallel
 from repro.obs import NULL, MetricsRegistry, Tracer
@@ -100,8 +100,7 @@ def test_trace_overhead_floors():
     disabled_pct = 100.0 * (bundles * bundle_s) / plain_s
     enabled_pct = max(0.0, 100.0 * (traced_s / plain_s - 1.0))
 
-    payload = {
-        "bench": "TRACE",
+    payload = bench_payload("TRACE", {
         "k": k,
         "workers": workers,
         "repeats": _REPEATS,
@@ -114,7 +113,7 @@ def test_trace_overhead_floors():
         "floor_disabled_pct": 2.0,
         "floor_enabled_pct": 10.0,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    })
     print(f"\nBENCH_JSON {json.dumps(payload)}")
     print_table(
         f"telemetry overhead, k={k}, workers={workers} (best of {_REPEATS})",

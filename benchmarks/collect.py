@@ -1,0 +1,104 @@
+"""Merge every committed ``BENCH_*.json`` into one trajectory summary.
+
+Each bench writes its own artifact at the repo root — some a single
+payload, some sectioned (``BENCH_BVM.json`` holds one payload per
+bench).  Every payload carries the shared header (``schema``, ``name``;
+see :func:`benchmarks.conftest.bench_payload`), so this collector needs
+no per-bench knowledge: it walks the artifacts, flattens sections, and
+emits one JSON document keyed by payload name with the headline figure
+of each bench surfaced in a compact table.
+
+Run as ``python -m benchmarks.collect [--out FILE]`` from the repo
+root (or with it on ``sys.path``).  With ``--out`` the merged summary
+is written to ``FILE``; otherwise it prints to stdout.  Payloads
+missing the shared header are reported and skipped rather than
+guessed at — an artifact produced by a pre-header writer should be
+regenerated, not silently mangled.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The one number a reader scans for per bench, when the payload has it.
+_HEADLINE_KEYS = ("speedup", "slowdown", "ratio", "overlap_frac")
+
+
+def _payloads(doc: dict):
+    """Yield every payload in an artifact (flattening sectioned files)."""
+    if "name" in doc or "bench" in doc:
+        yield doc
+        return
+    for value in doc.values():
+        if isinstance(value, dict):
+            yield value
+
+
+def collect(root: pathlib.Path = _REPO_ROOT) -> dict:
+    """Gather all ``BENCH_*.json`` payloads under ``root`` by name."""
+    merged: dict[str, dict] = {}
+    skipped: list[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            skipped.append(f"{path.name}: unreadable JSON")
+            continue
+        if not isinstance(doc, dict):
+            skipped.append(f"{path.name}: not a JSON object")
+            continue
+        for payload in _payloads(doc):
+            name = payload.get("name")
+            if payload.get("schema") != 1 or not name:
+                skipped.append(
+                    f"{path.name}: payload without schema-1 header "
+                    f"({payload.get('bench', '?')})"
+                )
+                continue
+            merged[name] = {**payload, "source": path.name}
+    return {"schema": 1, "benches": merged, "skipped": skipped}
+
+
+def _headline(payload: dict) -> str:
+    for key in _HEADLINE_KEYS:
+        if key in payload:
+            return f"{key}={payload[key]}"
+    return "-"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None, help="repo root to scan")
+    ap.add_argument("--out", default=None, help="write merged JSON here")
+    args = ap.parse_args(argv)
+
+    root = pathlib.Path(args.root) if args.root else _REPO_ROOT
+    summary = collect(root)
+
+    width = max((len(n) for n in summary["benches"]), default=4)
+    for name, payload in sorted(summary["benches"].items()):
+        stamp = payload.get("timestamp", "?")
+        print(
+            f"{name.ljust(width)}  {_headline(payload).ljust(18)}  "
+            f"{stamp}  ({payload['source']})"
+        )
+    for note in summary["skipped"]:
+        print(f"skipped: {note}", file=sys.stderr)
+
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
+        print(f"\nwrote {args.out}")
+    else:
+        print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,17 @@ def bench_workers(default=(1, 2, 4, 8)):
     return tuple(default)
 
 
+BENCH_SCHEMA = 1
+
+
+def bench_payload(name: str, fields: dict) -> dict:
+    """The shared ``BENCH_*.json`` header: every artifact this harness
+    writes starts with ``schema`` (bumped on breaking payload changes)
+    and ``name`` so ``benchmarks/collect.py`` can merge them into one
+    trajectory summary without per-bench special cases."""
+    return {"schema": BENCH_SCHEMA, "name": name, "bench": name, **fields}
+
+
 def merge_bench_json(path, section: str, payload: dict) -> None:
     """Read-modify-write one section of a multi-bench JSON artifact.
 

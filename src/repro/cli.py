@@ -155,6 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
         "resumes from every layer whose checksum verifies",
     )
     p_solve.add_argument(
+        "--shard-discipline",
+        choices=("strict", "snapshot"),
+        default=None,
+        help="how parallel shards treat the layer being computed: strict "
+        "(default; validity-masked kernel, no per-shard table snapshot) "
+        "or the legacy snapshot copy + re-INF pass (env "
+        "REPRO_SHARD_DISCIPLINE; bit-identical tables either way)",
+    )
+    p_solve.add_argument(
+        "--commit-mode",
+        choices=("async", "sync"),
+        default=None,
+        help="layer persistence: async (default; layer j commits on a "
+        "background thread while layer j+1 computes) or sync (commit "
+        "inline at the barrier; env REPRO_COMMIT_MODE)",
+    )
+    p_solve.add_argument(
         "--no-fallback",
         action="store_true",
         help="raise instead of finishing failed shards on the in-process "
@@ -338,6 +355,21 @@ def build_parser() -> argparse.ArgumentParser:
         "parent-side, so 1 is enough to exercise them)",
     )
     p_drill.add_argument(
+        "--commit-mode",
+        choices=("async", "sync"),
+        default=None,
+        help="commit mode to drill: async (default) SIGKILLs inside the "
+        "background committer thread, sync inside the inline protocol "
+        "(env REPRO_COMMIT_MODE)",
+    )
+    p_drill.add_argument(
+        "--congest",
+        action="store_true",
+        help="slow every commit (slow-io fault) so the async kill fires "
+        "with a further layer queued behind the in-flight commit "
+        "(the mid-queue case)",
+    )
+    p_drill.add_argument(
         "--dir",
         default=None,
         metavar="PATH",
@@ -436,6 +468,8 @@ def _solve(args, out) -> int:
                 policy=_policy(args),
                 store=args.store if use_store else None,
                 spill_dir=args.spill_dir,
+                discipline=args.shard_discipline,
+                commit=args.commit_mode,
                 tracer=tracer,
                 progress=progress,
             )
@@ -603,6 +637,8 @@ def _crash_drill(args, out) -> int:
                     workdir=os.path.join(workdir, point),
                     layer=args.layer,
                     workers=args.workers,
+                    commit=args.commit_mode,
+                    congest=args.congest,
                 )
             )
     finally:
@@ -615,7 +651,8 @@ def _crash_drill(args, out) -> int:
         for r in reports:
             status = "PASS" if (r["killed"] and r["identical"]) else "FAIL"
             print(
-                f"{status} {r['point']:>12} layer={r['layer']}: "
+                f"{status} {r['point']:>12} layer={r['layer']} "
+                f"commit={r['commit']}: "
                 f"killed={r['killed']} committed_at_kill={r['committed_at_kill']} "
                 f"rederived={r['rederived']} identical={r['identical']}",
                 file=out,

@@ -186,6 +186,8 @@ def solve(
     checkpoint: str | None = None,
     store: str | None = None,
     spill_dir: str | None = None,
+    discipline: str | None = None,
+    commit: str | None = None,
     engine=None,
     tracer=None,
     progress=None,
@@ -223,6 +225,14 @@ def solve(
     engine path is bit-for-bit identical to a cold solve.  Checkpointed,
     custom-policy or spilled solves carry per-solve failure-domain state
     the warm engine cannot share, so they fall through to the cold path.
+
+    ``discipline`` / ``commit`` tune the parallel solve loop (see
+    :func:`~repro.core.parallel.solve_dp_parallel`): shard discipline
+    ``"strict"`` (default) vs the legacy ``"snapshot"``, and layer-commit
+    mode ``"async"`` (default) vs ``"sync"``.  Both default from
+    ``REPRO_SHARD_DISCIPLINE`` / ``REPRO_COMMIT_MODE`` and are shard/
+    persistence mechanics only — single-process backends ignore them and
+    every combination yields bit-identical tables.
 
     ``tracer`` / ``progress`` attach observability (see :mod:`repro.obs`):
     a :class:`~repro.obs.trace.Tracer` is made ambient around whichever
@@ -314,6 +324,8 @@ def solve(
                 p=p,
                 policy=policy,
                 store=spec,
+                discipline=discipline,
+                commit=commit,
                 tracer=tracer,
                 progress=progress,
             )

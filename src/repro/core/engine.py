@@ -51,7 +51,13 @@ from . import faults
 from . import parallel as _par
 from .dispatch import cached_subset_weights, resolve_backend
 from .errors import InvalidProblem, SolverError
-from .kernels import LayerArena, LayerPlan, layer_plan, solve_layer_kernel_fused
+from .kernels import (
+    LayerArena,
+    LayerPlan,
+    layer_plan,
+    shard_discipline,
+    solve_layer_kernel_fused,
+)
 from .parallel import MIN_SHARD, _init_worker, _mp_context, _shard_bounds
 from .problem import TTProblem
 from .sequential import INF, DPResult, solve_dp
@@ -119,6 +125,13 @@ class SolverEngine:
         warm path (``policy.checkpoint`` must be ``None``).
     min_shard:
         Minimum masks per worker shard (see :mod:`repro.core.parallel`).
+    discipline:
+        Shard discipline for every solve on this engine: ``"strict"``
+        (default; validity-masked kernel, no per-shard table snapshot)
+        or ``"snapshot"`` (legacy copy + re-``INF``).  Resolved once at
+        construction — a warm pool's workers are initialized with it and
+        never re-read the environment — so ``REPRO_SHARD_DISCIPLINE``
+        applies to engines created after it is set, deliberately.
 
     Results are bit-for-bit identical to the cold paths: the engine runs
     the same fused kernel, the same sharding and the same supervisor
@@ -132,6 +145,7 @@ class SolverEngine:
         backend: str = "auto",
         policy: ResiliencePolicy | None = None,
         min_shard: int = MIN_SHARD,
+        discipline: str | None = None,
     ):
         if policy is not None and policy.checkpoint is not None:
             raise SolverError(
@@ -142,6 +156,7 @@ class SolverEngine:
         self.backend = backend
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.min_shard = min_shard
+        self.discipline = shard_discipline(discipline)
         self.solves = 0
         # Warm-state effectiveness counters, exposed on result.metrics:
         # a healthy stream shows pool_reuses == solves - table_rebuilds.
@@ -193,7 +208,12 @@ class SolverEngine:
         shm_names = dict(tables.names)
         workers = self.workers
 
-        access = {"mode": "shm", "names": shm_names, "n_sub": n_sub}
+        access = {
+            "mode": "shm",
+            "names": shm_names,
+            "n_sub": n_sub,
+            "discipline": self.discipline,
+        }
 
         def pool_factory():
             # Statics ship with each task (see _engine_shard), so the
@@ -284,14 +304,20 @@ class SolverEngine:
         state = {"layer": 0}
         reg.inc("layers.total", k)
 
+        strict = self.discipline != "snapshot"
+
         def solve_in_parent(lo: int, hi: int) -> int:
             layer = order[lo:hi]
             ts = time.monotonic()
-            local = arena.table(n_sub)
-            np.copyto(local, cost)
-            local[layer] = INF
+            if strict:
+                table = cost
+            else:
+                table = arena.table(n_sub)
+                np.copyto(table, cost)
+                table[layer] = INF
             layer_best, layer_arg = solve_layer_kernel_fused(
-                layer, p[layer], local, subsets, costs, is_test, arena=arena
+                layer, p[layer], table, subsets, costs, is_test,
+                arena=arena, strict=strict,
             )
             cost[layer] = layer_best
             best[layer] = layer_arg
@@ -324,6 +350,10 @@ class SolverEngine:
             log.layer(j, dt, len(shards), mode)
             reg.inc("layers.computed")
             reg.observe("layer.seconds", dt)
+            if strict:
+                # Copy traffic the snapshot discipline would have paid:
+                # one full C-table copy per shard of this layer.
+                reg.inc("snapshot.bytes_saved", len(shards) * n_sub * 8)
             if tr.collecting:
                 tr.complete(
                     "layer", "layer", t0, t0 + dt,

@@ -116,6 +116,9 @@ __all__ = [
     "solve_layer_kernel_fused",
     "DEFAULT_TILE",
     "TILE_ENV",
+    "SHARD_DISCIPLINES",
+    "SHARD_DISCIPLINE_ENV",
+    "shard_discipline",
 ]
 
 INF = np.inf
@@ -131,6 +134,45 @@ DEFAULT_TILE = 16384
 
 # Override the tile size; "0" disables tiling (whole layer per pass).
 TILE_ENV = "REPRO_KERNEL_TILE"
+
+# How shards (and in-parent layer slices) make themselves independent of
+# whatever the cost table holds in the layer being computed:
+#
+# "strict"    run the kernel with explicit validity masks — no snapshot,
+#             no re-INF pass, bit-identical to the snapshot discipline on
+#             every table state a solve can produce.  The default.
+# "snapshot"  the pre-strict discipline: copy the whole table into a
+#             private arena buffer and re-INF the slice's own masks
+#             before evaluating.  Kept for one release as a bisection
+#             aid (REPRO_SHARD_DISCIPLINE=snapshot); the exhaustive
+#             sweep pins both disciplines bit-for-bit to the reference.
+#
+# File-backed (mmap) shards are always strict regardless of this knob —
+# snapshotting a table that exists to stay out of RAM would defeat it.
+SHARD_DISCIPLINES = ("strict", "snapshot")
+SHARD_DISCIPLINE_ENV = "REPRO_SHARD_DISCIPLINE"
+
+
+def shard_discipline(requested: str | None = None) -> str:
+    """Resolve the shard discipline: explicit request, else env, else strict.
+
+    Both the argument and the environment value are validated loudly —
+    a typo'd discipline silently falling back to the default would be
+    indistinguishable from the knob not working.
+    """
+    value = requested
+    source = "shard discipline"
+    if value is None:
+        value = os.environ.get(SHARD_DISCIPLINE_ENV, "").strip().lower()
+        source = SHARD_DISCIPLINE_ENV
+        if not value:
+            return "strict"
+    if value not in SHARD_DISCIPLINES:
+        raise InvalidProblem(
+            f"{source} must be one of {', '.join(SHARD_DISCIPLINES)}, "
+            f"got {value!r}"
+        )
+    return value
 
 
 def _env_tile() -> int:

@@ -36,13 +36,18 @@ duplicated one) provably safe — see the failure model in DESIGN.md.
 Same-layer reads cannot race across shards: a gather index in the
 *current* layer is only ever the subset's own mask ``S`` (``inter == 0``
 implies ``rest == S`` and vice versa), which lives in the gathering
-shard's own slice — never in another shard's.  The fused kernel resolves
-those self-reads through the table-state invariant (``cost[S] == INF``
-while ``S``'s layer is being computed), so each shard snapshots the
-shared table into a private arena buffer and re-``INF``'s its own slice
-before computing: a *replayed* shard — even one whose predecessor died
-mid-scatter, even racing a stale duplicate — then sees exactly the
-table state a first attempt would, and writes the exact same bytes.
+shard's own slice — never in another shard's.  Those self-reads are
+resolved by the *strict* fused kernel (the default discipline): explicit
+validity masks computed from the candidate structure make the shard's
+output independent of whatever the table holds inside the layer being
+computed, so a *replayed* shard — even one whose predecessor died
+mid-scatter, even racing a stale duplicate — writes the exact same
+bytes with zero table copying.  The legacy ``snapshot`` discipline
+(``REPRO_SHARD_DISCIPLINE=snapshot``, kept one release) reaches the same
+bytes the old way: snapshot the shared table into a private arena
+buffer, re-``INF`` the shard's own slice, and rely on the non-strict
+kernel's table-state invariant — at the cost of ``workers × 8 × 2^k``
+bytes of copy traffic per layer.
 
 Where the tables live is delegated to a :class:`~repro.store.LayerStore`
 (``store=``): shared memory by default, or memory-mapped spill files
@@ -53,13 +58,19 @@ agnostic — ``open()`` reports which layers already hold trusted values
 layer in ascending order and ``commit_layer``'s each, and that single
 *skip-valid, compute-the-rest* mechanism covers cold solves, resume
 after SIGKILL, and re-derivation of corrupted layers alike.  Spill
-shards run the kernel in strict mode (explicit validity masks) instead
-of the snapshot discipline: the file-backed table may hold arbitrary
-resume garbage in the layer being computed, and strict mode makes the
-shard independent of it — same bytes, no full-table copy.  A spill
-store that fails mid-solve (``ENOSPC``) degrades to an in-RAM store
-when the tables fit under ``REPRO_RAM_BUDGET_BYTES``, else the solve
-fails loudly.
+shards are always strict regardless of the discipline knob: the
+file-backed table may hold arbitrary resume garbage in the layer being
+computed, which only strict mode tolerates.  A spill store that fails
+mid-solve (``ENOSPC``) degrades to an in-RAM store when the tables fit
+under ``REPRO_RAM_BUDGET_BYTES``, else the solve fails loudly.
+
+Persistence is pipelined by default (``commit="async"`` /
+``REPRO_COMMIT_MODE``): layer ``j``'s durable commit runs on a
+background :class:`~repro.store.pipeline.AsyncCommitter` thread while
+the pool computes layer ``j + 1`` — sound because a layer's table
+entries never change after its barrier and commits replay the store's
+own protocol unchanged, in order, with errors surfacing at the next
+barrier and a full drain before the manifest is marked complete.
 """
 
 from __future__ import annotations
@@ -76,7 +87,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from . import faults
 from .errors import InvalidProblem, SolverError
-from .kernels import LayerArena, solve_layer_kernel_fused
+from .kernels import LayerArena, shard_discipline, solve_layer_kernel_fused
 from .problem import TTProblem
 from .sequential import INF, DPResult
 from .supervisor import RecoveryLog, ResiliencePolicy, Supervisor
@@ -157,6 +168,11 @@ def _init_worker(access, subsets, costs, is_test):
     ``subsets``/``costs``/``is_test`` may be ``None`` — the engine's warm
     pools outlive any one problem, so they ship the per-problem statics
     with each task instead (see :mod:`repro.core.engine`).
+
+    ``access["discipline"]`` (resolved by the parent — workers never
+    consult the environment, so a warm pool cannot change discipline
+    mid-life) selects strict vs snapshot for shared-memory shards;
+    memmapped shards are strict unconditionally.
     """
     global _WORKER
     n_sub = access["n_sub"]
@@ -168,7 +184,7 @@ def _init_worker(access, subsets, costs, is_test):
             "best": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["best"].buf),
             "p": np.ndarray(n_sub, dtype=np.float64, buffer=blocks["p"].buf),
             "order": np.ndarray(n_sub, dtype=np.int64, buffer=blocks["order"].buf),
-            "strict": False,
+            "strict": access.get("discipline", "strict") != "snapshot",
         }
     else:
         spill = access["dir"]
@@ -196,14 +212,15 @@ def _init_worker(access, subsets, costs, is_test):
 def _shard_compute(w, lo, hi, subsets, costs, is_test):
     """Fused-kernel shard body over the worker's mapped tables.
 
-    Shared-memory shards snapshot the ``C`` table into the worker's
-    private arena and re-``INF`` the shard's own slice first — see the
-    module docstring: this is what keeps replayed shards (and stale
-    duplicates) writing bit-identical bytes now that the non-strict
-    kernel has no explicit validity masks.  Spill shards instead run the
-    kernel in ``strict`` mode, which masks invalid candidates explicitly
-    and is therefore independent of whatever the file-backed table holds
-    in this layer — no table-sized snapshot, same bytes.
+    Strict shards (the default, and all spill shards) run the kernel
+    with explicit validity masks and gather straight from the shared
+    table: the result is independent of whatever the table holds in the
+    layer being computed, so replayed shards and stale duplicates write
+    bit-identical bytes with no table copy.  Legacy ``snapshot`` shards
+    copy the ``C`` table into the worker's private arena and re-``INF``
+    their own slice first, restoring the non-strict kernel's table-state
+    invariant instead — same bytes, ``8 × 2^k`` extra copy traffic per
+    shard (see the module docstring).
     """
     arena = w["arena"]
     layer = np.asarray(w["order"][lo:hi])
@@ -314,6 +331,8 @@ def solve_dp_parallel(
     min_shard: int = MIN_SHARD,
     policy: ResiliencePolicy | None = None,
     store=None,
+    discipline: str | None = None,
+    commit: str | None = None,
     tracer=None,
     metrics=None,
     progress=None,
@@ -337,6 +356,15 @@ def solve_dp_parallel(
     ``spill_dir`` for a durable out-of-core solve), or an unopened
     :class:`repro.store.LayerStore` instance.
 
+    ``discipline`` selects how shards treat the layer being computed:
+    ``"strict"`` (default; explicit validity masks, no per-shard table
+    snapshot) or ``"snapshot"`` (the legacy copy + re-``INF`` pass, kept
+    one release behind ``REPRO_SHARD_DISCIPLINE``).  ``commit`` selects
+    ``"async"`` (default; layer ``j`` commits on a background thread
+    while layer ``j + 1`` computes, ``REPRO_COMMIT_MODE`` overrides) or
+    ``"sync"`` (commit inline at the barrier).  All four combinations
+    produce bit-identical tables.
+
     Telemetry is observational only — a traced solve writes bit-identical
     tables.  ``tracer`` is a :class:`repro.obs.Tracer` (``None`` inherits
     the ambient tracer, disabled by default); ``metrics`` an optional
@@ -358,9 +386,13 @@ def solve_dp_parallel(
 
     # Validate any fault spec in the *parent*, before work is dispatched:
     # a typo'd REPRO_FAULT_SPEC must fail the solve, not silently never
-    # fire inside a worker.
+    # fire inside a worker.  Discipline and commit mode resolve here for
+    # the same reason — and so workers and stores receive the decision
+    # explicitly instead of re-reading the environment at attach time.
     faults.env_fault_spec()
     faults.env_crash_spec()
+    discipline = shard_discipline(discipline)
+    commit = store_mod.commit_mode(commit)
 
     tr = tracer if tracer is not None else obs_trace.current()
     reg = metrics if metrics is not None else obs_metrics.MetricsRegistry()
@@ -379,6 +411,7 @@ def solve_dp_parallel(
     if isinstance(store, store_mod.StoreSpec):
         store = store_mod.open_store(store, problem, policy=policy, p=p)
     store.bind_telemetry(tr, reg)
+    store.set_discipline(discipline)
     log.store = store.kind
 
     subsets = problem.subset_array
@@ -405,6 +438,7 @@ def solve_dp_parallel(
                 f"possible: {budget_exc}"
             ) from exc
         adopted.bind_telemetry(tr, reg)
+        adopted.set_discipline(discipline)
         current.close()
         log.degraded = True
         log.event("store-degraded", reason=str(exc), fallback="ram")
@@ -421,6 +455,7 @@ def solve_dp_parallel(
             raise
         fallback = store_mod.RamStore(problem, policy=policy, p=p)
         fallback.bind_telemetry(tr, reg)
+        fallback.set_discipline(discipline)
         try:
             with tr.span("store.open", cat="store", kind=fallback.kind):
                 report = fallback.open()
@@ -437,6 +472,12 @@ def solve_dp_parallel(
 
     state = {"store": store, "layer": 0}
     supervisor = None
+    # Pipelined persistence: layer j's commit_layer runs on this thread
+    # while the pool computes layer j+1.  Only worth spinning up when
+    # commits do real I/O (slab writes, checkpoint saves).
+    committer = None
+    if commit == "async" and store.persists:
+        committer = store_mod.AsyncCommitter(store, tracer=tr, metrics=reg)
     t_solve0 = time.monotonic()
     reg.inc("layers.total", k)
     # The solve's tracer is ambient for the whole loop so parent-side
@@ -471,6 +512,10 @@ def solve_dp_parallel(
                 return n
 
             access = store.worker_spec()
+            if access is not None:
+                # The parent resolved the discipline once; ship it in the
+                # attach spec so workers never consult the environment.
+                access = {**access, "discipline": discipline}
             if access is not None and workers > 1:
                 def pool_factory():
                     return _mp_context().Pool(
@@ -491,9 +536,10 @@ def solve_dp_parallel(
                 if j in valid:
                     reg.inc("layers.skipped")
                     if progress is not None:
+                        stats = state["store"].commit_stats()
                         progress.layer_done(
                             j, state["store"].bounds(j)[1],
-                            state["store"].spilled_nbytes,
+                            stats["committed_bytes"], stats["queued_bytes"],
                         )
                     continue
                 st = state["store"]
@@ -524,26 +570,63 @@ def solve_dp_parallel(
                 reg.observe("layer.seconds", dt)
                 tr.complete("layer", "layer", t0, t0 + dt,
                             layer=j, masks=hi - lo, shards=len(shards), mode=mode)
+                if discipline == "strict" and state["store"].kind == "ram":
+                    # Copy traffic the snapshot discipline would have paid
+                    # for this layer: one full C-table copy per shard.
+                    reg.inc("snapshot.bytes_saved", len(shards) * n_sub * 8)
                 try:
-                    st.commit_layer(j)
+                    if committer is not None:
+                        committer.submit(j)
+                    else:
+                        st.commit_layer(j)
                 except store_mod.StoreWriteError as exc:
                     # Mid-solve disk failure: the layer's *values* are fine
                     # (they live in the tables; only persistence failed), so
                     # carry everything into RAM and finish single-process.
+                    # An async failure surfaces here one barrier late —
+                    # same handling, one extra computed layer carried over.
+                    if committer is not None:
+                        committer.close()
+                        committer = None
                     if supervisor is not None:
                         supervisor.shutdown()
                         supervisor = None
                     state["store"] = degrade_to_ram(st, exc)
                 if progress is not None:
-                    progress.layer_done(j, hi, state["store"].spilled_nbytes)
+                    stats = state["store"].commit_stats()
+                    progress.layer_done(
+                        j, hi, stats["committed_bytes"], stats["queued_bytes"]
+                    )
+            if committer is not None:
+                # Every layer is computed; retire the commit pipeline
+                # before declaring completion — "finish(True)" must imply
+                # "all layers durably committed".
+                try:
+                    committer.drain()
+                except store_mod.StoreWriteError as exc:
+                    st = state["store"]
+                    committer.close()
+                    committer = None
+                    if supervisor is not None:
+                        supervisor.shutdown()
+                        supervisor = None
+                    state["store"] = degrade_to_ram(st, exc)
+                else:
+                    committer.close()
+                    committer = None
             final = state["store"]
             final.finish(True)
             out_cost, out_best = final.result_tables()
         finally:
             # Terminate the pool *before* the store tears down its tables,
-            # so a worker being repopulated can never attach vanished blocks.
+            # so a worker being repopulated can never attach vanished
+            # blocks — and the committer before close(), because an
+            # in-flight commit reads the store's live tables.  On a fault
+            # path queued commits are dropped (the slabs land on resume).
             if supervisor is not None:
                 supervisor.shutdown()
+            if committer is not None:
+                committer.close()
             state["store"].close()
             if progress is not None:
                 progress.finish()

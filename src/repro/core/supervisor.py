@@ -340,17 +340,32 @@ def save_checkpoint(
 
     The payload checksum stored alongside lets :func:`load_checkpoint`
     reject bit corruption of the table bytes.
+
+    The tables are snapshotted *once*, and the checksum is computed over
+    that snapshot — not over the live arrays a second time.  This matters
+    under the async commit pipeline: ``save_checkpoint`` runs on the
+    committer thread while pool workers are already scattering layer
+    ``completed_layer + 1`` into the shared tables, so hashing the live
+    arrays and then letting ``np.savez`` re-read them could bind the
+    checksum to different bytes than the file holds — a false
+    :class:`CheckpointMismatch` on resume.  (Torn values *above* the
+    completed layer inside one consistent snapshot are harmless: resume
+    recomputes every layer past the prefix from the layers below.)
     """
+    cost_snap = np.array(cost, dtype=np.float64)
+    best_snap = np.array(best, dtype=np.int64)
 
     def write(fh) -> None:
         np.savez(
             fh,
             version=np.int64(CHECKPOINT_VERSION),
             problem_sha=np.array(problem_content_hash(problem)),
-            payload_sha=np.array(checkpoint_payload_sha(cost, best, completed_layer)),
+            payload_sha=np.array(
+                checkpoint_payload_sha(cost_snap, best_snap, completed_layer)
+            ),
             completed_layer=np.int64(completed_layer),
-            cost=cost,
-            best=best,
+            cost=cost_snap,
+            best=best_snap,
         )
 
     atomic_write_file(path, write)

@@ -208,6 +208,8 @@ METRIC_COUNTERS = (
     "store.commits",
     "store.bytes_written",
     "store.rederived",
+    "commit.async",
+    "snapshot.bytes_saved",
     "cache.weights_hits",
     "cache.weights_misses",
     "cache.plan_hits",
@@ -217,12 +219,13 @@ METRIC_COUNTERS = (
     "engine.table_rebuilds",
 )
 
-METRIC_GAUGES = ("time.solve_s",)
+METRIC_GAUGES = ("time.solve_s", "commit.overlap_s", "commit.blocked_s")
 
 METRIC_HISTOGRAMS = (
     "layer.seconds",
     "shard.seconds",
     "store.commit_s",
+    "commit.async_s",
     "store.fsync_s",
     "store.rehash_s",
     "store.checkpoint_s",

@@ -4,13 +4,20 @@ A k≥24 out-of-core solve runs for minutes; :class:`ProgressReporter`
 turns the layer barrier — the one natural heartbeat of the solve loop —
 into a single self-overwriting stderr line::
 
-    layer 17/24  61.8% masks  elapsed 84.3s  eta 52.1s  spilled 96 MB
+    layer 17/24  61.8% masks  elapsed 84.3s  eta 52.1s  spilled 96 MB (+8 MB queued)
 
 Masks completed is the honest progress measure (layer sizes follow the
 binomial distribution, so "layers done" alone misrepresents the middle
 bulge); the ETA extrapolates from the masks-completed fraction.  Output
 goes to ``stream`` (default ``sys.stderr``) only when the solve loop
 calls in — constructing a reporter costs nothing.
+
+The byte counts arrive as one atomic snapshot from
+``LayerStore.commit_stats()`` — the solve loop must *not* read
+``spilled_nbytes`` piecemeal while the async committer thread is
+mutating it, or the line can show torn values.  ``spilled`` is what the
+store durably committed; ``queued`` is what sits behind the in-flight
+async commit.
 """
 
 from __future__ import annotations
@@ -38,7 +45,13 @@ class ProgressReporter:
         self._total_layers = total_layers
         self._total_masks = total_masks
 
-    def layer_done(self, layer: int, masks_done: int, spilled_bytes: int = 0) -> None:
+    def layer_done(
+        self,
+        layer: int,
+        masks_done: int,
+        spilled_bytes: int = 0,
+        queued_bytes: int = 0,
+    ) -> None:
         if self._t0 is None:
             self.begin(layer, masks_done)
         now = time.monotonic()
@@ -55,8 +68,11 @@ class ProgressReporter:
             f"elapsed {elapsed:.1f}s",
             f"eta {eta:.1f}s" if eta != float("inf") else "eta ?",
         ]
-        if spilled_bytes:
-            parts.append(f"spilled {spilled_bytes >> 20} MB")
+        if spilled_bytes or queued_bytes:
+            spilled = f"spilled {spilled_bytes >> 20} MB"
+            if queued_bytes:
+                spilled += f" (+{queued_bytes >> 20} MB queued)"
+            parts.append(spilled)
         self._write("\r" + "  ".join(parts))
         self._wrote = True
 

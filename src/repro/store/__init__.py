@@ -28,6 +28,7 @@ from .base import (
     tables_nbytes,
 )
 from .drill import run_crash_drill
+from .pipeline import COMMIT_MODE_ENV, COMMIT_MODES, AsyncCommitter, commit_mode
 from .ram import RamStore
 from .spill import MmapStore
 
@@ -37,14 +38,18 @@ __all__ = [
     "StoreSpec",
     "RamStore",
     "MmapStore",
+    "AsyncCommitter",
     "open_store",
     "run_crash_drill",
+    "commit_mode",
     "StoreCorruption",
     "StoreWriteError",
     "ram_budget",
     "tables_nbytes",
     "RAM_BUDGET_ENV",
     "STORE_KINDS",
+    "COMMIT_MODES",
+    "COMMIT_MODE_ENV",
 ]
 
 

@@ -40,6 +40,7 @@ tables fit.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -156,14 +157,14 @@ class LayerStore:
     offsets).  ``worker_spec()`` returns a picklable description pool
     workers use to attach to the same tables, or ``None`` when this
     store cannot be shared with workers (the solve then runs
-    single-process).  ``strict_kernel`` says whether shards computing
-    over these tables must run the fused kernel in strict mode (see
-    :mod:`repro.core.kernels` — required whenever the table may hold
-    garbage in the layer being computed, i.e. for file-backed resume).
+    single-process).  ``set_discipline`` selects how shards treat the
+    layer being computed — strict validity masks (the default) or the
+    legacy snapshot copy (see :mod:`repro.core.kernels`); file-backed
+    stores are always strict because their tables may hold resume
+    garbage in the current layer, which only strict mode tolerates.
     """
 
     kind: str = "?"
-    strict_kernel: bool = False
 
     # Telemetry sinks (see repro.obs): disabled until the solve loop
     # calls bind_telemetry.  Class-level defaults keep every subclass
@@ -171,21 +172,83 @@ class LayerStore:
     _tracer = None
     _metrics = None
 
+    # Shard discipline for in-parent slices over these tables.  "strict"
+    # (the default — explicit validity masks, no table snapshot) or
+    # "snapshot" (the legacy copy + re-INF pass, kept one release behind
+    # REPRO_SHARD_DISCIPLINE).  File-backed stores ignore this and stay
+    # strict: their tables may hold resume garbage in the layer being
+    # computed, which only strict mode tolerates.
+    _discipline = "strict"
+
     cost: np.ndarray
     best: np.ndarray
     p: np.ndarray
     order: np.ndarray
     starts: np.ndarray
 
+    def __init__(self) -> None:
+        # Commit accounting crosses threads: the async committer
+        # (repro.store.pipeline) retires commits while the solve thread
+        # reads progress, so every mutation and every read snapshot goes
+        # through one mutex — the progress line must never show torn
+        # queued/committed byte counts.
+        self._commit_mutex = threading.Lock()
+        self._queued_commits: dict[int, int] = {}
+
     def bind_telemetry(self, tracer, metrics) -> None:
         """Attach the solve's tracer/metrics registry (observational only)."""
         self._tracer = tracer
         self._metrics = metrics
 
+    def set_discipline(self, discipline: str) -> None:
+        """Select snapshot vs strict for in-parent slices (see kernels)."""
+        self._discipline = discipline
+
+    @property
+    def persists(self) -> bool:
+        """Whether ``commit_layer`` durably writes anything at all.
+
+        The solve loop only spins up an async committer over a store
+        whose commits do real I/O — pipelining no-op commits would add a
+        thread for nothing.
+        """
+        return False
+
+    def commit_nbytes(self, j: int) -> int:
+        """Bytes ``commit_layer(j)`` will durably write (0 for a no-op)."""
+        return 0
+
+    def note_commit_queued(self, j: int) -> None:
+        """Record layer ``j`` as queued behind an asynchronous commit."""
+        with self._commit_mutex:
+            self._queued_commits.setdefault(j, self.commit_nbytes(j))
+
+    def note_commit_done(self, j: int) -> None:
+        """Retire layer ``j`` from the queued set (committed or dropped)."""
+        with self._commit_mutex:
+            self._queued_commits.pop(j, None)
+
+    def commit_stats(self) -> dict:
+        """Atomic snapshot: ``{"committed_bytes", "queued_bytes"}``.
+
+        Safe to call from the solve thread while the committer thread
+        mutates the counters — both sides hold ``_commit_mutex``.
+        """
+        with self._commit_mutex:
+            return {
+                "committed_bytes": self._committed_nbytes(),
+                "queued_bytes": sum(self._queued_commits.values()),
+            }
+
+    def _committed_nbytes(self) -> int:
+        """Durably-written bytes; called with ``_commit_mutex`` held."""
+        return 0
+
     @property
     def spilled_nbytes(self) -> int:
         """Bytes durably written to the spill directory so far (0 for RAM)."""
-        return 0
+        with self._commit_mutex:
+            return self._committed_nbytes()
 
     def open(self) -> OpenReport:
         raise NotImplementedError

@@ -24,8 +24,17 @@ boundaries:
     resume.
 
 Every point must end in bit-identical tables; they differ only in how
-much work the resume repeats.  All four fire in the parent process (the
+much work the resume repeats.  All four fire in the solving process (the
 commit protocol is parent-side), so ``workers=1`` exercises them fully.
+
+With the default asynchronous commit pipeline the SIGKILL lands *inside
+the committer thread* while the solve thread may already be computing
+the next layer — the drill proves that making commits concurrent did not
+open a new crash window.  ``commit="sync"`` drills the inline protocol;
+``congest=True`` additionally arms a ``slow-io`` storage fault so
+commits crawl, the solve thread runs ahead, and the kill fires with a
+*non-empty commit queue* (the mid-queue case: the queued layer's slab
+must simply be recomputed on resume).
 """
 
 from __future__ import annotations
@@ -38,7 +47,8 @@ import sys
 
 from ..core.dispatch import solve
 from ..core.errors import InvalidProblem
-from ..core.faults import CRASH_POINT_ENV, CRASH_POINTS
+from ..core.faults import CRASH_POINT_ENV, CRASH_POINTS, FAULT_SPEC_ENV
+from .pipeline import COMMIT_MODE_ENV, commit_mode
 from .spill import MANIFEST_NAME
 
 __all__ = ["run_crash_drill"]
@@ -62,8 +72,14 @@ def run_crash_drill(
     layer: int | None = None,
     workers: int = 1,
     timeout: float = 600.0,
+    commit: str | None = None,
+    congest: bool = False,
 ) -> dict:
     """SIGKILL a spilled solve at ``point``, resume, compare bit-for-bit.
+
+    ``commit`` selects the drilled commit mode (``"async"`` default /
+    ``"sync"``); ``congest=True`` slows every commit (``slow-io``) so the
+    async kill fires while a further layer is queued behind it.
 
     Returns a report dict: ``point``, ``layer``, ``killed`` (the
     subprocess actually died by SIGKILL), ``committed_at_kill`` (layers
@@ -76,6 +92,7 @@ def run_crash_drill(
         raise InvalidProblem(
             f"unknown crash point {point!r}; expected one of {CRASH_POINTS}"
         )
+    commit = commit_mode(commit)
     if layer is None:
         layer = max(1, problem.k // 2)
     if not (1 <= layer <= problem.k):
@@ -94,6 +111,12 @@ def run_crash_drill(
 
     env = dict(os.environ)
     env[CRASH_POINT_ENV] = f"{point}:layer={layer}"
+    env[COMMIT_MODE_ENV] = commit
+    if congest:
+        # Slow every layer's first commit so the solve thread runs ahead
+        # of the committer and the SIGKILL lands with a layer queued
+        # behind the in-flight commit.
+        env[FAULT_SPEC_ENV] = "slow-io:ms=150"
     # The subprocess must import *this* repro, wherever it runs from.
     pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
     env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
@@ -123,6 +146,7 @@ def run_crash_drill(
         workers=workers,
         store="mmap",
         spill_dir=spill_dir,
+        commit=commit,
     )
     recovery = result.recovery or {}
     identical = (
@@ -133,6 +157,8 @@ def run_crash_drill(
         "point": point,
         "layer": layer,
         "workers": workers,
+        "commit": commit,
+        "congest": congest,
         "killed": killed,
         "returncode": proc.returncode,
         "committed_at_kill": committed,

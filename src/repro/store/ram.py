@@ -38,9 +38,9 @@ __all__ = ["RamStore"]
 
 class RamStore(LayerStore):
     kind = "ram"
-    strict_kernel = False
 
     def __init__(self, problem, *, policy=None, p=None, use_shm=True):
+        super().__init__()
         self._problem = problem
         self._policy = policy
         self._p_in = p
@@ -127,6 +127,10 @@ class RamStore(LayerStore):
             return None
         return {"mode": "shm", "names": dict(self._tables.names), "n_sub": self.n_sub}
 
+    @property
+    def persists(self) -> bool:
+        return self._ckpt is not None
+
     def commit_layer(self, j: int) -> None:
         if self._ckpt is None:
             return
@@ -145,15 +149,24 @@ class RamStore(LayerStore):
                 )
 
     def run_parent_slice(self, lo, hi, subsets, costs, is_test, arena) -> int:
-        # Same private-snapshot discipline as the worker shards: copy the
-        # table and re-INF this slice so the fused kernel's table-state
-        # invariant holds even while a stale duplicate shard races us.
+        # Strict by default: explicit validity masks make the result
+        # independent of whatever this layer's table entries hold, so no
+        # table snapshot and no re-INF pass are needed even while a stale
+        # duplicate shard races us.  The legacy snapshot discipline
+        # (REPRO_SHARD_DISCIPLINE=snapshot) keeps the old copy + re-INF
+        # route for one release: same bytes either way, pinned by the
+        # exhaustive sweep.
         layer = self.order[lo:hi]
-        local = arena.table(self.n_sub)
-        np.copyto(local, self.cost)
-        local[layer] = INF
+        strict = self._discipline != "snapshot"
+        if strict:
+            table = self.cost
+        else:
+            table = arena.table(self.n_sub)
+            np.copyto(table, self.cost)
+            table[layer] = INF
         layer_best, layer_arg = solve_layer_kernel_fused(
-            layer, self.p[layer], local, subsets, costs, is_test, arena=arena
+            layer, self.p[layer], table, subsets, costs, is_test,
+            arena=arena, strict=strict,
         )
         self.cost[layer] = layer_best
         self.best[layer] = layer_arg

@@ -104,9 +104,9 @@ _DATA_FILES = (
 
 class MmapStore(LayerStore):
     kind = "mmap"
-    strict_kernel = True
 
     def __init__(self, problem, *, spill_dir, fsync: bool = True):
+        super().__init__()
         self._problem = problem
         self._dir = os.fspath(spill_dir)
         self._layers_dir = os.path.join(self._dir, "layers")
@@ -119,7 +119,14 @@ class MmapStore(LayerStore):
         self.n_sub = 1 << problem.k
 
     @property
-    def spilled_nbytes(self) -> int:
+    def persists(self) -> bool:
+        return True
+
+    def commit_nbytes(self, j: int) -> int:
+        lo, hi = self.bounds(j)
+        return (hi - lo) * 16
+
+    def _committed_nbytes(self) -> int:
         return self._spilled
 
     # -- paths ----------------------------------------------------------
@@ -428,7 +435,10 @@ class MmapStore(LayerStore):
         self._manifest["layers"][str(j)] = {"sha256": h.hexdigest(), "nbytes": total}
         self._write_manifest()
         t_manifest = time.monotonic()
-        self._spilled += written
+        # Under the commit mutex: the async committer runs this method on
+        # its own thread while the solve thread snapshots progress.
+        with self._commit_mutex:
+            self._spilled += written
         if self._metrics is not None:
             m = self._metrics
             m.inc("store.commits")
